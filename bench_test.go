@@ -1,0 +1,411 @@
+package netcluster_test
+
+import (
+	"math/rand"
+	"testing"
+
+	netcluster "github.com/netaware/netcluster"
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/bgpsim"
+	"github.com/netaware/netcluster/internal/cluster"
+	"github.com/netaware/netcluster/internal/detect"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/radix"
+	"github.com/netaware/netcluster/internal/stats"
+	"github.com/netaware/netcluster/internal/tracesim"
+	"github.com/netaware/netcluster/internal/validate"
+	"github.com/netaware/netcluster/internal/websim"
+)
+
+// One benchmark per table/figure of the paper (see DESIGN.md's
+// per-experiment index) plus ablations of the design choices and the core
+// micro-operations. All benches reuse the shared fixture from
+// netcluster_test.go, so `go test -bench=.` pays world generation once.
+
+// ---- Core micro-benchmarks -------------------------------------------------
+
+func BenchmarkLongestPrefixMatch(b *testing.B) {
+	f := setup(b)
+	clients := f.log.Clients()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.table.Lookup(clients[i%len(clients)])
+	}
+}
+
+func BenchmarkClusterLogNetworkAware(b *testing.B) {
+	f := setup(b)
+	b.ReportMetric(float64(len(f.log.Requests)), "requests/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.ClusterLog(f.log, cluster.NetworkAware{Table: f.table})
+	}
+}
+
+func BenchmarkClusterLogSimple(b *testing.B) {
+	f := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.ClusterLog(f.log, cluster.Simple{})
+	}
+}
+
+// ---- Per-figure / per-table benchmarks -------------------------------------
+
+// BenchmarkFig1PrefixHistogram regenerates Figure 1's prefix-length
+// distribution from a vantage snapshot.
+func BenchmarkFig1PrefixHistogram(b *testing.B) {
+	f := setup(b)
+	sim := netcluster.NewBGPSim(f.world, netcluster.DefaultBGPSimConfig())
+	snap := sim.View(bgpsim.ViewConfig{Name: "MAE-WEST", Visibility: 0.38}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bgp.SnapshotPrefixLengthHistogram(snap)
+	}
+}
+
+// BenchmarkTab1MergeCollection regenerates Table 1's merged table from the
+// standard snapshot collection.
+func BenchmarkTab1MergeCollection(b *testing.B) {
+	f := setup(b)
+	sim := netcluster.NewBGPSim(f.world, netcluster.DefaultBGPSimConfig())
+	coll := sim.Collect()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bgpsim.Merge(coll)
+	}
+}
+
+// BenchmarkFig3ClusterCDF regenerates Figure 3's cumulative distributions.
+func BenchmarkFig3ClusterCDF(b *testing.B) {
+	f := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.CDF(cluster.ClientCounts(f.na.Clusters))
+		stats.CDF(cluster.RequestCounts(f.na.Clusters))
+	}
+}
+
+// BenchmarkFig4Distributions regenerates Figure 4's by-clients ordering
+// with its three aligned metric series.
+func BenchmarkFig4Distributions(b *testing.B) {
+	f := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ordered := f.na.ByClientsDesc()
+		cluster.ClientCounts(ordered)
+		cluster.RequestCounts(ordered)
+		cluster.URLCounts(ordered)
+	}
+}
+
+// BenchmarkFig5Distributions regenerates Figure 5's by-requests ordering.
+func BenchmarkFig5Distributions(b *testing.B) {
+	f := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ordered := f.na.ByRequestsDesc()
+		cluster.RequestCounts(ordered)
+		cluster.ClientCounts(ordered)
+		cluster.URLCounts(ordered)
+	}
+}
+
+// BenchmarkFig6CrossLog clusters a second log profile, the unit of work
+// behind Figure 6's cross-log comparison.
+func BenchmarkFig6CrossLog(b *testing.B) {
+	f := setup(b)
+	l, err := netcluster.GenerateLog(f.world, netcluster.EW3Profile(0.005))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.ClusterLog(l, cluster.NetworkAware{Table: f.table})
+	}
+}
+
+// BenchmarkTab3Validation regenerates Table 3: sample 1% of clusters and
+// run both validation methods.
+func BenchmarkTab3Validation(b *testing.B) {
+	f := setup(b)
+	sampled := validate.Sample(f.na.Clusters, 0.01, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resolver := netcluster.NewResolver(f.world)
+		tracer := netcluster.NewTracer(f.world, f.world.VantageASes()[0])
+		validate.Nslookup(f.world, resolver, sampled)
+		validate.Traceroute(f.world, resolver, tracer, sampled)
+	}
+}
+
+// BenchmarkFig7Comparison clusters the same log under both approaches,
+// the work behind Figure 7.
+func BenchmarkFig7Comparison(b *testing.B) {
+	f := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.ClusterLog(f.log, cluster.NetworkAware{Table: f.table})
+		cluster.ClusterLog(f.log, cluster.Simple{})
+	}
+}
+
+// BenchmarkTab4Dynamics regenerates Table 4's dynamic prefix sets over a
+// 14-day series.
+func BenchmarkTab4Dynamics(b *testing.B) {
+	f := setup(b)
+	sim := netcluster.NewBGPSim(f.world, netcluster.DefaultBGPSimConfig())
+	vc := bgpsim.ViewConfig{Name: "AADS", Visibility: 0.25}
+	series := sim.Series(vc, []int{0, 1, 4, 7, 14})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bgp.DynamicPrefixSet(series)
+	}
+}
+
+// BenchmarkTab5Thresholding regenerates Table 5's busy-cluster cut.
+func BenchmarkTab5Thresholding(b *testing.B) {
+	f := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.na.ThresholdBusy(0.70)
+		f.si.ThresholdBusy(0.70)
+	}
+}
+
+// BenchmarkFig9ArrivalHistograms bins arrival times at the resolution the
+// Figure 9 histograms use.
+func BenchmarkFig9ArrivalHistograms(b *testing.B) {
+	f := setup(b)
+	times := make([]uint32, len(f.log.Requests))
+	for i := range f.log.Requests {
+		times[i] = f.log.Requests[i].Time
+	}
+	horizon := uint32(f.log.Duration.Seconds())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.Bin(times, horizon, 48)
+	}
+}
+
+// BenchmarkFig10RequestSkew computes the intra-cluster request skew of
+// every cluster (Figure 10 plots one; detection scans all).
+func BenchmarkFig10RequestSkew(b *testing.B) {
+	f := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range f.na.Clusters {
+			detect.RequestSkew(c)
+		}
+	}
+}
+
+// BenchmarkDetect runs the full spider/proxy detector, the machinery
+// behind Figures 9 and 10.
+func BenchmarkDetect(b *testing.B) {
+	f := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detect.Detect(f.na, detect.DefaultConfig())
+	}
+}
+
+// BenchmarkFig11CachingSweep runs one point of Figure 11's cache-size
+// sweep (10 MB proxies, TTL 1 h, PCV).
+func BenchmarkFig11CachingSweep(b *testing.B) {
+	f := setup(b)
+	cfg := websim.DefaultConfig()
+	cfg.CacheBytes = 10 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		websim.Simulate(f.na, cfg)
+	}
+}
+
+// BenchmarkFig12ProxyPerf runs Figure 12's infinite-cache per-proxy
+// simulation.
+func BenchmarkFig12ProxyPerf(b *testing.B) {
+	f := setup(b)
+	cfg := websim.DefaultConfig()
+	cfg.CacheBytes = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		websim.Simulate(f.na, cfg)
+	}
+}
+
+// ---- Ablations (design choices called out in DESIGN.md §6) ----------------
+
+// BenchmarkAblationLinearVsTrie compares the Patricia trie against a
+// linear scan for longest-prefix matching.
+func BenchmarkAblationLinearVsTrie(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var prefixes []netutil.Prefix
+	tree := radix.New[int]()
+	for i := 0; i < 10000; i++ {
+		p := netutil.PrefixFrom(netutil.Addr(rng.Uint32()), 16+rng.Intn(9))
+		prefixes = append(prefixes, p)
+		tree.Insert(p, i)
+	}
+	probes := make([]netutil.Addr, 1024)
+	for i := range probes {
+		probes[i] = netutil.Addr(rng.Uint32())
+	}
+	b.Run("trie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree.Lookup(probes[i%len(probes)])
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := probes[i%len(probes)]
+			best := -1
+			for j, p := range prefixes {
+				if p.Contains(a) && (best == -1 || p.Bits() > prefixes[best].Bits()) {
+					best = j
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationTrieDesign compares the path-compressed binary trie
+// against the stride-8 controlled-prefix-expansion trie (what hardware
+// routers use): the memory-for-speed trade on LPM.
+func BenchmarkAblationTrieDesign(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	binary := radix.New[int]()
+	multibit := radix.NewMultibit[int]()
+	for i := 0; i < 10000; i++ {
+		p := netutil.PrefixFrom(netutil.Addr(rng.Uint32()), 8+rng.Intn(25))
+		binary.Insert(p, i)
+		multibit.Insert(p, i)
+	}
+	probes := make([]netutil.Addr, 1024)
+	for i := range probes {
+		probes[i] = netutil.Addr(rng.Uint32())
+	}
+	b.Run("patricia", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			binary.Lookup(probes[i%len(probes)])
+		}
+	})
+	b.Run("multibit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			multibit.Lookup(probes[i%len(probes)])
+		}
+	})
+}
+
+// BenchmarkAblationSingleVsMergedTable measures clustering coverage cost
+// with one vantage view versus the merged table.
+func BenchmarkAblationSingleVsMergedTable(b *testing.B) {
+	f := setup(b)
+	sim := netcluster.NewBGPSim(f.world, netcluster.DefaultBGPSimConfig())
+	single := bgp.NewMerged()
+	single.Add(sim.View(bgpsim.ViewConfig{Name: "AADS", Visibility: 0.25}, 0))
+	b.Run("single-view", func(b *testing.B) {
+		var cov float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.ClusterLog(f.log, cluster.NetworkAware{Table: single})
+			cov = res.Coverage()
+		}
+		b.ReportMetric(cov*100, "coverage%")
+	})
+	b.Run("merged", func(b *testing.B) {
+		var cov float64
+		for i := 0; i < b.N; i++ {
+			res := cluster.ClusterLog(f.log, cluster.NetworkAware{Table: f.table})
+			cov = res.Coverage()
+		}
+		b.ReportMetric(cov*100, "coverage%")
+	})
+}
+
+// BenchmarkAblationTraceroute compares classic and optimized traceroute
+// probe costs over the same destinations.
+func BenchmarkAblationTraceroute(b *testing.B) {
+	f := setup(b)
+	rng := rand.New(rand.NewSource(2))
+	dsts := make([]netutil.Addr, 256)
+	for i := range dsts {
+		n := f.world.Networks[rng.Intn(len(f.world.Networks))]
+		dsts[i] = n.RandomHost(rng)
+	}
+	b.Run("classic", func(b *testing.B) {
+		tr := tracesim.New(f.world, f.world.VantageASes()[0])
+		for i := 0; i < b.N; i++ {
+			tr.Classic(dsts[i%len(dsts)])
+		}
+		b.ReportMetric(float64(tr.Probes)/float64(b.N), "probes/op")
+	})
+	b.Run("optimized", func(b *testing.B) {
+		tr := tracesim.New(f.world, f.world.VantageASes()[0])
+		for i := 0; i < b.N; i++ {
+			tr.Optimized(dsts[i%len(dsts)])
+		}
+		b.ReportMetric(float64(tr.Probes)/float64(b.N), "probes/op")
+	})
+}
+
+// BenchmarkAblationPCV compares piggyback cache validation against plain
+// TTL expiry in the caching simulation.
+func BenchmarkAblationPCV(b *testing.B) {
+	f := setup(b)
+	base := websim.DefaultConfig()
+	base.CacheBytes = 10 << 20
+	b.Run("pcv", func(b *testing.B) {
+		var hr float64
+		for i := 0; i < b.N; i++ {
+			hr = websim.Simulate(f.na, base).HitRatio
+		}
+		b.ReportMetric(hr*100, "hit%")
+	})
+	b.Run("plain-ttl", func(b *testing.B) {
+		cfg := base
+		cfg.PCV = false
+		var hr float64
+		for i := 0; i < b.N; i++ {
+			hr = websim.Simulate(f.na, cfg).HitRatio
+		}
+		b.ReportMetric(hr*100, "hit%")
+	})
+}
+
+// BenchmarkSelfCorrection measures one correction pass.
+func BenchmarkSelfCorrection(b *testing.B) {
+	f := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corr := &netcluster.Corrector{
+			Resolver:   netcluster.NewResolver(f.world),
+			Tracer:     netcluster.NewTracer(f.world, f.world.VantageASes()[0]),
+			SampleSize: 3,
+		}
+		corr.Correct(f.na)
+	}
+}
+
+// BenchmarkLogGeneration measures synthetic workload generation.
+func BenchmarkLogGeneration(b *testing.B) {
+	f := setup(b)
+	cfg := netcluster.NaganoProfile(0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netcluster.GenerateLog(f.world, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorldGeneration measures ground-truth Internet generation.
+func BenchmarkWorldGeneration(b *testing.B) {
+	cfg := netcluster.DefaultWorldConfig()
+	cfg.NumASes = 500
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netcluster.GenerateWorld(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

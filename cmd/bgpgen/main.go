@@ -1,0 +1,124 @@
+// Command bgpgen generates routing-table snapshot files from a synthetic
+// Internet: either one named vantage view, or the whole standard
+// collection into a directory.
+//
+//	bgpgen -view AADS -seed 1 -scale 0.05 > aads.txt
+//	bgpgen -all -dir tables/ -seed 1 -scale 0.05
+//
+// Run with the same -seed/-ases as loggen so the prefixes cover the
+// generated log's clients. -format selects the textual prefix notation
+// (cidr, netmask, classful) to exercise parsers against all three 1999-era
+// dump styles; -day applies that many days of BGP churn.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/bgpsim"
+	"github.com/netaware/netcluster/internal/inet"
+)
+
+func main() {
+	view := flag.String("view", "", "vantage name (AADS, MAE-EAST, ...); empty with -all writes every view")
+	all := flag.Bool("all", false, "write every standard view plus ARIN/NLANR dumps into -dir")
+	dir := flag.String("dir", ".", "output directory for -all")
+	scale := flag.Float64("scale", 0.05, "world scale (match loggen)")
+	seed := flag.Int64("seed", 1, "world seed (match loggen)")
+	ases := flag.Int("ases", 0, "world AS count (default: sized from -scale)")
+	day := flag.Int("day", 0, "days of BGP churn to apply")
+	format := flag.String("format", "cidr", "prefix notation: cidr, netmask, classful")
+	worldFile := flag.String("world", "", "load a worldgen-saved world instead of generating one")
+	flag.Parse()
+
+	var pf bgp.PrefixFormat
+	switch *format {
+	case "cidr":
+		pf = bgp.FormatCIDR
+	case "netmask":
+		pf = bgp.FormatNetmask
+	case "classful":
+		pf = bgp.FormatClassful
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+
+	var world *inet.Internet
+	if *worldFile != "" {
+		f, err := os.Open(*worldFile)
+		if err != nil {
+			fatal(err)
+		}
+		world, err = inet.ReadWorld(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		wcfg := inet.DefaultConfig()
+		wcfg.Seed = *seed
+		if *ases > 0 {
+			wcfg.NumASes = *ases
+		} else {
+			wcfg.NumASes = int(5600*(*scale)) + 300
+		}
+		var err error
+		world, err = inet.Generate(wcfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	simCfg := bgpsim.DefaultConfig()
+	simCfg.Seed = *seed
+	sim := bgpsim.New(world, simCfg)
+
+	if *all {
+		coll := sim.Collect()
+		for _, s := range coll.Views {
+			if err := writeFile(*dir, s, pf); err != nil {
+				fatal(err)
+			}
+		}
+		for _, s := range coll.Registries {
+			if err := writeFile(*dir, s, pf); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bgpgen: wrote %d snapshots to %s\n",
+			len(coll.Views)+len(coll.Registries), *dir)
+		return
+	}
+	if *view == "" {
+		fatal(fmt.Errorf("need -view NAME or -all"))
+	}
+	for _, vc := range bgpsim.StandardViews() {
+		if vc.Name == *view {
+			snap := sim.View(vc, *day)
+			if err := bgp.WriteSnapshot(os.Stdout, snap, pf); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "bgpgen: %s day %d: %d entries\n", *view, *day, len(snap.Entries))
+			return
+		}
+	}
+	fatal(fmt.Errorf("unknown view %q (standard views: AADS, AT&T-BGP, AT&T-Forw, CANET, CERFNET, MAE-EAST, MAE-WEST, OREGON, PACBELL, PAIX, SINGAREN, VBNS)", *view))
+}
+
+func writeFile(dir string, s *bgp.Snapshot, pf bgp.PrefixFormat) error {
+	name := strings.ToLower(strings.ReplaceAll(s.Name, "&", "")) + ".txt"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return bgp.WriteSnapshot(f, s, pf)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bgpgen: %v\n", err)
+	os.Exit(1)
+}

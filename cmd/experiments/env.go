@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/bgpsim"
+	"github.com/netaware/netcluster/internal/cluster"
+	"github.com/netaware/netcluster/internal/dnssim"
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/tracesim"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+// env lazily builds and caches the shared experiment inputs: the world,
+// the BGP simulator, the merged table, and the four server logs. Laziness
+// matters because single experiments should not pay for the whole suite.
+type env struct {
+	scale float64
+	seed  int64
+
+	world  *inet.Internet
+	sim    *bgpsim.Sim
+	coll   *bgpsim.Collection
+	merged *bgp.Merged
+	logs   map[string]*weblog.Log
+	naRes  map[string]*cluster.Result
+	siRes  map[string]*cluster.Result
+}
+
+func newEnv(scale float64, seed int64) *env {
+	return &env{
+		scale: scale,
+		seed:  seed,
+		logs:  map[string]*weblog.Log{},
+		naRes: map[string]*cluster.Result{},
+		siRes: map[string]*cluster.Result{},
+	}
+}
+
+func (e *env) fail(err error) {
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	os.Exit(1)
+}
+
+// World sizes with scale so the biggest log profile (Apache: 35,563
+// networks at scale 1) always fits, with headroom.
+func (e *env) World() *inet.Internet {
+	if e.world == nil {
+		cfg := inet.DefaultConfig()
+		cfg.Seed = e.seed
+		cfg.NumASes = int(5600*e.scale) + 300
+		cfg.NumTierOne = 24
+		if cfg.NumASes < cfg.NumTierOne*2 {
+			cfg.NumASes = cfg.NumTierOne * 2
+		}
+		w, err := inet.Generate(cfg)
+		if err != nil {
+			e.fail(err)
+		}
+		e.world = w
+		fmt.Printf("[world: %d ASes, %d networks]\n", len(w.ASes), len(w.Networks))
+	}
+	return e.world
+}
+
+func (e *env) Sim() *bgpsim.Sim {
+	if e.sim == nil {
+		cfg := bgpsim.DefaultConfig()
+		cfg.Seed = e.seed
+		e.sim = bgpsim.New(e.World(), cfg)
+	}
+	return e.sim
+}
+
+func (e *env) Collection() *bgpsim.Collection {
+	if e.coll == nil {
+		e.coll = e.Sim().Collect()
+	}
+	return e.coll
+}
+
+func (e *env) Merged() *bgp.Merged {
+	if e.merged == nil {
+		e.merged = bgpsim.Merge(e.Collection())
+		fmt.Printf("[merged table: %d BGP + %d registry prefixes]\n",
+			e.merged.NumPrimary(), e.merged.NumSecondary())
+	}
+	return e.merged
+}
+
+// logConfig returns the scaled profile for a named trace.
+func (e *env) logConfig(name string) weblog.GenConfig {
+	switch name {
+	case "Nagano":
+		return weblog.Nagano(e.scale)
+	case "Apache":
+		return weblog.Apache(e.scale)
+	case "EW3":
+		return weblog.EW3(e.scale)
+	case "Sun":
+		return weblog.Sun(e.scale)
+	default:
+		e.fail(fmt.Errorf("unknown log profile %q", name))
+		panic("unreachable")
+	}
+}
+
+func (e *env) Log(name string) *weblog.Log {
+	if l, ok := e.logs[name]; ok {
+		return l
+	}
+	cfg := e.logConfig(name)
+	l, err := weblog.Generate(e.World(), cfg)
+	if err != nil {
+		e.fail(err)
+	}
+	st := l.Stats()
+	fmt.Printf("[%s log: %d requests, %d clients, %d URLs over %v]\n",
+		name, st.Requests, st.UniqueClients, st.UniqueURLs, st.Duration)
+	e.logs[name] = l
+	return l
+}
+
+// NetworkAware returns the (cached) network-aware clustering of a log.
+func (e *env) NetworkAware(name string) *cluster.Result {
+	if r, ok := e.naRes[name]; ok {
+		return r
+	}
+	r := cluster.ClusterLog(e.Log(name), cluster.NetworkAware{Table: e.Merged()})
+	e.naRes[name] = r
+	return r
+}
+
+// SimpleResult returns the (cached) simple-approach clustering of a log.
+func (e *env) SimpleResult(name string) *cluster.Result {
+	if r, ok := e.siRes[name]; ok {
+		return r
+	}
+	r := cluster.ClusterLog(e.Log(name), cluster.Simple{})
+	e.siRes[name] = r
+	return r
+}
+
+func (e *env) Resolver() *dnssim.Resolver { return dnssim.New(e.World()) }
+
+func (e *env) Tracer() *tracesim.Tracer {
+	return tracesim.New(e.World(), e.World().VantageASes()[0])
+}

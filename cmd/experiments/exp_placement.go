@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/netaware/netcluster/internal/cluster"
+	"github.com/netaware/netcluster/internal/placement"
+	"github.com/netaware/netcluster/internal/report"
+	"github.com/netaware/netcluster/internal/websim"
+)
+
+func init() {
+	register("placement", "Proxy placement strategies (Section 4.1.4)", runPlacement)
+	register("multiserver", "Multiple servers sharing one proxy fleet (Section 4.1.5)", runMultiserver)
+}
+
+func runPlacement(e *env) {
+	res := e.NetworkAware("Nagano")
+
+	// Strategy 1: proxies per busy cluster, sized by request volume.
+	perProxy := int64(res.TotalRequests / 400) // one proxy per ~0.25% of traffic
+	plan, err := placement.PerCluster(res, 0.70, placement.ByRequests, perProxy)
+	if err != nil {
+		e.fail(err)
+	}
+	t := &report.Table{
+		Title:   "Strategy 1: proxies assigned per busy cluster (load metric: requests)",
+		Headers: []string{"cluster", "clients", "requests", "proxies"},
+	}
+	for i, a := range plan.Assignments {
+		if i == 10 {
+			break
+		}
+		t.AddRow(a.Cluster.Prefix.String(), report.FmtInt(a.Cluster.NumClients()),
+			report.FmtInt(a.Cluster.Requests), report.FmtInt(a.Proxies))
+	}
+	fmt.Println(t)
+	fmt.Printf("%s proxies across %s busy clusters (capacity %s requests per proxy)\n\n",
+		report.FmtInt(plan.TotalProxies), report.FmtInt(len(plan.Assignments)),
+		report.FmtInt(int(perProxy)))
+
+	// Strategy 2: group the proxies into proxy clusters by origin AS and
+	// whois country.
+	registry := e.Sim().ASRegistry()
+	groups := placement.GroupByASAndLocation(plan, e.Merged(), func(asn uint32) string {
+		return registry[asn].Country
+	})
+	t2 := &report.Table{
+		Title:   "Strategy 2: proxy clusters grouped by origin AS and country",
+		Headers: []string{"origin AS", "country", "member clusters", "proxies", "requests"},
+	}
+	for i, g := range groups {
+		if i == 10 {
+			break
+		}
+		as := report.FmtInt(int(g.OriginAS))
+		if g.OriginAS == 0 {
+			as = "(unknown)"
+		}
+		t2.AddRow(as, g.Country, report.FmtInt(len(g.Members)), report.FmtInt(g.Proxies),
+			report.FmtInt(g.Requests))
+	}
+	fmt.Println(t2)
+	multi := 0
+	for _, g := range groups {
+		if len(g.Members) > 1 {
+			multi++
+		}
+	}
+	fmt.Printf("%s proxy clusters (%s with ≥2 cooperating members)\n",
+		report.FmtInt(len(groups)), report.FmtInt(multi))
+	fmt.Println("paper: \"all proxies belonging to the same AS and located geographically")
+	fmt.Println("nearby will be grouped together to form a proxy cluster\"")
+}
+
+func runMultiserver(e *env) {
+	naNagano := e.NetworkAware("Nagano")
+	naEW3 := e.NetworkAware("EW3")
+	cfg := websim.DefaultConfig()
+	cfg.CacheBytes = 10 << 20
+	cfg.MinURLAccesses = 0
+
+	out, err := websim.SimulateMulti([]*cluster.Result{naNagano, naEW3}, cfg)
+	if err != nil {
+		e.fail(err)
+	}
+	t := &report.Table{
+		Title:   "Two origin servers sharing one per-cluster proxy fleet (10 MB, TTL 1h, PCV)",
+		Headers: []string{"origin", "requests", "hit ratio", "byte hit ratio"},
+	}
+	for _, s := range out.Servers {
+		t.AddRow(s.Name, report.FmtInt(s.Requests),
+			report.FmtPct(s.HitRatio), report.FmtPct(s.ByteHitRatio))
+	}
+	t.AddRow("(overall)", report.FmtInt(out.Requests),
+		report.FmtPct(out.HitRatio), report.FmtPct(out.ByteHitRatio))
+	fmt.Println(t)
+	fmt.Printf("shared fleet: %s proxies serve both origins\n", report.FmtInt(len(out.Proxies)))
+	fmt.Println("paper: \"we can also simulate multiple servers and multiple proxies by")
+	fmt.Println("merging more server logs collected at the same time\"")
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/bgpsim"
+	"github.com/netaware/netcluster/internal/report"
+)
+
+func init() {
+	register("fig1", "Prefix-length distribution of a vantage table (histogram + 4-day series)", runFig1)
+	register("tab1", "The collection of routing tables (sizes and comments)", runTab1)
+	register("tab2", "An example snapshot of a BGP routing table", runTab2)
+}
+
+// maeWest locates the MAE-WEST view config, the vantage Figure 1 uses.
+func maeWest() bgpsim.ViewConfig {
+	for _, vc := range bgpsim.StandardViews() {
+		if vc.Name == "MAE-WEST" {
+			return vc
+		}
+	}
+	panic("MAE-WEST missing from standard views")
+}
+
+func runFig1(e *env) {
+	sim := e.Sim()
+	vc := maeWest()
+
+	// (a) histogram of prefix lengths on day 0.
+	day0 := sim.View(vc, 0)
+	hist := bgp.SnapshotPrefixLengthHistogram(day0)
+	var labels []string
+	var counts []int
+	for l := 8; l <= 30; l++ {
+		if hist[l] == 0 {
+			continue
+		}
+		labels = append(labels, "/"+strconv.Itoa(l))
+		counts = append(counts, hist[l])
+	}
+	fmt.Println(report.Histogram("Figure 1(a): prefix lengths, MAE-WEST day 0", labels, counts, 50))
+
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	fmt.Printf("\n/24 share: %s of %s prefixes (paper: ~50%%)\n\n",
+		report.FmtPct(float64(hist[24])/float64(total)), report.FmtInt(total))
+
+	// (b) distribution over four consecutive days.
+	t := &report.Table{
+		Title:   "Figure 1(b): prefix-length distribution over four days (MAE-WEST)",
+		Headers: append([]string{"day"}, labels...),
+	}
+	for day := 0; day < 4; day++ {
+		h := bgp.SnapshotPrefixLengthHistogram(sim.View(vc, day))
+		row := []interface{}{strconv.Itoa(day)}
+		for l := 8; l <= 30; l++ {
+			if hist[l] == 0 {
+				continue
+			}
+			row = append(row, report.FmtInt(h[l]))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Println(t)
+}
+
+func runTab1(e *env) {
+	coll := e.Collection()
+	t := &report.Table{
+		Title:   "Table 1: our collection of routing tables",
+		Headers: []string{"Name", "Date", "Entries", "Kind", "Comments"},
+	}
+	for _, v := range coll.Views {
+		t.AddRow(v.Name, v.Date, report.FmtInt(len(v.PrefixSet())), "BGP", v.Comment)
+	}
+	for _, r := range coll.Registries {
+		t.AddRow(r.Name, r.Date, report.FmtInt(len(r.PrefixSet())), "netdump", r.Comment)
+	}
+	fmt.Println(t)
+
+	m := e.Merged()
+	fmt.Printf("Merged unique prefixes: %s BGP + %s registry (paper: 391,497 total)\n",
+		report.FmtInt(m.NumPrimary()), report.FmtInt(m.NumSecondary()))
+}
+
+func runTab2(e *env) {
+	sim := e.Sim()
+	var vbns bgpsim.ViewConfig
+	for _, vc := range bgpsim.StandardViews() {
+		if vc.Name == "VBNS" {
+			vbns = vc
+		}
+	}
+	snap := sim.View(vbns, 0)
+	t := &report.Table{
+		Title:   "Table 2: an example snapshot of a BGP routing table (VBNS)",
+		Headers: []string{"Prefix", "Prefix description", "Next hop", "AS path", "Peer AS description"},
+	}
+	n := len(snap.Entries)
+	if n > 8 {
+		n = 8
+	}
+	for _, entry := range snap.Entries[:n] {
+		t.AddRow(entry.Prefix.String(), entry.Description, entry.NextHop,
+			entry.ASPathString(), entry.PeerDesc)
+	}
+	fmt.Println(t)
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation from the synthetic substrate. Each experiment id matches the
+// per-experiment index in DESIGN.md:
+//
+//	experiments -list
+//	experiments fig3 fig7 tab3
+//	experiments -scale 0.2 all
+//
+// Scale proportionally shrinks the log populations (1.0 = the paper's
+// published counts); distributional shapes do not depend on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(*env)
+}
+
+var registry []experiment
+
+func register(id, title string, run func(*env)) {
+	registry = append(registry, experiment{id, title, run})
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "log population scale (1.0 = paper scale)")
+	seed := flag.Int64("seed", 1, "world generation seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-14s %s\n", e.id, e.title)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-scale f] [-seed n] <id>... | all | -list")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = ids[:0]
+		for _, e := range registry {
+			ids = append(ids, e.id)
+		}
+	}
+	byID := map[string]experiment{}
+	for _, e := range registry {
+		byID[e.id] = e
+	}
+	sort.Strings(ids)
+	e := newEnv(*scale, *seed)
+	for _, id := range ids {
+		exp, ok := byID[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Printf("\n######## %s — %s\n\n", exp.id, exp.title)
+		exp.run(e)
+		fmt.Printf("\n[%s completed in %v]\n", exp.id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryWellFormed(t *testing.T) {
+	if len(registry) < 20 {
+		t.Fatalf("registry has only %d experiments", len(registry))
+	}
+	seen := map[string]bool{}
+	for _, e := range registry {
+		if e.id == "" || e.title == "" || e.run == nil {
+			t.Errorf("malformed experiment %+v", e)
+		}
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if strings.ContainsAny(e.id, " \t") {
+			t.Errorf("experiment id %q contains whitespace", e.id)
+		}
+	}
+	// Every paper table and figure has a registered regenerator.
+	for _, id := range []string{
+		"fig1", "tab1", "tab2", "fig3", "fig4", "fig5", "fig6", "tab3",
+		"fig7", "tab4", "tab5", "fig9", "fig10", "fig11", "fig12",
+		"coverage", "traceopt", "selfcorrect", "sessions", "servercluster",
+		"netclusters", "placement", "multiserver", "detect",
+	} {
+		if !seen[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestStandardViewHelpers(t *testing.T) {
+	if maeWest().Name != "MAE-WEST" {
+		t.Error("maeWest misresolved")
+	}
+	if aadsView().Name != "AADS" {
+		t.Error("aadsView misresolved")
+	}
+}
+
+func TestScaledInt(t *testing.T) {
+	if got := scaledInt(1000, 0.5, 10); got != 500 {
+		t.Errorf("scaledInt = %d", got)
+	}
+	if got := scaledInt(1000, 0.001, 10); got != 10 {
+		t.Errorf("floor not applied: %d", got)
+	}
+}

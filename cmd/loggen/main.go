@@ -1,0 +1,97 @@
+// Command loggen generates a synthetic web server log in Common Log
+// Format over a synthetic Internet, using one of the paper's trace
+// profiles (Nagano, Apache, EW3, Sun).
+//
+//	loggen -profile Nagano -scale 0.05 -seed 1 > nagano.log
+//
+// The companion bgpgen tool, run with the same -seed and -ases, produces
+// routing tables whose prefixes cover exactly this log's clients.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+func main() {
+	profile := flag.String("profile", "Nagano", "trace profile: Nagano, Apache, EW3, Sun")
+	scale := flag.Float64("scale", 0.05, "population scale (1.0 = paper scale)")
+	seed := flag.Int64("seed", 1, "world seed (must match bgpgen for consistent prefixes)")
+	ases := flag.Int("ases", 0, "world AS count (default: sized to the profile)")
+	worldFile := flag.String("world", "", "load a worldgen-saved world instead of generating one")
+	flag.Parse()
+
+	var cfg weblog.GenConfig
+	switch *profile {
+	case "Nagano":
+		cfg = weblog.Nagano(*scale)
+	case "Apache":
+		cfg = weblog.Apache(*scale)
+	case "EW3":
+		cfg = weblog.EW3(*scale)
+	case "Sun":
+		cfg = weblog.Sun(*scale)
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+
+	var world *inet.Internet
+	if *worldFile != "" {
+		f, err := os.Open(*worldFile)
+		if err != nil {
+			fatal(err)
+		}
+		world, err = inet.ReadWorld(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		wcfg := inet.DefaultConfig()
+		wcfg.Seed = *seed
+		if *ases > 0 {
+			wcfg.NumASes = *ases
+		} else {
+			wcfg.NumASes = int(5600*(*scale)) + 300
+		}
+		var err error
+		world, err = inet.Generate(wcfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.NumNetworks > len(world.Networks) {
+		fatal(fmt.Errorf("profile needs %d networks, world has %d (raise -ases)",
+			cfg.NumNetworks, len(world.Networks)))
+	}
+	l, err := weblog.Generate(world, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	st := l.Stats()
+	fmt.Fprintf(os.Stderr, "loggen: %s: %d requests, %d clients, %d URLs, %v\n",
+		cfg.Name, st.Requests, st.UniqueClients, st.UniqueURLs, st.Duration)
+	for s := range l.Truth.Spiders {
+		fmt.Fprintf(os.Stderr, "loggen: planted spider %v\n", s)
+	}
+	for p := range l.Truth.Proxies {
+		fmt.Fprintf(os.Stderr, "loggen: planted proxy %v\n", p)
+	}
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	if err := weblog.WriteCLF(w, l); err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loggen: %v\n", err)
+	os.Exit(1)
+}

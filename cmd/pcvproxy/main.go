@@ -1,0 +1,66 @@
+// Command pcvproxy runs the caching proxy the paper proposes placing in
+// front of each client cluster: TTL-based freshness, If-Modified-Since
+// revalidation, piggyback cache validation, LRU eviction.
+//
+//	pcvproxy -origin http://origin.example:8080 -listen :3128 -ttl 1h -capacity 64
+//
+// Stats are served at /-/stats on the same listener (a path real origins
+// will not use).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/netaware/netcluster/internal/httpproxy"
+)
+
+func main() {
+	origin := flag.String("origin", "", "origin base URL, e.g. http://origin.example:8080 (required)")
+	listen := flag.String("listen", ":3128", "listen address")
+	ttl := flag.Duration("ttl", time.Hour, "freshness lifetime (the paper's default: 1h)")
+	capacity := flag.Int64("capacity", 64, "cache capacity in MB; 0 = unbounded")
+	pcv := flag.Bool("pcv", true, "piggyback validation of expired entries on origin contacts")
+	sweep := flag.Duration("sweep", time.Minute, "interval between expiry sweeps")
+	flag.Parse()
+
+	if *origin == "" {
+		fmt.Fprintln(os.Stderr, "pcvproxy: -origin is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	proxy, err := httpproxy.New(*origin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcvproxy: %v\n", err)
+		os.Exit(1)
+	}
+	proxy.TTL = *ttl
+	proxy.Capacity = *capacity << 20
+	proxy.PCV = *pcv
+
+	go func() {
+		ticker := time.NewTicker(*sweep)
+		defer ticker.Stop()
+		for range ticker.C {
+			proxy.Sweep()
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/-/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(proxy.Stats())
+	})
+	mux.Handle("/", proxy)
+
+	fmt.Fprintf(os.Stderr, "pcvproxy: caching %s on %s (ttl %v, capacity %d MB, pcv %v)\n",
+		*origin, *listen, *ttl, *capacity, *pcv)
+	if err := http.ListenAndServe(*listen, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "pcvproxy: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,157 @@
+// Command tabletool inspects, diffs, merges and aggregates routing-table
+// snapshot files — the operational side of working with the paper's
+// inputs.
+//
+//	tabletool stats aads.txt mae-east.txt     per-file sizes + length histograms
+//	tabletool diff day0.txt day14.txt         withdrawn/announced/common (BGP dynamics)
+//	tabletool merge *.txt                     union size and per-source contributions
+//	tabletool aggregate aads.txt              CIDR aggregation compression ratio
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, files := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "stats":
+		cmdStats(files)
+	case "diff":
+		if len(files) != 2 {
+			fatal(fmt.Errorf("diff needs exactly two files"))
+		}
+		cmdDiff(files[0], files[1])
+	case "merge":
+		cmdMerge(files)
+	case "aggregate":
+		if len(files) != 1 {
+			fatal(fmt.Errorf("aggregate needs exactly one file"))
+		}
+		cmdAggregate(files[0])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tabletool stats|diff|merge|aggregate <file>...")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tabletool: %v\n", err)
+	os.Exit(1)
+}
+
+func load(path string) *bgp.Snapshot {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	s, err := bgp.ReadSnapshot(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if s.Name == "" {
+		s.Name = path
+	}
+	return s
+}
+
+func cmdStats(files []string) {
+	for _, path := range files {
+		s := load(path)
+		hist := bgp.SnapshotPrefixLengthHistogram(s)
+		total := 0
+		var labels []string
+		var counts []int
+		for l := 0; l <= 32; l++ {
+			if hist[l] == 0 {
+				continue
+			}
+			total += hist[l]
+			labels = append(labels, "/"+strconv.Itoa(l))
+			counts = append(counts, hist[l])
+		}
+		fmt.Printf("%s (%s, %s): %s unique prefixes\n", s.Name, s.Kind, s.Date, report.FmtInt(total))
+		fmt.Println(report.Histogram("", labels, counts, 40))
+	}
+}
+
+func cmdDiff(aPath, bPath string) {
+	a, b := load(aPath), load(bPath)
+	aSet, bSet := a.PrefixSet(), b.PrefixSet()
+	onlyA, onlyB, common := 0, 0, 0
+	for p := range aSet {
+		if _, ok := bSet[p]; ok {
+			common++
+		} else {
+			onlyA++
+		}
+	}
+	for p := range bSet {
+		if _, ok := aSet[p]; !ok {
+			onlyB++
+		}
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("diff %s -> %s", a.Name, b.Name),
+		Headers: []string{"set", "prefixes"},
+	}
+	t.AddRow("common", report.FmtInt(common))
+	t.AddRow("withdrawn (only in "+a.Name+")", report.FmtInt(onlyA))
+	t.AddRow("announced (only in "+b.Name+")", report.FmtInt(onlyB))
+	t.AddRow("dynamic set (maximum effect)", report.FmtInt(onlyA+onlyB))
+	fmt.Println(t)
+	dyn := bgp.DynamicPrefixSet([]*bgp.Snapshot{a, b})
+	if len(dyn) != onlyA+onlyB {
+		fatal(fmt.Errorf("internal inconsistency: dynamic set %d vs %d", len(dyn), onlyA+onlyB))
+	}
+	frac := float64(len(dyn)) / float64(len(aSet))
+	fmt.Printf("churn: %s of %s's table (the paper's Table 4 metric)\n",
+		report.FmtPct(frac), a.Name)
+}
+
+func cmdMerge(files []string) {
+	m := bgp.NewMerged()
+	t := &report.Table{
+		Title:   "merge",
+		Headers: []string{"source", "kind", "prefixes", "new to union"},
+	}
+	seen := map[netutil.Prefix]struct{}{}
+	for _, path := range files {
+		s := load(path)
+		newCount := 0
+		for p := range s.PrefixSet() {
+			if _, dup := seen[p]; !dup {
+				seen[p] = struct{}{}
+				newCount++
+			}
+		}
+		m.Add(s)
+		t.AddRow(s.Name, s.Kind.String(), report.FmtInt(len(s.PrefixSet())), report.FmtInt(newCount))
+	}
+	fmt.Println(t)
+	fmt.Printf("union: %s unique prefixes (%s BGP-sourced, %s registry-sourced)\n",
+		report.FmtInt(len(seen)), report.FmtInt(m.NumPrimary()), report.FmtInt(m.NumSecondary()))
+}
+
+func cmdAggregate(path string) {
+	s := load(path)
+	before := bgp.SortedPrefixes(s)
+	after := bgp.Aggregate(before)
+	fmt.Printf("%s: %s prefixes -> %s after CIDR aggregation (%s compression)\n",
+		s.Name, report.FmtInt(len(before)), report.FmtInt(len(after)),
+		report.FmtPct(1-float64(len(after))/float64(len(before))))
+}

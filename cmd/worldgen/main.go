@@ -1,0 +1,56 @@
+// Command worldgen generates a synthetic Internet and saves it, so that
+// loggen, bgpgen and custom tooling can operate on one shared, exact
+// ground truth instead of relying on matching generation flags.
+//
+//	worldgen -scale 0.25 -seed 1 -o world.txt
+//	loggen -world world.txt -profile Nagano > nagano.log
+//	bgpgen -world world.txt -all -dir tables/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/netaware/netcluster/internal/inet"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "world scale (sizes the AS population)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	ases := flag.Int("ases", 0, "explicit AS count (overrides -scale)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	cfg := inet.DefaultConfig()
+	cfg.Seed = *seed
+	if *ases > 0 {
+		cfg.NumASes = *ases
+	} else {
+		cfg.NumASes = int(5600*(*scale)) + 300
+	}
+	world, err := inet.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := inet.WriteWorld(w, world); err != nil {
+		fatal(err)
+	}
+	st := world.Stats()
+	fmt.Fprintf(os.Stderr, "worldgen: %d ASes, %d networks, %d host capacity\n",
+		st.ASes, st.Networks, st.HostsCapacity)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
+	os.Exit(1)
+}

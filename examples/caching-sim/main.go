@@ -1,0 +1,74 @@
+// Web caching simulation: reproduce the paper's Figure 11 experiment in
+// miniature — sweep per-cluster proxy cache sizes and show how the simple
+// /24 clustering under-estimates the benefit of proxy caching compared to
+// network-aware clustering.
+//
+//	go run ./examples/caching-sim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	netcluster "github.com/netaware/netcluster"
+)
+
+func main() {
+	wcfg := netcluster.DefaultWorldConfig()
+	wcfg.NumASes = 600
+	world, err := netcluster.GenerateWorld(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := netcluster.NewBGPSim(world, netcluster.DefaultBGPSimConfig())
+	table := netcluster.CollectAndMerge(sim)
+
+	accessLog, err := netcluster.GenerateLog(world, netcluster.NaganoProfile(0.02))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	na := netcluster.ClusterLog(accessLog, netcluster.NetworkAware{Table: table})
+	si := netcluster.ClusterLog(accessLog, netcluster.Simple{})
+	fmt.Printf("network-aware: %d clusters | simple: %d clusters\n\n",
+		len(na.Clusters), len(si.Clusters))
+
+	// Sweep cache sizes as in Figure 11 (100 KB – 100 MB per proxy, 1 h
+	// TTL, piggyback cache validation, LRU replacement).
+	sizes := []int64{100 << 10, 1 << 20, 10 << 20, 100 << 20}
+	cfg := netcluster.DefaultSimConfig()
+	naOut := netcluster.SimulateSweep(na, cfg, sizes)
+	siOut := netcluster.SimulateSweep(si, cfg, sizes)
+
+	fmt.Printf("%-10s %22s %22s\n", "", "hit ratio", "byte hit ratio")
+	fmt.Printf("%-10s %11s %10s %11s %10s\n", "cache", "net-aware", "simple", "net-aware", "simple")
+	label := func(b int64) string {
+		if b >= 1<<20 {
+			return fmt.Sprintf("%d MB", b>>20)
+		}
+		return fmt.Sprintf("%d KB", b>>10)
+	}
+	for i, s := range sizes {
+		fmt.Printf("%-10s %10.1f%% %9.1f%% %10.1f%% %9.1f%%\n",
+			label(s),
+			naOut[i].HitRatio*100, siOut[i].HitRatio*100,
+			naOut[i].ByteHitRatio*100, siOut[i].ByteHitRatio*100)
+	}
+
+	last := len(sizes) - 1
+	fmt.Printf("\nat %s the simple approach under-reports the hit ratio by %.1f points\n",
+		label(sizes[last]), (naOut[last].HitRatio-siOut[last].HitRatio)*100)
+	fmt.Println("(the paper observes ~10% — fragmented /24 clusters prevent cache sharing)")
+
+	// Per-proxy view with infinite caches (Figure 12): the busiest proxies.
+	cfg.CacheBytes = 0
+	out := netcluster.Simulate(na, cfg)
+	fmt.Println("\nbusiest proxies with infinite caches:")
+	for i, p := range out.Proxies {
+		if i == 6 {
+			break
+		}
+		fmt.Printf("  %-18v %7d requests  %5.1f%% hits  %5.1f%% byte hits\n",
+			p.Prefix, p.Requests, p.Stats.HitRatio()*100, p.Stats.ByteHitRatio()*100)
+	}
+}

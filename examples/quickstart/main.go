@@ -1,0 +1,68 @@
+// Quickstart: cluster the clients of a web server log with the
+// network-aware method and compare against the simple /24 baseline.
+//
+// Everything here uses only the public netcluster API. A synthetic world
+// stands in for the Internet: it provides both the BGP routing tables and
+// the server log, exactly like the experiment pipeline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	netcluster "github.com/netaware/netcluster"
+)
+
+func main() {
+	// 1. A world: registries, ASes, networks, hosts. Deterministic in the
+	// seed, so this program always prints the same numbers.
+	wcfg := netcluster.DefaultWorldConfig()
+	wcfg.NumASes = 600
+	world, err := netcluster.GenerateWorld(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Routing tables: twelve BGP vantage views plus two registry dumps,
+	// merged into one longest-prefix-match table.
+	sim := netcluster.NewBGPSim(world, netcluster.DefaultBGPSimConfig())
+	table := netcluster.CollectAndMerge(sim)
+
+	// 3. A server log shaped like the paper's Nagano trace (Winter
+	// Olympics 1998), at 2% of its population.
+	logCfg := netcluster.NaganoProfile(0.02)
+	weblog, err := netcluster.GenerateLog(world, logCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := weblog.Stats()
+	fmt.Printf("log: %d requests from %d clients over %d URLs\n",
+		st.Requests, st.UniqueClients, st.UniqueURLs)
+
+	// 4. Cluster with both methods.
+	na := netcluster.ClusterLog(weblog, netcluster.NetworkAware{Table: table})
+	si := netcluster.ClusterLog(weblog, netcluster.Simple{})
+
+	fmt.Printf("network-aware: %d clusters, %.2f%% of clients clusterable\n",
+		len(na.Clusters), na.Coverage()*100)
+	fmt.Printf("simple (/24):  %d clusters (always 100%% coverage, often wrong)\n",
+		len(si.Clusters))
+
+	// 5. The busiest clusters are where a CDN would place proxies.
+	fmt.Println("\nbusiest network-aware clusters:")
+	for i, c := range na.ByRequestsDesc() {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-18v %5d clients %8d requests %6d URLs\n",
+			c.Prefix, c.NumClients(), c.Requests, c.NumURLs())
+	}
+
+	// 6. The thresholding step: the few clusters that cover 70% of all
+	// requests (Section 4.1.3 of the paper).
+	th := na.ThresholdBusy(0.70)
+	fmt.Printf("\n%d of %d clusters cover 70%% of requests (smallest issues %d)\n",
+		len(th.Busy), len(na.Clusters), th.Threshold)
+}

@@ -1,0 +1,66 @@
+// Spider and proxy detection: reproduce Section 4.1.2 on a Sun-style log
+// with a planted spider and proxy, then verify the detector's findings
+// against the generator's ground truth.
+//
+//	go run ./examples/spider-detection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	netcluster "github.com/netaware/netcluster"
+)
+
+func main() {
+	wcfg := netcluster.DefaultWorldConfig()
+	wcfg.NumASes = 500
+	world, err := netcluster.GenerateWorld(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Sun profile plants one spider (sweeping a slice of the URL
+	// space at machine pace) and one proxy (echoing the site's diurnal
+	// rhythm under many User-Agent strings).
+	accessLog, err := netcluster.GenerateLog(world, netcluster.SunProfile(0.02))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ground truth: %d spider(s), %d prox(ies) planted\n",
+		len(accessLog.Truth.Spiders), len(accessLog.Truth.Proxies))
+
+	res := netcluster.ClusterLog(accessLog, netcluster.Simple{})
+	findings := netcluster.DetectRobots(res, netcluster.DefaultDetectConfig())
+
+	fmt.Printf("\n%-16s %-7s %-10s %9s %6s %6s %7s %5s\n",
+		"client", "kind", "confidence", "requests", "URLs", "corr", "agents", "truth")
+	for _, f := range findings {
+		truth := "-"
+		if accessLog.Truth.Spiders[f.Client] {
+			truth = "yes"
+		}
+		if accessLog.Truth.Proxies[f.Client] {
+			truth = "yes"
+		}
+		fmt.Printf("%-16v %-7v %-10v %9d %6d %6.2f %7d %5s\n",
+			f.Client, f.Kind, f.Confidence, f.Requests, f.URLs, f.Correlation, f.Agents, truth)
+	}
+
+	// Why it works: compare the arrival-pattern evidence the detector used.
+	fmt.Println("\ninterpretation:")
+	fmt.Println(" - spiders run on machine schedules: near-zero correlation with the site's day/night cycle")
+	fmt.Println(" - proxies aggregate people: high correlation, many distinct User-Agent strings")
+	fmt.Println(" - heavy single users look like proxies but keep one agent string: reported as 'suspected'")
+
+	// Cleaning the log for a caching study removes confirmed findings.
+	confirmed := map[netcluster.Addr]bool{}
+	for _, f := range findings {
+		if f.Confidence == netcluster.ConfidenceConfirmed {
+			confirmed[f.Client] = true
+		}
+	}
+	clean := netcluster.Eliminate(accessLog, confirmed)
+	fmt.Printf("\neliminated %d confirmed clients: %d requests -> %d\n",
+		len(confirmed), len(accessLog.Requests), len(clean.Requests))
+}

@@ -1,0 +1,3 @@
+module github.com/netaware/netcluster
+
+go 1.22

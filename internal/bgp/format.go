@@ -1,0 +1,253 @@
+package bgp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// The three textual prefix/netmask formats found across 1999-era routing
+// table and network dumps (Section 3.1.2 of the paper):
+//
+//	(i)   x1.x2.x3.x4/k1.k2.k3.k4 — dotted prefix and dotted netmask, with
+//	      zero octets dropped at the tail of either side ("12.65.128/255.255.224"
+//	      means 12.65.128.0/255.255.224.0);
+//	(ii)  x1.x2.x3.x4/l — CIDR, the library's canonical standard format;
+//	(iii) x1.x2.x3.0 — a bare address with no mask at all, an abbreviated
+//	      classful block whose mask length is implied by the address class
+//	      (8, 16 or 24 for Class A, B, C).
+//
+// ParsePrefixEntry auto-detects the format, so a merged ingest loop does not
+// need per-source configuration.
+
+// PrefixFormat selects the textual format used when writing snapshots.
+type PrefixFormat int
+
+const (
+	// FormatCIDR writes "a.b.c.d/len" (the unified standard format).
+	FormatCIDR PrefixFormat = iota
+	// FormatNetmask writes "a.b.c.d/m1.m2.m3.m4" with trailing zero octets
+	// dropped on both sides, imitating the terser dump style.
+	FormatNetmask
+	// FormatClassful writes the bare network address; only representable
+	// when the prefix length equals the address's classful length.
+	FormatClassful
+)
+
+// padDotted parses a dotted decimal string of 1..4 components, padding
+// missing trailing components with zeros: "12.65.128" -> 12.65.128.0.
+func padDotted(s string) (netutil.Addr, error) {
+	if s == "" {
+		return 0, fmt.Errorf("bgp: empty dotted string")
+	}
+	n := strings.Count(s, ".")
+	if n > 3 {
+		return 0, fmt.Errorf("bgp: too many components in %q", s)
+	}
+	padded := s + strings.Repeat(".0", 3-n)
+	return netutil.ParseAddr(padded)
+}
+
+// ParsePrefixEntry parses a single prefix field in any of the three formats
+// and returns its canonical Prefix. Detection rules:
+//
+//   - no '/' at all → classful abbreviation (format iii);
+//   - '/' with a right-hand side that is an integer 0..32 → CIDR (format ii);
+//   - otherwise the right-hand side is read as a (possibly tail-truncated)
+//     dotted netmask (format i); non-contiguous masks are rejected.
+//
+// The single-integer ambiguity between a CIDR length and a one-octet mask
+// like "255" (= 255.0.0.0) is resolved in favour of CIDR for values ≤ 32,
+// matching how every route viewer prints; one-octet netmasks above 32
+// ("128", "192", …, "255") are still accepted as masks.
+func ParsePrefixEntry(s string) (netutil.Prefix, error) {
+	s = strings.TrimSpace(s)
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		// Format (iii): abbreviated classful block.
+		addr, err := padDotted(s)
+		if err != nil {
+			return netutil.Prefix{}, fmt.Errorf("bgp: bad classful entry %q: %w", s, err)
+		}
+		bits := addr.ClassfulPrefixLen()
+		if bits == 32 && addr.Class() != 'A' && addr.Class() != 'B' && addr.Class() != 'C' {
+			return netutil.Prefix{}, fmt.Errorf("bgp: classful entry %q is not a Class A/B/C address", s)
+		}
+		return netutil.PrefixFrom(addr, bits), nil
+	}
+	lhs, rhs := s[:slash], s[slash+1:]
+	addr, err := padDotted(lhs)
+	if err != nil {
+		return netutil.Prefix{}, fmt.Errorf("bgp: bad prefix in %q: %w", s, err)
+	}
+	if !strings.Contains(rhs, ".") {
+		if v, err := strconv.Atoi(rhs); err == nil && v >= 0 && v <= 32 {
+			// Format (ii): CIDR length.
+			return netutil.PrefixFrom(addr, v), nil
+		}
+	}
+	// Format (i): dotted netmask, possibly tail-truncated.
+	mask, err := padDotted(rhs)
+	if err != nil {
+		return netutil.Prefix{}, fmt.Errorf("bgp: bad netmask in %q: %w", s, err)
+	}
+	bits, err := netutil.MaskLen(mask)
+	if err != nil {
+		return netutil.Prefix{}, fmt.Errorf("bgp: bad netmask in %q: %w", s, err)
+	}
+	return netutil.PrefixFrom(addr, bits), nil
+}
+
+// dropTailZeros renders addr dotted with trailing ".0" octets removed, but
+// always keeps at least the first octet.
+func dropTailZeros(addr netutil.Addr) string {
+	o := addr.Octets()
+	keep := 4
+	for keep > 1 && o[keep-1] == 0 {
+		keep--
+	}
+	parts := make([]string, keep)
+	for i := 0; i < keep; i++ {
+		parts[i] = strconv.Itoa(int(o[i]))
+	}
+	return strings.Join(parts, ".")
+}
+
+// FormatPrefixEntry renders p in the requested format. FormatClassful
+// returns an error when p's length does not equal its address's classful
+// length, since the abbreviation cannot express it.
+func FormatPrefixEntry(p netutil.Prefix, f PrefixFormat) (string, error) {
+	switch f {
+	case FormatCIDR:
+		return p.String(), nil
+	case FormatNetmask:
+		mask := netutil.Addr(netutil.MaskOf(p.Bits()))
+		return dropTailZeros(p.Addr()) + "/" + dropTailZeros(mask), nil
+	case FormatClassful:
+		if p.Bits() != p.Addr().ClassfulPrefixLen() {
+			return "", fmt.Errorf("bgp: %v is not a classful block", p)
+		}
+		return p.Addr().String(), nil
+	default:
+		return "", fmt.Errorf("bgp: unknown format %d", int(f))
+	}
+}
+
+// Snapshot file layout: a minimal line-oriented dump format used by the
+// bgpgen tool and by round-trip tests. Header lines start with "#":
+//
+//	# name: AADS
+//	# kind: bgp | netdump
+//	# date: 12/7/1999
+//	# comment: BGP routing table snapshots updated every 2 hours
+//
+// Each body line holds pipe-separated fields, of which only the first is
+// mandatory:
+//
+//	prefix|description|next-hop|as path (space-separated)|peer description
+//
+// The prefix field may use any of the three formats above, per entry.
+
+// WriteSnapshot serializes s using format f for every prefix. Entries whose
+// prefix is not representable in f (possible only for FormatClassful) fall
+// back to FormatCIDR, mirroring real dumps that mix notations.
+func WriteSnapshot(w io.Writer, s *Snapshot, f PrefixFormat) error {
+	bw := bufio.NewWriter(w)
+	kind := "bgp"
+	if s.Kind == SourceNetworkDump {
+		kind = "netdump"
+	}
+	fmt.Fprintf(bw, "# name: %s\n# kind: %s\n# date: %s\n", s.Name, kind, s.Date)
+	if s.Comment != "" {
+		fmt.Fprintf(bw, "# comment: %s\n", s.Comment)
+	}
+	for _, e := range s.Entries {
+		pfx, err := FormatPrefixEntry(e.Prefix, f)
+		if err != nil {
+			pfx, _ = FormatPrefixEntry(e.Prefix, FormatCIDR)
+		}
+		path := make([]string, len(e.ASPath))
+		for i, as := range e.ASPath {
+			path[i] = strconv.FormatUint(uint64(as), 10)
+		}
+		fmt.Fprintf(bw, "%s|%s|%s|%s|%s\n", pfx, e.Description, e.NextHop, strings.Join(path, " "), e.PeerDesc)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot parses a snapshot previously written by WriteSnapshot (or
+// hand-assembled in the same layout). Unknown header keys are ignored;
+// malformed body lines abort with a line-numbered error rather than being
+// silently dropped, because a truncated routing table would quietly skew
+// every downstream clustering result.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	s := &Snapshot{Kind: SourceBGP}
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kv := strings.SplitN(strings.TrimSpace(line[1:]), ":", 2)
+			if len(kv) != 2 {
+				continue
+			}
+			key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+			switch key {
+			case "name":
+				s.Name = val
+			case "date":
+				s.Date = val
+			case "comment":
+				s.Comment = val
+			case "kind":
+				switch val {
+				case "bgp":
+					s.Kind = SourceBGP
+				case "netdump":
+					s.Kind = SourceNetworkDump
+				default:
+					return nil, fmt.Errorf("bgp: line %d: unknown kind %q", lineno, val)
+				}
+			}
+			continue
+		}
+		fields := strings.Split(line, "|")
+		p, err := ParsePrefixEntry(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %w", lineno, err)
+		}
+		e := Entry{Prefix: p}
+		if len(fields) > 1 {
+			e.Description = fields[1]
+		}
+		if len(fields) > 2 {
+			e.NextHop = fields[2]
+		}
+		if len(fields) > 3 && strings.TrimSpace(fields[3]) != "" {
+			for _, tok := range strings.Fields(fields[3]) {
+				as, err := strconv.ParseUint(tok, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("bgp: line %d: bad AS %q", lineno, tok)
+				}
+				e.ASPath = append(e.ASPath, uint32(as))
+			}
+		}
+		if len(fields) > 4 {
+			e.PeerDesc = fields[4]
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bgp: reading snapshot: %w", err)
+	}
+	return s, nil
+}

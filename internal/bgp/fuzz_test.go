@@ -1,0 +1,56 @@
+package bgp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePrefixEntry asserts the three-notation parser never panics and
+// that anything it accepts survives a canonical round trip.
+func FuzzParsePrefixEntry(f *testing.F) {
+	for _, seed := range []string{
+		"12.65.128.0/19",
+		"12.65.128/255.255.224",
+		"18.0.0.0",
+		"10/255",
+		"0.0.0.0/0",
+		"1.2.3.4/32",
+		"151.198.194.16/255.255.255.240",
+		"", "/", "a.b.c.d/e", "999.1.1.1", "1.2.3.4/33", "224.0.0.1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefixEntry(s)
+		if err != nil {
+			return
+		}
+		// Accepted input: the canonical form must re-parse to the same
+		// prefix in both CIDR and netmask notations.
+		for _, format := range []PrefixFormat{FormatCIDR, FormatNetmask} {
+			out, err := FormatPrefixEntry(p, format)
+			if err != nil {
+				t.Fatalf("format %d of accepted %q (=%v): %v", format, s, p, err)
+			}
+			back, err := ParsePrefixEntry(out)
+			if err != nil || back != p {
+				t.Fatalf("round trip %q -> %v -> %q -> %v (%v)", s, p, out, back, err)
+			}
+		}
+	})
+}
+
+// FuzzReadSnapshot asserts the snapshot reader never panics and errors
+// cleanly on malformed input.
+func FuzzReadSnapshot(f *testing.F) {
+	f.Add("# name: A\n# kind: bgp\n10.0.0.0/8|x|y|1 2|z\n")
+	f.Add("18.0.0.0\n128.32\n")
+	f.Add("# kind: netdump\n")
+	f.Add("|||||\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		snap, err := ReadSnapshot(strings.NewReader(s))
+		if err == nil && snap == nil {
+			t.Fatal("nil snapshot without error")
+		}
+	})
+}

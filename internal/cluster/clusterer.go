@@ -1,0 +1,91 @@
+// Package cluster implements the paper's primary contribution: grouping
+// web-client IP addresses into clusters — sets of clients that are
+// topologically close and likely under common administrative control.
+//
+// Three cluster identification methods are provided:
+//
+//   - NetworkAware (the paper's method, Section 3.2): longest-prefix match
+//     of each client address against a merged BGP prefix/netmask table;
+//     clients with the same longest matched prefix form one cluster.
+//   - Simple (the Section 2 baseline): clients sharing the first 24 bits
+//     form a cluster, i.e. an assumed /24 everywhere.
+//   - Classful (the alternate baseline of Section 2): clusters are the
+//     address-class networks — /8 for Class A, /16 for B, /24 for C.
+package cluster
+
+import (
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// Clusterer assigns a client address to the prefix identifying its
+// cluster. ok is false when the method cannot cluster the address (for the
+// network-aware method: no prefix in the table covers it).
+type Clusterer interface {
+	Cluster(addr netutil.Addr) (prefix netutil.Prefix, ok bool)
+	Name() string
+}
+
+// NetworkAware clusters through a merged routing table.
+type NetworkAware struct {
+	Table *bgp.Merged
+}
+
+// Cluster performs the longest-prefix match, preferring BGP-derived
+// prefixes over registry dumps (see bgp.Merged.Lookup).
+func (n NetworkAware) Cluster(addr netutil.Addr) (netutil.Prefix, bool) {
+	m, ok := n.Table.Lookup(addr)
+	return m.Prefix, ok
+}
+
+// Name implements Clusterer.
+func (NetworkAware) Name() string { return "network-aware" }
+
+// SourceOf reports which source class supplied the cluster prefix for
+// addr, for the "<1% via network dumps" accounting.
+func (n NetworkAware) SourceOf(addr netutil.Addr) (bgp.SourceKind, bool) {
+	m, ok := n.Table.Lookup(addr)
+	return m.Kind, ok
+}
+
+// Func adapts a closure to the Clusterer interface. The self-correction
+// stage uses it to re-cluster a log under a corrected assignment.
+type Func struct {
+	Fn    func(netutil.Addr) (netutil.Prefix, bool)
+	Label string
+}
+
+// Cluster implements Clusterer.
+func (f Func) Cluster(addr netutil.Addr) (netutil.Prefix, bool) { return f.Fn(addr) }
+
+// Name implements Clusterer.
+func (f Func) Name() string { return f.Label }
+
+// Simple is the first-24-bits baseline. It clusters every address.
+type Simple struct{}
+
+// Cluster implements Clusterer.
+func (Simple) Cluster(addr netutil.Addr) (netutil.Prefix, bool) {
+	return netutil.PrefixFrom(addr, 24), true
+}
+
+// Name implements Clusterer.
+func (Simple) Name() string { return "simple" }
+
+// Classful groups by address class: /8, /16 or /24 networks. Class D/E
+// addresses (multicast/reserved) are not clusterable — they are not
+// unicast client addresses, and assigning them a fake network would hide
+// log corruption.
+type Classful struct{}
+
+// Cluster implements Clusterer.
+func (Classful) Cluster(addr netutil.Addr) (netutil.Prefix, bool) {
+	bits := addr.ClassfulPrefixLen()
+	if bits == 32 {
+		return netutil.Prefix{}, false
+	}
+	return netutil.PrefixFrom(addr, bits), true
+}
+
+// Name implements Clusterer.
+func (Classful) Name() string { return "classful" }

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+func TestClusterStreamMatchesClusterLog(t *testing.T) {
+	// Serialize a small in-memory log, stream-cluster it, and compare
+	// against the in-memory clustering: every metric must agree.
+	l := logOf(
+		[2]string{"12.65.147.94", "/a"},
+		[2]string{"12.65.147.149", "/b"},
+		[2]string{"24.48.3.87", "/a"},
+		[2]string{"24.48.2.166", "/a"},
+		[2]string{"99.99.99.99", "/c"}, // unclusterable
+	)
+	var buf bytes.Buffer
+	if err := weblog.WriteCLF(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	m := mergedTable("12.65.128.0/19", "24.48.2.0/23")
+	mem := ClusterLog(l, NetworkAware{Table: m})
+	st, err := ClusterStream(&buf, NetworkAware{Table: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Clusters) != len(mem.Clusters) {
+		t.Fatalf("cluster counts: stream %d vs memory %d", len(st.Clusters), len(mem.Clusters))
+	}
+	for _, mc := range mem.Clusters {
+		sc, ok := st.Clusters[mc.Prefix]
+		if !ok {
+			t.Fatalf("stream missing cluster %v", mc.Prefix)
+		}
+		if sc.NumClients() != mc.NumClients() || sc.Requests != mc.Requests ||
+			sc.Bytes != mc.Bytes || sc.NumURLs() != mc.NumURLs() {
+			t.Fatalf("cluster %v differs: stream %+v vs memory clients=%d req=%d bytes=%d urls=%d",
+				mc.Prefix, sc, mc.NumClients(), mc.Requests, mc.Bytes, mc.NumURLs())
+		}
+	}
+	if len(st.Unclustered) != len(mem.Unclustered) {
+		t.Fatalf("unclustered: stream %d vs memory %d", len(st.Unclustered), len(mem.Unclustered))
+	}
+	if st.TotalRequests != mem.TotalRequests {
+		t.Fatalf("totals: stream %d vs memory %d", st.TotalRequests, mem.TotalRequests)
+	}
+	if st.Coverage() != mem.Coverage() {
+		t.Fatalf("coverage: stream %g vs memory %g", st.Coverage(), mem.Coverage())
+	}
+}
+
+func TestClusterStreamSimple(t *testing.T) {
+	in := `1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 100
+1.2.3.5 - - [13/Feb/1998:06:15:05 +0000] "GET /b HTTP/1.0" 200 200
+9.8.7.6 - - [13/Feb/1998:06:15:06 +0000] "GET /a HTTP/1.0" 200 100
+`
+	res, err := ClusterStream(strings.NewReader(in), Simple{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	c, ok := res.Clusters[pfx("1.2.3.0/24")]
+	if !ok || c.NumClients() != 2 || c.Requests != 2 || c.Bytes != 300 {
+		t.Fatalf("cluster = %+v ok=%v", c, ok)
+	}
+	if res.Stats.Records != 3 || res.Stats.URLs != 2 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+}
+
+func TestClusterStreamError(t *testing.T) {
+	if _, err := ClusterStream(strings.NewReader("garbage\n"), Simple{}); err == nil {
+		t.Fatal("malformed stream must error")
+	}
+}
+
+func TestStreamCLFEarlyStop(t *testing.T) {
+	in := strings.Repeat("1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] \"GET /a HTTP/1.0\" 200 100\n", 10)
+	n := 0
+	st, err := weblog.StreamCLF(strings.NewReader(in), func(weblog.StreamRecord) bool {
+		n++
+		return n < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times after early stop", n)
+	}
+	if st.Records != 3 {
+		t.Fatalf("stats.Records = %d", st.Records)
+	}
+}
+
+func TestStreamCLFOutOfOrderClamped(t *testing.T) {
+	in := `1.2.3.4 - - [13/Feb/1998:06:15:10 +0000] "GET /a HTTP/1.0" 200 100
+1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "GET /a HTTP/1.0" 200 100
+`
+	var times []uint32
+	_, err := weblog.StreamCLF(strings.NewReader(in), func(r weblog.StreamRecord) bool {
+		times = append(times, r.Request.Time)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != 0 || times[1] != 0 {
+		t.Fatalf("out-of-order record not clamped: %v", times)
+	}
+}
+
+func TestStreamCLFInternedStringsStable(t *testing.T) {
+	// Records captured from the callback must stay valid after the stream
+	// advances (no aliasing of scanner buffers).
+	var lines strings.Builder
+	for i := 0; i < 500; i++ {
+		lines.WriteString("1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] \"GET /page")
+		lines.WriteString(strings.Repeat("x", i%37))
+		lines.WriteString(" HTTP/1.0\" 200 100\n")
+	}
+	var captured []weblog.StreamRecord
+	if _, err := weblog.StreamCLF(strings.NewReader(lines.String()), func(r weblog.StreamRecord) bool {
+		captured = append(captured, r)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range captured {
+		if !strings.HasPrefix(r.Path, "/page") {
+			t.Fatalf("captured path corrupted: %q", r.Path)
+		}
+	}
+}

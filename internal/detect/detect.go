@@ -1,0 +1,287 @@
+// Package detect identifies spiders and proxies among web clients from
+// per-cluster access patterns, the paper's Section 4.1.2:
+//
+//   - a spider issues a very large number of requests whose arrival times
+//     do not follow the site's diurnal pattern, sweeps many URLs, and
+//     dominates its cluster's request count (Figures 9(c) and 10);
+//   - a proxy also issues many requests, but its arrival pattern mirrors
+//     the whole site's (hidden clients behave like visible ones,
+//     Figure 9(b)) and, when the log carries User-Agent data, the agent
+//     field varies across its requests.
+//
+// Detection can never be perfect ("we have not found a solution guaranteed
+// to locate all proxies correctly"); the detector therefore returns scored
+// findings, and the experiments grade them against the generator's ground
+// truth.
+package detect
+
+import (
+	"sort"
+
+	"github.com/netaware/netcluster/internal/cluster"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/stats"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+// Kind classifies a finding.
+type Kind int
+
+const (
+	// Spider marks an indexing robot.
+	Spider Kind = iota
+	// Proxy marks a host forwarding for hidden clients.
+	Proxy
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Spider {
+		return "spider"
+	}
+	return "proxy"
+}
+
+// Confidence grades a finding. The paper never claims certainty for
+// proxies ("we suspect that the second client is a proxy"); the detector
+// reports Confirmed only when independent evidence (User-Agent diversity)
+// corroborates the access pattern, and Suspected when only volume and
+// cluster dominance point at the client.
+type Confidence int
+
+const (
+	// Suspected findings rest on access pattern and dominance alone.
+	Suspected Confidence = iota
+	// Confirmed findings carry corroborating evidence.
+	Confirmed
+)
+
+// String names the confidence level.
+func (c Confidence) String() string {
+	if c == Confirmed {
+		return "confirmed"
+	}
+	return "suspected"
+}
+
+// Finding is one suspected spider or proxy.
+type Finding struct {
+	Client     netutil.Addr
+	Cluster    *cluster.Cluster
+	Kind       Kind
+	Confidence Confidence
+
+	Requests    int
+	URLs        int     // distinct URLs the client accessed
+	Correlation float64 // arrival-pattern correlation with the whole site
+	Agents      int     // distinct User-Agent values
+	Dominance   float64 // client's share of its cluster's requests
+	// ThinkTime is the client's median inter-request gap in seconds. The
+	// paper: "the proxy may issue more requests and have a shorter 'think'
+	// time between requests than a client does".
+	ThinkTime float64
+}
+
+// Config tunes the detector. The zero value is unusable; use
+// DefaultConfig.
+type Config struct {
+	// Bins is the arrival-histogram resolution used for correlation.
+	Bins int
+	// MinShare is the minimum share of total log requests a client needs
+	// to be considered at all; spiders and proxies are by definition heavy
+	// hitters.
+	MinShare float64
+	// SpiderMaxCorrelation is the highest site-correlation a spider can
+	// have: spiders run on machine schedules, not human ones.
+	SpiderMaxCorrelation float64
+	// ProxyMinCorrelation is the lowest site-correlation a proxy can have:
+	// aggregated human traffic echoes the site's rhythm.
+	ProxyMinCorrelation float64
+	// ProxyMinAgents is the minimum distinct User-Agent count for the
+	// proxy verdict when agent data is present.
+	ProxyMinAgents int
+	// DominanceHint marks clients issuing at least this fraction of their
+	// cluster's requests; combined with other evidence it strengthens both
+	// verdicts (Figure 10's distribution).
+	DominanceHint float64
+}
+
+// DefaultConfig returns thresholds that reproduce the paper's examples.
+func DefaultConfig() Config {
+	return Config{
+		Bins:                 48,
+		MinShare:             0.004,
+		SpiderMaxCorrelation: 0.45,
+		ProxyMinCorrelation:  0.60,
+		ProxyMinAgents:       4,
+		DominanceHint:        0.90,
+	}
+}
+
+// Detect scans a clustering result for spiders and proxies. Findings come
+// back sorted by request count, heaviest first.
+func Detect(res *cluster.Result, cfg Config) []Finding {
+	l := res.Log
+	horizon := uint32(l.Duration.Seconds())
+	if horizon == 0 {
+		horizon = 1
+	}
+
+	// Site-wide arrival profile (Figure 9(a)).
+	siteTimes := make([]uint32, len(l.Requests))
+	for i := range l.Requests {
+		siteTimes[i] = l.Requests[i].Time
+	}
+	siteBins := stats.Bin(siteTimes, horizon, cfg.Bins)
+
+	minRequests := int(cfg.MinShare * float64(len(l.Requests)))
+	if minRequests < 1 {
+		minRequests = 1
+	}
+
+	// Collect per-client evidence only for heavy hitters.
+	type evidence struct {
+		times  []uint32
+		urls   map[int32]struct{}
+		agents map[uint16]struct{}
+	}
+	heavy := make(map[netutil.Addr]*evidence)
+	for _, cl := range res.Clusters {
+		for a, n := range cl.Clients {
+			if n >= minRequests {
+				heavy[a] = &evidence{urls: map[int32]struct{}{}, agents: map[uint16]struct{}{}}
+			}
+		}
+	}
+	if len(heavy) == 0 {
+		return nil
+	}
+	for i := range l.Requests {
+		r := &l.Requests[i]
+		ev, ok := heavy[r.Client]
+		if !ok {
+			continue
+		}
+		ev.times = append(ev.times, r.Time)
+		ev.urls[r.URL] = struct{}{}
+		ev.agents[r.Agent] = struct{}{}
+	}
+
+	var findings []Finding
+	for a, ev := range heavy {
+		cl, ok := res.ClusterOf(a)
+		if !ok {
+			continue
+		}
+		corr := stats.Pearson(stats.Bin(ev.times, horizon, cfg.Bins), siteBins)
+		f := Finding{
+			Client:      a,
+			Cluster:     cl,
+			Requests:    len(ev.times),
+			URLs:        len(ev.urls),
+			Correlation: corr,
+			Agents:      len(ev.agents),
+			Dominance:   float64(cl.Clients[a]) / float64(cl.Requests),
+			ThinkTime:   medianGap(ev.times),
+		}
+		switch {
+		case corr <= cfg.SpiderMaxCorrelation:
+			// Machine-scheduled arrivals: spider. URL breadth and cluster
+			// dominance corroborate but are not required — the paper's
+			// spider touched only 4% of the site's URLs.
+			f.Kind = Spider
+			f.Confidence = Confirmed
+			if f.Dominance < cfg.DominanceHint && f.Agents > 1 {
+				f.Confidence = Suspected
+			}
+			findings = append(findings, f)
+		case corr >= cfg.ProxyMinCorrelation && f.Agents >= cfg.ProxyMinAgents:
+			// Human-rhythm arrivals from many different browsers behind
+			// one address: a proxy, confirmed by the User-Agent field.
+			f.Kind = Proxy
+			f.Confidence = Confirmed
+			findings = append(findings, f)
+		case corr >= cfg.ProxyMinCorrelation && f.Dominance >= cfg.DominanceHint:
+			// A single busy client dominating its cluster with one agent
+			// string: possibly a proxy that strips or normalizes agents,
+			// possibly just a heavy user. The paper flags these as
+			// suspected proxies (its Nagano one-client 77,311-request
+			// cluster); without agent evidence the verdict stays tentative.
+			f.Kind = Proxy
+			f.Confidence = Suspected
+			findings = append(findings, f)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Requests != findings[j].Requests {
+			return findings[i].Requests > findings[j].Requests
+		}
+		return findings[i].Client < findings[j].Client
+	})
+	return findings
+}
+
+// medianGap computes the median inter-request interval of a client's
+// sorted arrival times; 0 when fewer than two requests.
+func medianGap(times []uint32) float64 {
+	if len(times) < 2 {
+		return 0
+	}
+	sorted := append([]uint32(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	gaps := make([]int, len(sorted)-1)
+	for i := 1; i < len(sorted); i++ {
+		gaps[i-1] = int(sorted[i] - sorted[i-1])
+	}
+	return stats.Summarize(gaps).Median
+}
+
+// RequestSkew returns the per-client request counts of a cluster in
+// descending order together with their Gini coefficient — the data behind
+// Figure 10 ("almost all the requests are issued by the spider").
+func RequestSkew(cl *cluster.Cluster) (counts []int, gini float64) {
+	counts = make([]int, 0, len(cl.Clients))
+	for _, n := range cl.Clients {
+		counts = append(counts, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	return counts, stats.Gini(counts)
+}
+
+// Eliminate returns a copy of the log without any requests from the given
+// clients — the paper's pre-caching cleanup ("first, we identify spiders
+// and eliminate them from server logs"). Resource and agent tables are
+// shared with the original.
+func Eliminate(l *weblog.Log, clients map[netutil.Addr]bool) *weblog.Log {
+	out := &weblog.Log{
+		Name:      l.Name + "-cleaned",
+		Start:     l.Start,
+		Duration:  l.Duration,
+		Resources: l.Resources,
+		Agents:    l.Agents,
+		Truth:     l.Truth,
+	}
+	out.Requests = make([]weblog.Request, 0, len(l.Requests))
+	for i := range l.Requests {
+		if !clients[l.Requests[i].Client] {
+			out.Requests = append(out.Requests, l.Requests[i])
+		}
+	}
+	return out
+}
+
+// FindingClients collects the clients of findings, optionally filtered by
+// kind, in a form Eliminate accepts.
+func FindingClients(fs []Finding, kinds ...Kind) map[netutil.Addr]bool {
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	out := map[netutil.Addr]bool{}
+	for _, f := range fs {
+		if len(kinds) == 0 || want[f.Kind] {
+			out[f.Client] = true
+		}
+	}
+	return out
+}

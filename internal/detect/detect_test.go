@@ -1,0 +1,264 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/netaware/netcluster/internal/cluster"
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+type fixture struct {
+	world  *inet.Internet
+	log    *weblog.Log
+	result *cluster.Result
+}
+
+var cached *fixture
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	wcfg := inet.DefaultConfig()
+	wcfg.NumASes = 300
+	wcfg.NumTierOne = 8
+	world, err := inet.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := weblog.Generate(world, weblog.Sun(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The simple clusterer suffices: detection depends on access patterns,
+	// not on cluster identification quality.
+	cached = &fixture{world: world, log: log, result: cluster.ClusterLog(log, cluster.Simple{})}
+	return cached
+}
+
+func TestDetectFindsPlantedSpiderAndProxy(t *testing.T) {
+	f := setup(t)
+	findings := Detect(f.result, DefaultConfig())
+	if len(findings) == 0 {
+		t.Fatal("no findings")
+	}
+	foundSpiders := map[netutil.Addr]bool{}
+	foundProxies := map[netutil.Addr]bool{}
+	for _, fd := range findings {
+		switch fd.Kind {
+		case Spider:
+			foundSpiders[fd.Client] = true
+		case Proxy:
+			foundProxies[fd.Client] = true
+		}
+	}
+	for s := range f.log.Truth.Spiders {
+		if !foundSpiders[s] {
+			t.Errorf("planted spider %v not detected", s)
+		}
+	}
+	for p := range f.log.Truth.Proxies {
+		if !foundProxies[p] {
+			t.Errorf("planted proxy %v not detected", p)
+		}
+	}
+	// No planted spider may be classified as a proxy or vice versa.
+	for s := range f.log.Truth.Spiders {
+		if foundProxies[s] {
+			t.Errorf("spider %v misclassified as proxy", s)
+		}
+	}
+	for p := range f.log.Truth.Proxies {
+		if foundSpiders[p] {
+			t.Errorf("proxy %v misclassified as spider", p)
+		}
+	}
+}
+
+func TestDetectPrecision(t *testing.T) {
+	// Confirmed findings must be precise; Suspected ones are allowed to
+	// include heavy ordinary users (the paper's own suspected proxies are
+	// exactly such cases and cannot be distinguished from the log alone).
+	f := setup(t)
+	findings := Detect(f.result, DefaultConfig())
+	confirmedFP := 0
+	for _, fd := range findings {
+		if fd.Confidence != Confirmed {
+			continue
+		}
+		if !f.log.Truth.Spiders[fd.Client] && !f.log.Truth.Proxies[fd.Client] {
+			confirmedFP++
+		}
+	}
+	if confirmedFP > 0 {
+		t.Errorf("%d confirmed false positives among %d findings", confirmedFP, len(findings))
+	}
+}
+
+func TestDetectPlantedAreConfirmed(t *testing.T) {
+	f := setup(t)
+	for _, fd := range Detect(f.result, DefaultConfig()) {
+		if (f.log.Truth.Spiders[fd.Client] || f.log.Truth.Proxies[fd.Client]) && fd.Confidence != Confirmed {
+			t.Errorf("planted %v only %v", fd.Client, fd.Confidence)
+		}
+	}
+}
+
+func TestFindingEvidence(t *testing.T) {
+	f := setup(t)
+	findings := Detect(f.result, DefaultConfig())
+	for _, fd := range findings {
+		if fd.Kind == Spider {
+			if fd.Correlation > DefaultConfig().SpiderMaxCorrelation {
+				t.Errorf("spider with correlation %.2f above threshold", fd.Correlation)
+			}
+			if f.log.Truth.Spiders[fd.Client] && fd.Dominance < 0.9 {
+				t.Errorf("planted spider dominance = %.2f, want ≥ 0.9 (Figure 10)", fd.Dominance)
+			}
+		}
+		if fd.Kind == Proxy && f.log.Truth.Proxies[fd.Client] {
+			if fd.Agents < DefaultConfig().ProxyMinAgents && fd.Dominance < DefaultConfig().DominanceHint {
+				t.Errorf("proxy finding lacks both agent and dominance evidence: %+v", fd)
+			}
+		}
+	}
+}
+
+func TestRequestSkew(t *testing.T) {
+	f := setup(t)
+	var spider netutil.Addr
+	for s := range f.log.Truth.Spiders {
+		spider = s
+	}
+	cl, ok := f.result.ClusterOf(spider)
+	if !ok {
+		t.Fatal("spider not clustered")
+	}
+	counts, gini := RequestSkew(cl)
+	if len(counts) != cl.NumClients() {
+		t.Fatalf("counts = %d, clients = %d", len(counts), cl.NumClients())
+	}
+	if counts[0] != cl.Clients[spider] {
+		t.Error("heaviest client should be the spider")
+	}
+	// Gini of an n-sample caps at (n-1)/n, so scale the expectation: the
+	// spider should push the cluster near its maximum possible skew.
+	if n := cl.NumClients(); n > 1 {
+		maxGini := float64(n-1) / float64(n)
+		if gini < 0.9*maxGini {
+			t.Errorf("spider cluster Gini = %.2f, want ≥ %.2f", gini, 0.9*maxGini)
+		}
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatal("counts not descending")
+		}
+	}
+}
+
+func TestEliminate(t *testing.T) {
+	f := setup(t)
+	findings := Detect(f.result, DefaultConfig())
+	bad := FindingClients(findings)
+	clean := Eliminate(f.log, bad)
+	if len(clean.Requests) >= len(f.log.Requests) {
+		t.Fatal("elimination removed nothing")
+	}
+	for i := range clean.Requests {
+		if bad[clean.Requests[i].Client] {
+			t.Fatal("eliminated client still present")
+		}
+	}
+	// Only the targeted clients' requests disappeared.
+	removed := len(f.log.Requests) - len(clean.Requests)
+	wantRemoved := 0
+	for i := range f.log.Requests {
+		if bad[f.log.Requests[i].Client] {
+			wantRemoved++
+		}
+	}
+	if removed != wantRemoved {
+		t.Fatalf("removed %d, want %d", removed, wantRemoved)
+	}
+}
+
+func TestFindingClientsFilter(t *testing.T) {
+	fs := []Finding{
+		{Client: 1, Kind: Spider},
+		{Client: 2, Kind: Proxy},
+		{Client: 3, Kind: Spider},
+	}
+	all := FindingClients(fs)
+	if len(all) != 3 {
+		t.Fatalf("all = %v", all)
+	}
+	spiders := FindingClients(fs, Spider)
+	if len(spiders) != 2 || !spiders[1] || !spiders[3] {
+		t.Fatalf("spiders = %v", spiders)
+	}
+	proxies := FindingClients(fs, Proxy)
+	if len(proxies) != 1 || !proxies[2] {
+		t.Fatalf("proxies = %v", proxies)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Spider.String() != "spider" || Proxy.String() != "proxy" {
+		t.Error("Kind strings changed")
+	}
+	if Confirmed.String() != "confirmed" || Suspected.String() != "suspected" {
+		t.Error("Confidence strings changed")
+	}
+}
+
+func TestThinkTimeEvidence(t *testing.T) {
+	// The planted spider and proxy issue orders of magnitude more requests
+	// than ordinary clients, so their median inter-request gap (think
+	// time) must be far below the ordinary heavy-hitter's.
+	f := setup(t)
+	findings := Detect(f.result, DefaultConfig())
+	var plantedGap, ordinaryGap float64
+	ordinaryCount := 0
+	for _, fd := range findings {
+		if f.log.Truth.Spiders[fd.Client] || f.log.Truth.Proxies[fd.Client] {
+			if plantedGap == 0 || fd.ThinkTime < plantedGap {
+				plantedGap = fd.ThinkTime
+			}
+		} else if fd.ThinkTime > 0 {
+			ordinaryGap += fd.ThinkTime
+			ordinaryCount++
+		}
+	}
+	if ordinaryCount == 0 {
+		t.Skip("no ordinary heavy hitters in this run")
+	}
+	ordinaryGap /= float64(ordinaryCount)
+	if plantedGap >= ordinaryGap {
+		t.Errorf("planted robots' think time %.1fs should undercut ordinary clients' %.1fs",
+			plantedGap, ordinaryGap)
+	}
+}
+
+func TestMedianGap(t *testing.T) {
+	if g := medianGap([]uint32{10}); g != 0 {
+		t.Errorf("single request gap = %g", g)
+	}
+	if g := medianGap([]uint32{10, 20, 40}); g != 15 {
+		t.Errorf("gaps {10,20} median = %g, want 15", g)
+	}
+	// Unsorted input is handled.
+	if g := medianGap([]uint32{40, 10, 20}); g != 15 {
+		t.Errorf("unsorted median = %g, want 15", g)
+	}
+}
+
+func TestDetectEmptyAndQuietLogs(t *testing.T) {
+	l := &weblog.Log{Name: "empty", Duration: 0}
+	res := cluster.ClusterLog(l, cluster.Simple{})
+	if got := Detect(res, DefaultConfig()); got != nil {
+		t.Fatalf("empty log findings = %v", got)
+	}
+}

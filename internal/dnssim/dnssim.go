@@ -1,0 +1,48 @@
+// Package dnssim simulates the nslookup side of the paper's validation: a
+// reverse-DNS resolver over the ground-truth Internet. Roughly half of all
+// client addresses do not resolve — the paper attributes this to firewalled
+// DNS, DHCP pools without per-host records, and ISPs that never register
+// customer names; here the inet generator assigns each network a
+// DNSRegistered flag with exactly that aggregate effect.
+package dnssim
+
+import (
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// Resolver answers reverse lookups against a ground-truth world. It counts
+// queries so experiments can compare validation costs (the paper: "the
+// time consumed by sending one probe in the optimized traceroute is about
+// the same as that of a DNS nslookup").
+type Resolver struct {
+	world   *inet.Internet
+	Queries int
+}
+
+// New returns a resolver over the world.
+func New(world *inet.Internet) *Resolver {
+	return &Resolver{world: world}
+}
+
+// Lookup resolves addr to its fully-qualified domain name. ok is false
+// when the address has no network (never allocated/routed) or its network
+// publishes no reverse records.
+func (r *Resolver) Lookup(addr netutil.Addr) (string, bool) {
+	r.Queries++
+	n, ok := r.world.NetworkOf(addr)
+	if !ok || !n.DNSRegistered {
+		return "", false
+	}
+	return n.HostName(addr), true
+}
+
+// Suffix resolves addr and reduces the name to the paper's non-trivial
+// suffix (last 3 components of a ≥4-component name, else last 2).
+func (r *Resolver) Suffix(addr netutil.Addr) (string, bool) {
+	name, ok := r.Lookup(addr)
+	if !ok {
+		return "", false
+	}
+	return inet.NameSuffix(name), true
+}

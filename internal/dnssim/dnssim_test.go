@@ -1,0 +1,127 @@
+package dnssim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+func world(t *testing.T) *inet.Internet {
+	t.Helper()
+	cfg := inet.DefaultConfig()
+	cfg.NumASes = 200
+	cfg.NumTierOne = 6
+	w, err := inet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLookupRegisteredNetwork(t *testing.T) {
+	w := world(t)
+	r := New(w)
+	rng := rand.New(rand.NewSource(1))
+	found := false
+	for _, n := range w.Networks {
+		if !n.DNSRegistered {
+			continue
+		}
+		h := n.RandomHost(rng)
+		name, ok := r.Lookup(h)
+		if !ok {
+			t.Fatalf("registered network %v did not resolve", n.Prefix)
+		}
+		if !strings.HasSuffix(name, n.Domain) {
+			t.Fatalf("name %q lacks domain %q", name, n.Domain)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("no registered network in world")
+	}
+}
+
+func TestLookupUnregisteredFails(t *testing.T) {
+	w := world(t)
+	r := New(w)
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range w.Networks {
+		if n.DNSRegistered {
+			continue
+		}
+		if name, ok := r.Lookup(n.RandomHost(rng)); ok {
+			t.Fatalf("unregistered network resolved to %q", name)
+		}
+		return
+	}
+	t.Fatal("no unregistered network in world")
+}
+
+func TestLookupUnallocatedFails(t *testing.T) {
+	r := New(world(t))
+	if _, ok := r.Lookup(netutil.MustParseAddr("10.1.2.3")); ok {
+		t.Error("unallocated space must not resolve")
+	}
+}
+
+func TestQueryCounting(t *testing.T) {
+	r := New(world(t))
+	r.Lookup(netutil.MustParseAddr("10.1.2.3"))
+	r.Lookup(netutil.MustParseAddr("10.1.2.4"))
+	r.Suffix(netutil.MustParseAddr("10.1.2.5"))
+	if r.Queries != 3 {
+		t.Fatalf("Queries = %d, want 3", r.Queries)
+	}
+}
+
+func TestSuffixSharedWithinNetwork(t *testing.T) {
+	w := world(t)
+	r := New(w)
+	rng := rand.New(rand.NewSource(3))
+	checked := 0
+	for _, n := range w.Networks {
+		if !n.DNSRegistered || n.HostCapacity() < 4 {
+			continue
+		}
+		s1, ok1 := r.Suffix(n.RandomHost(rng))
+		s2, ok2 := r.Suffix(n.RandomHost(rng))
+		if !ok1 || !ok2 {
+			t.Fatalf("registered hosts must resolve")
+		}
+		if s1 != s2 {
+			t.Fatalf("same-network suffixes differ: %q vs %q (domain %s)", s1, s2, n.Domain)
+		}
+		checked++
+		if checked > 50 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no networks checked")
+	}
+}
+
+func TestAggregateResolvability(t *testing.T) {
+	// Across random hosts, resolvability should approximate the paper's
+	// ~50% observation (generator sets 55% of networks registered).
+	w := world(t)
+	r := New(w)
+	rng := rand.New(rand.NewSource(4))
+	resolved := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		n := w.Networks[rng.Intn(len(w.Networks))]
+		if _, ok := r.Lookup(n.RandomHost(rng)); ok {
+			resolved++
+		}
+	}
+	frac := float64(resolved) / trials
+	if frac < 0.40 || frac > 0.70 {
+		t.Errorf("resolvable fraction = %.2f, want ~0.5", frac)
+	}
+}

@@ -1,0 +1,142 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// Client issues queries over UDP with timeouts and bounded retries — the
+// nslookup of the pipeline.
+type Client struct {
+	// Server is the resolver address, e.g. "127.0.0.1:5353".
+	Server string
+	// Timeout bounds each attempt; Retries is how many extra attempts a
+	// timed-out query gets.
+	Timeout time.Duration
+	Retries int
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	Queries int
+}
+
+// NewClient returns a client with 2s timeouts and one retry.
+func NewClient(server string) *Client {
+	return &Client{
+		Server:  server,
+		Timeout: 2 * time.Second,
+		Retries: 1,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// ErrNXDomain reports that the queried name does not exist.
+var ErrNXDomain = errors.New("dnswire: no such domain")
+
+// Query sends one question and returns the answers. NXDOMAIN surfaces as
+// ErrNXDomain; an empty answer section with RcodeOK returns an empty
+// slice and nil error (NODATA).
+func (c *Client) Query(name string, qtype uint16) ([]RR, error) {
+	c.mu.Lock()
+	id := uint16(c.rng.Intn(1 << 16))
+	c.Queries++
+	c.mu.Unlock()
+
+	req := &Message{
+		Header:    Header{ID: id, RD: false},
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+	pkt, err := req.Encode()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		answers, err := c.exchange(pkt, id)
+		if err == nil || errors.Is(err, ErrNXDomain) {
+			return answers, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dnswire: query %q failed: %w", name, lastErr)
+}
+
+func (c *Client) exchange(pkt []byte, id uint16) ([]RR, error) {
+	conn, err := net.Dial("udp", c.Server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(c.Timeout))
+	if _, err := conn.Write(pkt); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, maxUDPSize)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := Decode(buf[:n])
+		if err != nil {
+			return nil, err
+		}
+		if resp.Header.ID != id {
+			continue // stale datagram from a previous attempt
+		}
+		if !resp.Header.QR {
+			return nil, errors.New("dnswire: response without QR flag")
+		}
+		switch resp.Header.Rcode {
+		case RcodeOK:
+			return resp.Answers, nil
+		case RcodeNXDomain:
+			return nil, ErrNXDomain
+		default:
+			return nil, fmt.Errorf("dnswire: server rcode %d", resp.Header.Rcode)
+		}
+	}
+}
+
+// SuffixResolver adapts a Client to validate.NameResolver: reverse-resolve
+// over the wire, then reduce to the paper's non-trivial suffix. Transport
+// errors count as unresolvable — precisely what a 1999 nslookup run did
+// when a server timed out.
+type SuffixResolver struct {
+	Client *Client
+}
+
+// Suffix implements the validation pipeline's resolver contract.
+func (r SuffixResolver) Suffix(addr netutil.Addr) (string, bool) {
+	name, ok, err := r.Client.LookupAddr(addr)
+	if err != nil || !ok {
+		return "", false
+	}
+	return inet.NameSuffix(name), true
+}
+
+// LookupAddr performs the reverse lookup the validation pipeline needs:
+// PTR for addr's in-addr.arpa name. ok is false on NXDOMAIN; transport
+// errors are returned as errors.
+func (c *Client) LookupAddr(addr netutil.Addr) (name string, ok bool, err error) {
+	answers, err := c.Query(ReverseName(addr), TypePTR)
+	if errors.Is(err, ErrNXDomain) {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, err
+	}
+	for _, rr := range answers {
+		if rr.Type == TypePTR {
+			return rr.Target, true, nil
+		}
+	}
+	return "", false, nil
+}

@@ -1,0 +1,305 @@
+package dnswire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/netaware/netcluster/internal/dnssim"
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 0xBEEF, QR: true, AA: true, RD: true, Rcode: RcodeOK},
+		Questions: []Question{
+			{Name: "94.147.65.12.in-addr.arpa", Type: TypePTR, Class: ClassIN},
+		},
+		Answers: []RR{
+			{Name: "94.147.65.12.in-addr.arpa", Type: TypePTR, Class: ClassIN,
+				TTL: 3600, Target: "macbeth12.cs.wits.ac.za"},
+			{Name: "host.example.com", Type: TypeA, Class: ClassIN,
+				TTL: 60, Target: "12.65.147.94"},
+		},
+	}
+	pkt, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.ID != 0xBEEF || !got.Header.QR || !got.Header.AA || got.Header.Rcode != RcodeOK {
+		t.Fatalf("header = %+v", got.Header)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].Name != "94.147.65.12.in-addr.arpa" {
+		t.Fatalf("questions = %+v", got.Questions)
+	}
+	if len(got.Answers) != 2 {
+		t.Fatalf("answers = %+v", got.Answers)
+	}
+	if got.Answers[0].Target != "macbeth12.cs.wits.ac.za" || got.Answers[0].Type != TypePTR {
+		t.Fatalf("PTR answer = %+v", got.Answers[0])
+	}
+	if got.Answers[1].Target != "12.65.147.94" || got.Answers[1].Type != TypeA {
+		t.Fatalf("A answer = %+v", got.Answers[1])
+	}
+}
+
+func TestEncodeRejectsBadNames(t *testing.T) {
+	long := make([]byte, 70)
+	for i := range long {
+		long[i] = 'x'
+	}
+	bad := []string{
+		"a..b",                // empty label
+		string(long) + ".com", // label > 63
+	}
+	for _, name := range bad {
+		m := &Message{Questions: []Question{{Name: name, Type: TypePTR, Class: ClassIN}}}
+		if _, err := m.Encode(); err == nil {
+			t.Errorf("Encode(%q) should fail", name)
+		}
+	}
+}
+
+func TestDecodeCompressionPointers(t *testing.T) {
+	// Hand-built response with a compressed answer name pointing at the
+	// question name (offset 12).
+	var pkt []byte
+	pkt = appendU16(pkt, 7)      // ID
+	pkt = appendU16(pkt, 0x8400) // QR|AA
+	pkt = appendU16(pkt, 1)      // QD
+	pkt = appendU16(pkt, 1)      // AN
+	pkt = appendU16(pkt, 0)
+	pkt = appendU16(pkt, 0)
+	var err error
+	pkt, err = appendName(pkt, "www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt = appendU16(pkt, TypeA)
+	pkt = appendU16(pkt, ClassIN)
+	// Answer: name = pointer to offset 12.
+	pkt = append(pkt, 0xC0, 12)
+	pkt = appendU16(pkt, TypeA)
+	pkt = appendU16(pkt, ClassIN)
+	pkt = appendU32(pkt, 60)
+	pkt = appendU16(pkt, 4)
+	pkt = append(pkt, 1, 2, 3, 4)
+
+	m, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answers[0].Name != "www.example.com" {
+		t.Fatalf("decompressed name = %q", m.Answers[0].Name)
+	}
+	if m.Answers[0].Target != "1.2.3.4" {
+		t.Fatalf("target = %q", m.Answers[0].Target)
+	}
+}
+
+func TestDecodeRejectsHostileInput(t *testing.T) {
+	// Pointer loop: name at offset 12 points at itself.
+	var pkt []byte
+	pkt = appendU16(pkt, 1)
+	pkt = appendU16(pkt, 0)
+	pkt = appendU16(pkt, 1)
+	pkt = appendU16(pkt, 0)
+	pkt = appendU16(pkt, 0)
+	pkt = appendU16(pkt, 0)
+	pkt = append(pkt, 0xC0, 12) // self-pointer
+	pkt = appendU16(pkt, TypeA)
+	pkt = appendU16(pkt, ClassIN)
+	if _, err := Decode(pkt); err == nil {
+		t.Error("self-referential pointer must fail")
+	}
+	// Truncated messages at every length must error, not panic.
+	m := &Message{Questions: []Question{{Name: "a.b.c", Type: TypePTR, Class: ClassIN}}}
+	full, _ := m.Encode()
+	for i := 0; i < len(full); i++ {
+		Decode(full[:i]) // must not panic
+	}
+}
+
+func TestDecodeFuzz(t *testing.T) {
+	f := func(data []byte) bool {
+		Decode(data) // must never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseNameRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := netutil.Addr(v)
+		back, ok := parseReverse(ReverseName(a))
+		return ok && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parseReverse("not-a-reverse-name.example.com"); ok {
+		t.Error("non-arpa name must not parse")
+	}
+	if _, ok := parseReverse("299.1.1.1.in-addr.arpa"); ok {
+		t.Error("out-of-range octet must not parse")
+	}
+}
+
+func world(t *testing.T) *inet.Internet {
+	t.Helper()
+	cfg := inet.DefaultConfig()
+	cfg.NumASes = 150
+	cfg.NumTierOne = 6
+	w, err := inet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestEndToEndOverUDP(t *testing.T) {
+	w := world(t)
+	srv := NewServer(NewReverseZone(w))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewClient(addr.String())
+
+	var registered, unregistered *inet.Network
+	for _, n := range w.Networks {
+		if n.DNSRegistered && registered == nil {
+			registered = n
+		}
+		if !n.DNSRegistered && unregistered == nil {
+			unregistered = n
+		}
+	}
+	host := registered.HostAddr(1)
+	name, ok, err := client.LookupAddr(host)
+	if err != nil || !ok {
+		t.Fatalf("LookupAddr(%v) = %q %v %v", host, name, ok, err)
+	}
+	if want := registered.HostName(host); name != want {
+		t.Fatalf("name = %q, want %q", name, want)
+	}
+	// Unregistered network: NXDOMAIN.
+	if _, ok, err := client.LookupAddr(unregistered.HostAddr(1)); err != nil || ok {
+		t.Fatalf("unregistered lookup ok=%v err=%v", ok, err)
+	}
+	// Unallocated space: NXDOMAIN too.
+	if _, ok, err := client.LookupAddr(netutil.MustParseAddr("10.1.2.3")); err != nil || ok {
+		t.Fatalf("unallocated lookup ok=%v err=%v", ok, err)
+	}
+	if srv.QueryCount() < 3 {
+		t.Fatalf("server saw %d queries", srv.QueryCount())
+	}
+}
+
+// TestWireMatchesDnssim cross-checks the wire-protocol path against the
+// pure-function resolver: identical verdicts for every sampled address.
+func TestWireMatchesDnssim(t *testing.T) {
+	w := world(t)
+	srv := NewServer(NewReverseZone(w))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewClient(addr.String())
+	resolver := dnssim.New(w)
+
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		n := w.Networks[rng.Intn(len(w.Networks))]
+		host := n.RandomHost(rng)
+		simName, simOK := resolver.Lookup(host)
+		wireName, wireOK, err := client.LookupAddr(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if simOK != wireOK || simName != wireName {
+			t.Fatalf("disagreement on %v: sim (%q, %v) vs wire (%q, %v)",
+				host, simName, simOK, wireName, wireOK)
+		}
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	w := world(t)
+	srv := NewServer(NewReverseZone(w))
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// FORMERR for malformed packets that still carry an ID.
+	resp := srv.handle([]byte{0xAB, 0xCD, 0xFF})
+	m, err := Decode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.ID != 0xABCD || m.Header.Rcode != RcodeFormErr {
+		t.Fatalf("formerr response = %+v", m.Header)
+	}
+	// Sub-header garbage is dropped.
+	if resp := srv.handle([]byte{0x01}); resp != nil {
+		t.Fatal("one-byte packet must be dropped")
+	}
+	// Multi-question queries: NOTIMPL.
+	q := &Message{Questions: []Question{
+		{Name: "a.in-addr.arpa", Type: TypePTR, Class: ClassIN},
+		{Name: "b.in-addr.arpa", Type: TypePTR, Class: ClassIN},
+	}}
+	pkt, _ := q.Encode()
+	m, err = Decode(srv.handle(pkt))
+	if err != nil || m.Header.Rcode != RcodeNotImpl {
+		t.Fatalf("multi-question rcode = %+v err=%v", m, err)
+	}
+	// Non-IN class: REFUSED.
+	q2 := &Message{Questions: []Question{{Name: "a.in-addr.arpa", Type: TypePTR, Class: 3}}}
+	pkt2, _ := q2.Encode()
+	m, err = Decode(srv.handle(pkt2))
+	if err != nil || m.Header.Rcode != RcodeRefused {
+		t.Fatalf("chaos-class rcode = %+v err=%v", m, err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(NewReverseZone(world(t)))
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzDecode asserts the wire decoder never panics on arbitrary bytes.
+func FuzzDecode(f *testing.F) {
+	m := &Message{
+		Header:    Header{ID: 1},
+		Questions: []Question{{Name: "94.147.65.12.in-addr.arpa", Type: TypePTR, Class: ClassIN}},
+	}
+	if pkt, err := m.Encode(); err == nil {
+		f.Add(pkt)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xC0, 0x0C})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err == nil && msg == nil {
+			t.Fatal("nil message without error")
+		}
+	})
+}

@@ -1,0 +1,368 @@
+// Package dnswire implements the subset of the DNS protocol (RFC 1035)
+// that the paper's nslookup-based validation exercises: PTR queries over
+// UDP against an authoritative reverse zone. internal/dnssim answers the
+// same questions as a pure function; this package answers them as a real
+// wire-protocol server, so the validation pipeline can be demonstrated
+// against actual DNS traffic and the two implementations can be
+// cross-checked against each other.
+//
+// The codec covers headers, questions, and PTR/A answers, with full
+// decompression support on decode (servers in the wild compress; ours
+// emits uncompressed names for simplicity).
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Wire constants (RFC 1035 §3.2, §4.1.1).
+const (
+	TypeA   uint16 = 1
+	TypePTR uint16 = 12
+	ClassIN uint16 = 1
+
+	// RcodeOK and friends are RCODE values.
+	RcodeOK       = 0
+	RcodeFormErr  = 1
+	RcodeServFail = 2
+	RcodeNXDomain = 3
+	RcodeNotImpl  = 4
+	RcodeRefused  = 5
+
+	maxNameLen  = 255
+	maxLabelLen = 63
+	maxUDPSize  = 512
+)
+
+// Header is the fixed 12-byte message header.
+type Header struct {
+	ID      uint16
+	QR      bool // response flag
+	Opcode  uint8
+	AA      bool // authoritative answer
+	TC      bool // truncated
+	RD      bool // recursion desired
+	RA      bool // recursion available
+	Rcode   uint8
+	QDCount uint16
+	ANCount uint16
+	NSCount uint16
+	ARCount uint16
+}
+
+// Question is one query tuple.
+type Question struct {
+	Name  string // fully qualified, trailing dot optional
+	Type  uint16
+	Class uint16
+}
+
+// RR is one resource record; only the fields PTR/A answers need.
+type RR struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	// Target holds the PTR target name, or the dotted A address.
+	Target string
+}
+
+// Message is a DNS message restricted to questions and answers.
+type Message struct {
+	Header    Header
+	Questions []Question
+	Answers   []RR
+}
+
+// ErrTruncated reports a message that does not fit the 512-byte UDP limit.
+var ErrTruncated = errors.New("dnswire: message exceeds UDP size")
+
+// appendName encodes a domain name as length-prefixed labels.
+func appendName(b []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		if len(name) > maxNameLen-1 {
+			return nil, fmt.Errorf("dnswire: name %q too long", name)
+		}
+		for _, label := range strings.Split(name, ".") {
+			if label == "" {
+				return nil, fmt.Errorf("dnswire: empty label in %q", name)
+			}
+			if len(label) > maxLabelLen {
+				return nil, fmt.Errorf("dnswire: label %q too long", label)
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0), nil
+}
+
+func appendU16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Encode serializes m. Names are written uncompressed. An error is
+// returned when the result would not fit in a single UDP datagram; the
+// caller decides whether to set TC and retry (our server truncates the
+// answer section instead, see Server).
+func (m *Message) Encode() ([]byte, error) {
+	b := make([]byte, 0, 256)
+	h := m.Header
+	h.QDCount = uint16(len(m.Questions))
+	h.ANCount = uint16(len(m.Answers))
+	b = appendU16(b, h.ID)
+	var flags uint16
+	if h.QR {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.Opcode&0xF) << 11
+	if h.AA {
+		flags |= 1 << 10
+	}
+	if h.TC {
+		flags |= 1 << 9
+	}
+	if h.RD {
+		flags |= 1 << 8
+	}
+	if h.RA {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.Rcode & 0xF)
+	b = appendU16(b, flags)
+	b = appendU16(b, h.QDCount)
+	b = appendU16(b, h.ANCount)
+	b = appendU16(b, h.NSCount)
+	b = appendU16(b, h.ARCount)
+	var err error
+	for _, q := range m.Questions {
+		if b, err = appendName(b, q.Name); err != nil {
+			return nil, err
+		}
+		b = appendU16(b, q.Type)
+		b = appendU16(b, q.Class)
+	}
+	for _, rr := range m.Answers {
+		if b, err = appendName(b, rr.Name); err != nil {
+			return nil, err
+		}
+		b = appendU16(b, rr.Type)
+		b = appendU16(b, rr.Class)
+		b = appendU32(b, rr.TTL)
+		switch rr.Type {
+		case TypePTR:
+			rdata, err := appendName(nil, rr.Target)
+			if err != nil {
+				return nil, err
+			}
+			b = appendU16(b, uint16(len(rdata)))
+			b = append(b, rdata...)
+		case TypeA:
+			octets, err := parseDotted(rr.Target)
+			if err != nil {
+				return nil, err
+			}
+			b = appendU16(b, 4)
+			b = append(b, octets[:]...)
+		default:
+			return nil, fmt.Errorf("dnswire: cannot encode RR type %d", rr.Type)
+		}
+	}
+	if len(b) > maxUDPSize {
+		return nil, ErrTruncated
+	}
+	return b, nil
+}
+
+func parseDotted(s string) ([4]byte, error) {
+	var out [4]byte
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return out, fmt.Errorf("dnswire: bad A target %q", s)
+	}
+	for i, p := range parts {
+		v := 0
+		if p == "" || len(p) > 3 {
+			return out, fmt.Errorf("dnswire: bad A target %q", s)
+		}
+		for _, ch := range []byte(p) {
+			if ch < '0' || ch > '9' {
+				return out, fmt.Errorf("dnswire: bad A target %q", s)
+			}
+			v = v*10 + int(ch-'0')
+		}
+		if v > 255 {
+			return out, fmt.Errorf("dnswire: bad A target %q", s)
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// decoder walks a wire message with bounds checking and decompression.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.off+2 > len(d.b) {
+		return 0, errors.New("dnswire: short message")
+	}
+	v := uint16(d.b[d.off])<<8 | uint16(d.b[d.off+1])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	hi, err := d.u16()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := d.u16()
+	if err != nil {
+		return 0, err
+	}
+	return uint32(hi)<<16 | uint32(lo), nil
+}
+
+// name decodes a possibly-compressed domain name starting at d.off,
+// leaving d.off just past it. Pointer loops are bounded by a hop budget.
+func (d *decoder) name() (string, error) {
+	var labels []string
+	off := d.off
+	jumped := false
+	hops := 0
+	for {
+		if off >= len(d.b) {
+			return "", errors.New("dnswire: name runs past message")
+		}
+		c := d.b[off]
+		switch {
+		case c == 0:
+			if !jumped {
+				d.off = off + 1
+			}
+			return strings.Join(labels, "."), nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(d.b) {
+				return "", errors.New("dnswire: truncated pointer")
+			}
+			ptr := int(c&0x3F)<<8 | int(d.b[off+1])
+			if !jumped {
+				d.off = off + 2
+			}
+			if ptr >= off {
+				return "", errors.New("dnswire: forward compression pointer")
+			}
+			off = ptr
+			jumped = true
+			hops++
+			if hops > 32 {
+				return "", errors.New("dnswire: compression pointer loop")
+			}
+		case c&0xC0 != 0:
+			return "", fmt.Errorf("dnswire: reserved label type %#x", c&0xC0)
+		default:
+			if off+1+int(c) > len(d.b) {
+				return "", errors.New("dnswire: label runs past message")
+			}
+			labels = append(labels, string(d.b[off+1:off+1+int(c)]))
+			if len(labels) > 128 {
+				return "", errors.New("dnswire: too many labels")
+			}
+			off += 1 + int(c)
+		}
+	}
+}
+
+// Decode parses a wire message (header, questions, answers; authority and
+// additional sections are skipped structurally).
+func Decode(b []byte) (*Message, error) {
+	d := &decoder{b: b}
+	var m Message
+	var err error
+	if m.Header.ID, err = d.u16(); err != nil {
+		return nil, err
+	}
+	flags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	m.Header.QR = flags&(1<<15) != 0
+	m.Header.Opcode = uint8(flags >> 11 & 0xF)
+	m.Header.AA = flags&(1<<10) != 0
+	m.Header.TC = flags&(1<<9) != 0
+	m.Header.RD = flags&(1<<8) != 0
+	m.Header.RA = flags&(1<<7) != 0
+	m.Header.Rcode = uint8(flags & 0xF)
+	if m.Header.QDCount, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if m.Header.ANCount, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if m.Header.NSCount, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if m.Header.ARCount, err = d.u16(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(m.Header.QDCount); i++ {
+		var q Question
+		if q.Name, err = d.name(); err != nil {
+			return nil, err
+		}
+		if q.Type, err = d.u16(); err != nil {
+			return nil, err
+		}
+		if q.Class, err = d.u16(); err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	for i := 0; i < int(m.Header.ANCount); i++ {
+		var rr RR
+		if rr.Name, err = d.name(); err != nil {
+			return nil, err
+		}
+		if rr.Type, err = d.u16(); err != nil {
+			return nil, err
+		}
+		if rr.Class, err = d.u16(); err != nil {
+			return nil, err
+		}
+		if rr.TTL, err = d.u32(); err != nil {
+			return nil, err
+		}
+		rdlen, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		if d.off+int(rdlen) > len(b) {
+			return nil, errors.New("dnswire: rdata runs past message")
+		}
+		switch rr.Type {
+		case TypePTR:
+			save := d.off
+			if rr.Target, err = d.name(); err != nil {
+				return nil, err
+			}
+			d.off = save + int(rdlen)
+		case TypeA:
+			if rdlen != 4 {
+				return nil, fmt.Errorf("dnswire: A rdata length %d", rdlen)
+			}
+			rr.Target = fmt.Sprintf("%d.%d.%d.%d", b[d.off], b[d.off+1], b[d.off+2], b[d.off+3])
+			d.off += 4
+		default:
+			d.off += int(rdlen) // skip unknown rdata
+		}
+		m.Answers = append(m.Answers, rr)
+	}
+	return &m, nil
+}

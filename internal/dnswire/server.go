@@ -1,0 +1,204 @@
+package dnswire
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// Zone answers queries authoritatively. Lookup returns the answer records
+// and an RCODE; an empty answer with RcodeOK means NODATA (name exists,
+// no records of that type).
+type Zone interface {
+	Lookup(name string, qtype uint16) ([]RR, uint8)
+}
+
+// ReverseZone is the in-addr.arpa PTR zone derived from the ground-truth
+// world: exactly the data a 1999 ISP's name server would have published
+// for its registered networks. Unregistered networks return NXDOMAIN —
+// the ~50% nslookup failure the paper reports.
+type ReverseZone struct {
+	world *inet.Internet
+	TTL   uint32
+}
+
+// NewReverseZone builds the zone over a world.
+func NewReverseZone(world *inet.Internet) *ReverseZone {
+	return &ReverseZone{world: world, TTL: 3600}
+}
+
+// ReverseName renders the in-addr.arpa owner name for addr
+// (12.65.147.94 → "94.147.65.12.in-addr.arpa").
+func ReverseName(addr netutil.Addr) string {
+	o := addr.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa", o[3], o[2], o[1], o[0])
+}
+
+// parseReverse inverts ReverseName; ok is false for names outside
+// in-addr.arpa or with non-numeric labels.
+func parseReverse(name string) (netutil.Addr, bool) {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	const suffix = ".in-addr.arpa"
+	if !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	parts := strings.Split(strings.TrimSuffix(name, suffix), ".")
+	if len(parts) != 4 {
+		return 0, false
+	}
+	var octets [4]byte
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, false
+		}
+		// Reverse order: first label is the last octet.
+		octets[3-i] = byte(v)
+	}
+	return netutil.AddrFrom4(octets[0], octets[1], octets[2], octets[3]), true
+}
+
+// Lookup implements Zone for PTR queries.
+func (z *ReverseZone) Lookup(name string, qtype uint16) ([]RR, uint8) {
+	addr, ok := parseReverse(name)
+	if !ok {
+		return nil, RcodeNXDomain
+	}
+	n, found := z.world.NetworkOf(addr)
+	if !found || !n.DNSRegistered {
+		return nil, RcodeNXDomain
+	}
+	if qtype != TypePTR {
+		return nil, RcodeOK // name exists, no data of that type
+	}
+	return []RR{{
+		Name:   name,
+		Type:   TypePTR,
+		Class:  ClassIN,
+		TTL:    z.TTL,
+		Target: n.HostName(addr),
+	}}, RcodeOK
+}
+
+// Server serves a Zone over UDP.
+type Server struct {
+	zone Zone
+
+	mu      sync.Mutex
+	conn    net.PacketConn
+	done    chan struct{}
+	queries int
+}
+
+// QueryCount returns how many datagrams the server has handled.
+func (s *Server) QueryCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// NewServer returns an unstarted server for zone.
+func NewServer(zone Zone) *Server {
+	return &Server{zone: zone, done: make(chan struct{})}
+}
+
+// Start binds addr ("127.0.0.1:0" for tests) and serves until Close.
+// It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnswire: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+	go s.serve(conn)
+	return conn.LocalAddr(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	default:
+		close(s.done)
+	}
+	if s.conn != nil {
+		return s.conn.Close()
+	}
+	return nil
+}
+
+func (s *Server) serve(conn net.PacketConn) {
+	buf := make([]byte, maxUDPSize)
+	for {
+		n, raddr, err := conn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		resp := s.handle(buf[:n])
+		if resp != nil {
+			conn.WriteTo(resp, raddr)
+		}
+	}
+}
+
+// handle builds the response datagram for one query datagram. Malformed
+// packets that still carry a header get FORMERR; shorter garbage is
+// dropped (nothing to mirror an ID from).
+func (s *Server) handle(pkt []byte) []byte {
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+
+	req, err := Decode(pkt)
+	if err != nil {
+		if len(pkt) < 2 {
+			return nil
+		}
+		m := &Message{Header: Header{
+			ID: uint16(pkt[0])<<8 | uint16(pkt[1]), QR: true, Rcode: RcodeFormErr,
+		}}
+		out, _ := m.Encode()
+		return out
+	}
+	resp := &Message{Header: Header{
+		ID: req.Header.ID, QR: true, AA: true, RD: req.Header.RD,
+	}}
+	resp.Questions = req.Questions
+	if req.Header.Opcode != 0 || len(req.Questions) != 1 {
+		resp.Header.Rcode = RcodeNotImpl
+	} else {
+		q := req.Questions[0]
+		if q.Class != ClassIN {
+			resp.Header.Rcode = RcodeRefused
+		} else {
+			answers, rcode := s.zone.Lookup(q.Name, q.Type)
+			resp.Header.Rcode = rcode
+			resp.Answers = answers
+		}
+	}
+	out, err := resp.Encode()
+	if err == ErrTruncated {
+		resp.Answers = nil
+		resp.Header.TC = true
+		out, err = resp.Encode()
+	}
+	if err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,406 @@
+// Package httpproxy is a working HTTP implementation of the caching proxy
+// the simulation models: an http.Handler that forwards GET requests to an
+// origin, caches responses with fixed-TTL freshness, revalidates with
+// If-Modified-Since, piggybacks validation of expired entries onto origin
+// contacts (PCV), and evicts LRU. It exists so that the paper's proposed
+// deployment — "install one or more proxy caches in front of the
+// clients" — is not just simulated but runnable: put one Handler in front
+// of each identified cluster.
+//
+// Scope matches the 1999 design being reproduced: GET-only caching keyed
+// by URL path+query, Last-Modified/If-Modified-Since validation (no ETags,
+// no Cache-Control negotiation — PCV predates them), single origin.
+package httpproxy
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// Stats counts proxy activity; the fields mirror the simulation's
+// cache.Stats so measured deployments can be compared with simulated ones.
+type Stats struct {
+	Requests        int
+	Hits            int
+	Bytes           int64
+	ByteHits        int64
+	FullFetches     int
+	Validations     int
+	SyncValidations int
+	Evictions       int
+	Errors          int
+}
+
+type entry struct {
+	key          string
+	body         []byte
+	header       http.Header
+	lastModified time.Time
+	validatedAt  time.Time
+}
+
+// Proxy is a caching reverse proxy for one origin.
+type Proxy struct {
+	origin *url.URL
+	client *http.Client
+
+	// TTL is the freshness lifetime (the paper's default: 1 hour).
+	TTL time.Duration
+	// Capacity bounds cached body bytes; 0 means unbounded.
+	Capacity int64
+	// PCV enables piggybacked validation of expired entries on origin
+	// contacts; disabled, stale entries validate synchronously on access.
+	PCV bool
+	// PiggybackLimit caps validations per origin contact.
+	PiggybackLimit int
+	// Now is the clock, overridable in tests.
+	Now func() time.Time
+
+	mu      sync.Mutex
+	lru     *list.List
+	items   map[string]*list.Element
+	expired map[string]struct{}
+	used    int64
+	stats   Stats
+}
+
+// New returns a proxy for the origin base URL (scheme + host), with the
+// paper's defaults: 1 h TTL, PCV on, piggyback batches of 10.
+func New(origin string) (*Proxy, error) {
+	u, err := url.Parse(origin)
+	if err != nil {
+		return nil, fmt.Errorf("httpproxy: bad origin %q: %w", origin, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("httpproxy: origin %q needs scheme and host", origin)
+	}
+	return &Proxy{
+		origin:         u,
+		client:         &http.Client{Timeout: 30 * time.Second},
+		TTL:            time.Hour,
+		PCV:            true,
+		PiggybackLimit: 10,
+		Now:            time.Now,
+		lru:            list.New(),
+		items:          make(map[string]*list.Element),
+		expired:        make(map[string]struct{}),
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ServeHTTP implements http.Handler. Non-GET requests pass through
+// uncached.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		p.passThrough(w, r)
+		return
+	}
+	key := r.URL.Path
+	if r.URL.RawQuery != "" {
+		key += "?" + r.URL.RawQuery
+	}
+	now := p.Now()
+
+	p.mu.Lock()
+	p.stats.Requests++
+	el, cached := p.items[key]
+	if cached {
+		e := el.Value.(*entry)
+		p.lru.MoveToFront(el)
+		if now.Sub(e.validatedAt) < p.TTL {
+			p.serveLocked(w, e)
+			return // serveLocked unlocks
+		}
+		// Stale: synchronous If-Modified-Since revalidation.
+		p.stats.Validations++
+		p.stats.SyncValidations++
+		p.mu.Unlock()
+		p.revalidateAndServe(w, key, e, now)
+		return
+	}
+	p.mu.Unlock()
+	p.fetchAndServe(w, key, now)
+}
+
+// serveLocked writes a cached entry and releases the lock.
+func (p *Proxy) serveLocked(w http.ResponseWriter, e *entry) {
+	p.stats.Hits++
+	p.stats.Bytes += int64(len(e.body))
+	p.stats.ByteHits += int64(len(e.body))
+	body := e.body
+	header := e.header.Clone()
+	p.mu.Unlock()
+	copyHeader(w.Header(), header)
+	w.Header().Set("X-Cache", "HIT")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// fetchAndServe brings a missing resource in from the origin.
+func (p *Proxy) fetchAndServe(w http.ResponseWriter, key string, now time.Time) {
+	resp, body, err := p.originGet(key, time.Time{}, now)
+	if err != nil {
+		p.countError()
+		http.Error(w, "origin unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		// Non-200s pass through uncached.
+		copyHeader(w.Header(), resp.Header)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+		return
+	}
+	lm, _ := http.ParseTime(resp.Header.Get("Last-Modified"))
+	e := &entry{
+		key:          key,
+		body:         body,
+		header:       resp.Header.Clone(),
+		lastModified: lm,
+		validatedAt:  now,
+	}
+	p.mu.Lock()
+	p.stats.FullFetches++
+	p.stats.Bytes += int64(len(body))
+	p.insertLocked(e)
+	p.mu.Unlock()
+	copyHeader(w.Header(), resp.Header)
+	w.Header().Set("X-Cache", "MISS")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// revalidateAndServe refreshes a stale entry via If-Modified-Since.
+func (p *Proxy) revalidateAndServe(w http.ResponseWriter, key string, stale *entry, now time.Time) {
+	resp, body, err := p.originGet(key, stale.lastModified, now)
+	if err != nil {
+		p.countError()
+		http.Error(w, "origin unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	p.mu.Lock()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		stale.validatedAt = now
+		delete(p.expired, key)
+		p.serveLocked(w, stale) // counts a hit; unlocks
+		return
+	case http.StatusOK:
+		lm, _ := http.ParseTime(resp.Header.Get("Last-Modified"))
+		p.used -= int64(len(stale.body))
+		stale.body = body
+		stale.header = resp.Header.Clone()
+		stale.lastModified = lm
+		stale.validatedAt = now
+		p.used += int64(len(body))
+		p.stats.FullFetches++
+		p.stats.Bytes += int64(len(body))
+		delete(p.expired, key)
+		p.evictLocked()
+		p.mu.Unlock()
+		copyHeader(w.Header(), stale.header)
+		w.Header().Set("X-Cache", "REVALIDATED")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	default:
+		p.removeLocked(key)
+		p.mu.Unlock()
+		copyHeader(w.Header(), resp.Header)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+	}
+}
+
+// originGet performs one origin request (with IMS when since is non-zero)
+// and, with PCV enabled, piggybacks validations for expired entries.
+func (p *Proxy) originGet(key string, since time.Time, now time.Time) (*http.Response, []byte, error) {
+	u := *p.origin
+	u.Path, u.RawQuery = splitKey(key)
+	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !since.IsZero() {
+		req.Header.Set("If-Modified-Since", since.UTC().Format(http.TimeFormat))
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.PCV {
+		p.piggyback(now)
+	}
+	return resp, body, nil
+}
+
+// piggyback validates up to PiggybackLimit expired entries while the
+// origin connection is warm.
+func (p *Proxy) piggyback(now time.Time) {
+	p.mu.Lock()
+	var keys []string
+	for k := range p.expired {
+		if len(keys) >= p.PiggybackLimit {
+			break
+		}
+		keys = append(keys, k)
+		delete(p.expired, k)
+	}
+	p.mu.Unlock()
+	for _, k := range keys {
+		p.mu.Lock()
+		el, ok := p.items[k]
+		if !ok {
+			p.mu.Unlock()
+			continue
+		}
+		e := el.Value.(*entry)
+		since := e.lastModified
+		p.stats.Validations++
+		p.mu.Unlock()
+
+		u := *p.origin
+		u.Path, u.RawQuery = splitKey(k)
+		req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+		if err != nil {
+			continue
+		}
+		if !since.IsZero() {
+			req.Header.Set("If-Modified-Since", since.UTC().Format(http.TimeFormat))
+		}
+		resp, err := p.client.Do(req)
+		if err != nil {
+			p.countError()
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		p.mu.Lock()
+		if resp.StatusCode == http.StatusNotModified {
+			e.validatedAt = now
+		} else {
+			// Out of date (or gone): drop so the next access refetches.
+			p.removeLocked(k)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Sweep marks entries whose TTL lapsed as candidates for piggybacked
+// validation. Call it periodically (the simulation's Tick analogue); the
+// example wires it to a time.Ticker.
+func (p *Proxy) Sweep() {
+	if !p.PCV {
+		return
+	}
+	now := p.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for el := p.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if now.Sub(e.validatedAt) >= p.TTL {
+			p.expired[e.key] = struct{}{}
+		}
+	}
+}
+
+// passThrough forwards a non-GET request verbatim.
+func (p *Proxy) passThrough(w http.ResponseWriter, r *http.Request) {
+	u := *p.origin
+	u.Path, u.RawQuery = r.URL.Path, r.URL.RawQuery
+	req, err := http.NewRequest(r.Method, u.String(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.countError()
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// insertLocked adds a fresh entry and evicts to capacity.
+func (p *Proxy) insertLocked(e *entry) {
+	if el, dup := p.items[e.key]; dup {
+		old := el.Value.(*entry)
+		p.used -= int64(len(old.body))
+		p.lru.Remove(el)
+		delete(p.items, e.key)
+		delete(p.expired, e.key)
+	}
+	el := p.lru.PushFront(e)
+	p.items[e.key] = el
+	p.used += int64(len(e.body))
+	p.evictLocked()
+}
+
+func (p *Proxy) evictLocked() {
+	if p.Capacity <= 0 {
+		return
+	}
+	for p.used > p.Capacity {
+		el := p.lru.Back()
+		if el == nil {
+			return
+		}
+		p.removeLocked(el.Value.(*entry).key)
+		p.stats.Evictions++
+	}
+}
+
+func (p *Proxy) removeLocked(key string) {
+	el, ok := p.items[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*entry)
+	p.lru.Remove(el)
+	delete(p.items, key)
+	delete(p.expired, key)
+	p.used -= int64(len(e.body))
+}
+
+func (p *Proxy) countError() {
+	p.mu.Lock()
+	p.stats.Errors++
+	p.mu.Unlock()
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func splitKey(key string) (path, query string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '?' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}

@@ -1,0 +1,312 @@
+package httpproxy
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// origin is a test origin with controllable Last-Modified times and
+// request counting.
+type origin struct {
+	mu       sync.Mutex
+	modified map[string]time.Time
+	body     map[string]string
+	gets     atomic.Int64
+	ims304   atomic.Int64
+}
+
+func newOrigin() *origin {
+	return &origin{
+		modified: map[string]time.Time{},
+		body:     map[string]string{},
+	}
+}
+
+func (o *origin) set(path, body string, mod time.Time) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.body[path] = body
+	o.modified[path] = mod
+}
+
+func (o *origin) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		o.gets.Add(1)
+		o.mu.Lock()
+		body, ok := o.body[r.URL.Path]
+		mod := o.modified[r.URL.Path]
+		o.mu.Unlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		if ims := r.Header.Get("If-Modified-Since"); ims != "" {
+			t, err := http.ParseTime(ims)
+			if err == nil && !mod.Truncate(time.Second).After(t) {
+				o.ims304.Add(1)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+		w.Header().Set("Last-Modified", mod.UTC().Format(http.TimeFormat))
+		fmt.Fprint(w, body)
+	})
+}
+
+// rig wires origin → proxy → test client with a fake clock.
+type rig struct {
+	origin *origin
+	proxy  *Proxy
+	srv    *httptest.Server
+	now    time.Time
+	mu     sync.Mutex
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	o := newOrigin()
+	osrv := httptest.NewServer(o.handler())
+	t.Cleanup(osrv.Close)
+	p, err := New(osrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{origin: o, proxy: p, now: time.Date(1999, 12, 7, 0, 0, 0, 0, time.UTC)}
+	p.Now = func() time.Time {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.now
+	}
+	psrv := httptest.NewServer(p)
+	t.Cleanup(psrv.Close)
+	r.srv = psrv
+	return r
+}
+
+func (r *rig) advance(d time.Duration) {
+	r.mu.Lock()
+	r.now = r.now.Add(d)
+	r.mu.Unlock()
+}
+
+func (r *rig) get(t *testing.T, path string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(r.srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(body), resp.Header.Get("X-Cache")
+}
+
+func TestMissThenHit(t *testing.T) {
+	r := newRig(t)
+	r.origin.set("/a", "hello", r.now.Add(-time.Hour))
+	body, cache := r.get(t, "/a")
+	if body != "hello" || cache != "MISS" {
+		t.Fatalf("first = %q %q", body, cache)
+	}
+	body, cache = r.get(t, "/a")
+	if body != "hello" || cache != "HIT" {
+		t.Fatalf("second = %q %q", body, cache)
+	}
+	if got := r.origin.gets.Load(); got != 1 {
+		t.Fatalf("origin GETs = %d, want 1", got)
+	}
+	st := r.proxy.Stats()
+	if st.Requests != 2 || st.Hits != 1 || st.FullFetches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStaleRevalidation304(t *testing.T) {
+	r := newRig(t)
+	r.origin.set("/a", "v1", r.now.Add(-2*time.Hour))
+	r.get(t, "/a")
+	r.advance(2 * time.Hour) // past the 1h TTL; unchanged at origin
+	body, _ := r.get(t, "/a")
+	if body != "v1" {
+		t.Fatalf("body = %q", body)
+	}
+	if r.origin.ims304.Load() != 1 {
+		t.Fatalf("origin 304s = %d, want 1", r.origin.ims304.Load())
+	}
+	st := r.proxy.Stats()
+	if st.Hits != 1 || st.SyncValidations != 1 || st.FullFetches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Revalidation restarts the TTL clock.
+	body, cache := r.get(t, "/a")
+	if body != "v1" || cache != "HIT" {
+		t.Fatalf("post-revalidation = %q %q", body, cache)
+	}
+}
+
+func TestStaleRevalidationModified(t *testing.T) {
+	r := newRig(t)
+	r.origin.set("/a", "v1", r.now.Add(-2*time.Hour))
+	r.get(t, "/a")
+	r.advance(2 * time.Hour)
+	r.origin.set("/a", "v2", r.now) // changed at origin
+	body, cache := r.get(t, "/a")
+	if body != "v2" || cache != "REVALIDATED" {
+		t.Fatalf("got %q %q", body, cache)
+	}
+	st := r.proxy.Stats()
+	if st.FullFetches != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPCVPiggybackAvoidsSyncValidation(t *testing.T) {
+	r := newRig(t)
+	r.origin.set("/a", "aaa", r.now.Add(-3*time.Hour))
+	r.origin.set("/b", "bbb", r.now.Add(-3*time.Hour))
+	r.get(t, "/a")
+	r.advance(90 * time.Minute) // /a stale now
+	r.proxy.Sweep()             // queue /a for piggybacked validation
+	r.get(t, "/b")              // miss → origin contact → piggyback /a
+	body, cache := r.get(t, "/a")
+	if body != "aaa" || cache != "HIT" {
+		t.Fatalf("piggyback failed: %q %q", body, cache)
+	}
+	st := r.proxy.Stats()
+	if st.SyncValidations != 0 {
+		t.Fatalf("sync validations = %d, want 0 with PCV", st.SyncValidations)
+	}
+	if st.Validations != 1 {
+		t.Fatalf("validations = %d, want 1 (piggybacked)", st.Validations)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	r := newRig(t)
+	r.proxy.Capacity = 10 // bytes
+	r.origin.set("/a", strings.Repeat("a", 6), r.now.Add(-time.Hour))
+	r.origin.set("/b", strings.Repeat("b", 6), r.now.Add(-time.Hour))
+	r.get(t, "/a")
+	r.get(t, "/b") // 12 > 10 → evict /a
+	if st := r.proxy.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d", st.Evictions)
+	}
+	_, cache := r.get(t, "/a")
+	if cache != "MISS" {
+		t.Fatalf("evicted entry served from cache: %q", cache)
+	}
+}
+
+func TestNonGETPassesThrough(t *testing.T) {
+	r := newRig(t)
+	r.origin.set("/a", "data", r.now)
+	resp, err := http.Post(r.srv.URL+"/a", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if r.proxy.Stats().Hits != 0 {
+		t.Fatal("POST must not touch the cache")
+	}
+}
+
+func TestNotFoundNotCached(t *testing.T) {
+	r := newRig(t)
+	if _, err := http.Get(r.srv.URL + "/missing"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(r.srv.URL + "/missing"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.origin.gets.Load(); got != 2 {
+		t.Fatalf("404s must not be cached: origin GETs = %d", got)
+	}
+}
+
+func TestQueryStringsAreDistinctKeys(t *testing.T) {
+	r := newRig(t)
+	r.origin.set("/q", "base", r.now.Add(-time.Hour))
+	b1, _ := r.get(t, "/q?x=1")
+	b2, _ := r.get(t, "/q?x=2")
+	if b1 != "base" || b2 != "base" {
+		t.Fatalf("bodies = %q %q", b1, b2)
+	}
+	if got := r.origin.gets.Load(); got != 2 {
+		t.Fatalf("distinct queries must fetch separately: GETs = %d", got)
+	}
+	r.get(t, "/q?x=1")
+	if got := r.origin.gets.Load(); got != 2 {
+		t.Fatalf("repeat query must hit: GETs = %d", got)
+	}
+}
+
+func TestOriginDownReturns502(t *testing.T) {
+	o := newOrigin()
+	osrv := httptest.NewServer(o.handler())
+	p, err := New(osrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osrv.Close() // origin gone
+	psrv := httptest.NewServer(p)
+	defer psrv.Close()
+	resp, err := http.Get(psrv.URL + "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+	if p.Stats().Errors != 1 {
+		t.Fatalf("errors = %d", p.Stats().Errors)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []string{"", "not a url at all%%%", "/relative/only", "host.without.scheme"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) should fail", bad)
+		}
+	}
+	if _, err := New("http://origin.example:8080"); err != nil {
+		t.Errorf("valid origin rejected: %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := newRig(t)
+	for i := 0; i < 8; i++ {
+		r.origin.set(fmt.Sprintf("/p%d", i), strings.Repeat("x", 100+i), r.now.Add(-time.Hour))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := http.Get(r.srv.URL + fmt.Sprintf("/p%d", (w+i)%8))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := r.proxy.Stats()
+	if st.Requests != 16*50 {
+		t.Fatalf("requests = %d", st.Requests)
+	}
+	if st.Hits < st.Requests*9/10 {
+		t.Fatalf("hits = %d of %d; hot set should mostly hit", st.Hits, st.Requests)
+	}
+}

@@ -1,0 +1,130 @@
+package httpproxy
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+// Trace replay: drive a server log's requests through a live Proxy against
+// a synthetic origin that serves the log's resource table. This is the
+// bridge between the trace-driven simulation (internal/websim) and the
+// working proxy — the same trace must produce the same cache behaviour in
+// both, which ReplayLog's tests assert.
+
+// OriginFromLog builds an origin handler for a log's resources: bodies of
+// the recorded sizes, Last-Modified driven by each resource's
+// ChangePeriod against a virtual clock. now supplies seconds since the
+// log's start.
+func OriginFromLog(l *weblog.Log, now func() uint32) http.Handler {
+	index := make(map[string]int32, len(l.Resources))
+	for i := range l.Resources {
+		index[l.Resources[i].Path] = int32(i)
+	}
+	epoch := l.Start
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, ok := index[r.URL.Path]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		res := l.Resources[id]
+		t := now()
+		lastMod := epoch.Add(time.Duration(res.LastModified(t)) * time.Second)
+		if ims := r.Header.Get("If-Modified-Since"); ims != "" {
+			if imsT, err := http.ParseTime(ims); err == nil && !lastMod.Truncate(time.Second).After(imsT) {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+		w.Header().Set("Last-Modified", lastMod.UTC().Format(http.TimeFormat))
+		w.Header().Set("Content-Length", strconv.Itoa(int(res.Size)))
+		w.WriteHeader(http.StatusOK)
+		// Bodies are synthesized, not stored: repeat a filler byte.
+		const chunk = 8192
+		buf := make([]byte, chunk)
+		for i := range buf {
+			buf[i] = 'x'
+		}
+		remaining := int(res.Size)
+		for remaining > 0 {
+			n := remaining
+			if n > chunk {
+				n = chunk
+			}
+			if _, err := w.Write(buf[:n]); err != nil {
+				return
+			}
+			remaining -= n
+		}
+	})
+}
+
+// ReplayOutcome reports a replay run.
+type ReplayOutcome struct {
+	Requests int
+	Stats    Stats
+	Elapsed  time.Duration
+}
+
+// ReplayLog replays up to maxRequests of l through a fresh Proxy with the
+// given cache parameters, against an in-process origin. The proxy's clock
+// is the trace's virtual time, so TTL expiry happens exactly as the
+// simulation models it; Sweep runs once per virtual sweepEvery seconds.
+func ReplayLog(l *weblog.Log, capacity int64, ttl time.Duration, pcv bool, maxRequests int) (ReplayOutcome, error) {
+	var clockMu sync.Mutex
+	var virtual uint32
+	now := func() uint32 {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return virtual
+	}
+
+	origin := httptest.NewServer(OriginFromLog(l, now))
+	defer origin.Close()
+	proxy, err := New(origin.URL)
+	if err != nil {
+		return ReplayOutcome{}, err
+	}
+	proxy.Capacity = capacity
+	proxy.TTL = ttl
+	proxy.PCV = pcv
+	epoch := l.Start
+	proxy.Now = func() time.Time {
+		return epoch.Add(time.Duration(now()) * time.Second)
+	}
+
+	n := len(l.Requests)
+	if maxRequests > 0 && maxRequests < n {
+		n = maxRequests
+	}
+	start := time.Now()
+	const sweepEvery = 60 // virtual seconds between expiry sweeps
+	lastSweep := uint32(0)
+	for i := 0; i < n; i++ {
+		req := &l.Requests[i]
+		clockMu.Lock()
+		virtual = req.Time
+		clockMu.Unlock()
+		if req.Time-lastSweep >= sweepEvery {
+			proxy.Sweep()
+			lastSweep = req.Time
+		}
+		path := l.Resources[req.URL].Path
+		hr, err := http.NewRequest(http.MethodGet, path, nil)
+		if err != nil {
+			return ReplayOutcome{}, fmt.Errorf("httpproxy: replay request %d: %w", i, err)
+		}
+		rec := httptest.NewRecorder()
+		proxy.ServeHTTP(rec, hr)
+		if rec.Code != http.StatusOK {
+			return ReplayOutcome{}, fmt.Errorf("httpproxy: replay request %d: status %d", i, rec.Code)
+		}
+	}
+	return ReplayOutcome{Requests: n, Stats: proxy.Stats(), Elapsed: time.Since(start)}, nil
+}

@@ -1,0 +1,63 @@
+package inet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// allocator is a buddy allocator over the unicast IPv4 space. The registry
+// hands out non-overlapping blocks by splitting free blocks in half until
+// the requested prefix length is reached — the same mechanism CIDR
+// delegation uses, which guarantees that allocations never overlap and that
+// sibling blocks really are adjacent (important for the route-aggregation
+// pass in bgpsim to be realistic).
+type allocator struct {
+	free map[int][]netutil.Prefix // free blocks by prefix length
+}
+
+// newAllocator seeds the pool with the classic unicast /8s (1–223),
+// excluding 0/8, 10/8 (private), and 127/8 (loopback), shuffled so that
+// consecutive allocations land in unrelated parts of the space.
+func newAllocator(rng *rand.Rand) *allocator {
+	a := &allocator{free: make(map[int][]netutil.Prefix)}
+	var roots []netutil.Prefix
+	for first := 1; first <= 223; first++ {
+		if first == 10 || first == 127 {
+			continue
+		}
+		roots = append(roots, netutil.PrefixFrom(netutil.AddrFrom4(byte(first), 0, 0, 0), 8))
+	}
+	rng.Shuffle(len(roots), func(i, j int) { roots[i], roots[j] = roots[j], roots[i] })
+	a.free[8] = roots
+	return a
+}
+
+// alloc returns a free block of exactly the requested length, splitting
+// larger blocks as needed. It fails only when the pool is exhausted at
+// every length ≤ bits.
+func (a *allocator) alloc(bits int) (netutil.Prefix, error) {
+	if bits < 8 || bits > 30 {
+		return netutil.Prefix{}, fmt.Errorf("inet: allocation length /%d out of supported range", bits)
+	}
+	// Find the longest available length ≤ bits (closest fit first).
+	src := -1
+	for l := bits; l >= 8; l-- {
+		if len(a.free[l]) > 0 {
+			src = l
+			break
+		}
+	}
+	if src == -1 {
+		return netutil.Prefix{}, fmt.Errorf("inet: address space exhausted for /%d", bits)
+	}
+	blk := a.free[src][len(a.free[src])-1]
+	a.free[src] = a.free[src][:len(a.free[src])-1]
+	for blk.Bits() < bits {
+		lo, hi := blk.Halves()
+		a.free[hi.Bits()] = append(a.free[hi.Bits()], hi)
+		blk = lo
+	}
+	return blk, nil
+}

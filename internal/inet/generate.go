@@ -1,0 +1,305 @@
+package inet
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/radix"
+)
+
+// Config controls world generation. The defaults produce an Internet of
+// roughly the scale the paper's logs imply: tens of thousands of
+// administratively distinct networks so that a Nagano-sized client
+// population (~60 K clients) lands in ~10 K clusters.
+type Config struct {
+	Seed    int64
+	NumASes int
+	Regions int // backbone regions (ring topology)
+
+	// NumTierOne is how many ASes are tier-1 providers: candidates for
+	// routing-table vantage points and traceroute origins.
+	NumTierOne int
+
+	// DNSRegisteredProb is the probability that a network publishes
+	// reverse DNS for its hosts; the complement models the paper's ~50%
+	// nslookup failures.
+	DNSRegisteredProb float64
+
+	// FirewalledProb is the probability that a (non-national-gateway)
+	// network's hosts ignore UDP probes, hiding them from traceroute's
+	// direct Max_ttl probe.
+	FirewalledProb float64
+
+	// Countries overrides the default country mix when non-nil.
+	Countries []*Country
+}
+
+// DefaultConfig returns the scale used by the headline experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		NumASes:           1800,
+		Regions:           12,
+		NumTierOne:        24,
+		DNSRegisteredProb: 0.55,
+		FirewalledProb:    0.45,
+	}
+}
+
+// Generate builds a deterministic synthetic Internet from cfg. The same
+// Config always yields byte-identical worlds, which keeps every experiment
+// reproducible.
+func Generate(cfg Config) (*Internet, error) {
+	if cfg.NumASes <= 0 {
+		return nil, fmt.Errorf("inet: NumASes must be positive, got %d", cfg.NumASes)
+	}
+	if cfg.Regions <= 0 {
+		return nil, fmt.Errorf("inet: Regions must be positive, got %d", cfg.Regions)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	countries := cfg.Countries
+	if countries == nil {
+		countries = defaultCountries()
+	}
+	totalWeight := 0
+	for _, c := range countries {
+		totalWeight += c.Weight
+	}
+	if totalWeight <= 0 {
+		return nil, fmt.Errorf("inet: country weights sum to %d", totalWeight)
+	}
+	pickCountry := func() *Country {
+		r := rng.Intn(totalWeight)
+		for _, c := range countries {
+			if r < c.Weight {
+				return c
+			}
+			r -= c.Weight
+		}
+		return countries[len(countries)-1]
+	}
+
+	in := &Internet{
+		Countries: countries,
+		Regions:   cfg.Regions,
+		truth:     radix.New[*Network](),
+	}
+	alloc := newAllocator(rng)
+	g := &generator{cfg: cfg, rng: rng, in: in, alloc: alloc}
+
+	for i := 0; i < cfg.NumASes; i++ {
+		kind := asKind(rng)
+		display, label := orgName(rng, kind)
+		country := pickCountry()
+		as := &AS{
+			Number:   uint32(64 + i), // low AS numbers, 1999-style
+			Name:     display,
+			DNSLabel: label + strconv.Itoa(i), // guarantee label uniqueness
+			Country:  country,
+			Region:   rng.Intn(cfg.Regions),
+			NumPops:  1 + rng.Intn(4),
+		}
+		if i < cfg.NumTierOne {
+			as.Tier = 1
+			// Tier-1s skew American and sit in distinct regions.
+			as.Region = i % cfg.Regions
+		} else {
+			as.Tier = 2
+		}
+		if err := g.populateAS(as, kind); err != nil {
+			return nil, err
+		}
+		in.ASes = append(in.ASes, as)
+	}
+	sortNetworks(in.Networks)
+	for id, n := range in.Networks {
+		n.ID = id
+		in.truth.Insert(n.Prefix, n)
+	}
+	// Canonical per-AS order too, so a serialized-and-reloaded world is
+	// byte-identical in iteration order to the generated one (bgpsim's
+	// per-network visibility draws depend on it).
+	for _, as := range in.ASes {
+		sortNetworks(as.Networks)
+	}
+	return in, nil
+}
+
+type generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	in    *Internet
+	alloc *allocator
+}
+
+// asKind picks the organization kind of an AS owner. ISPs dominate AS
+// counts; universities and companies run their own ASes less often.
+func asKind(rng *rand.Rand) OrgKind {
+	r := rng.Float64()
+	switch {
+	case r < 0.45:
+		return OrgISP
+	case r < 0.75:
+		return OrgCompany
+	case r < 0.92:
+		return OrgUniversity
+	default:
+		return OrgGovernment
+	}
+}
+
+// allocationBits draws a registry allocation size. The mix is tuned so the
+// resulting network prefix-length histogram peaks at /24 with a long tail
+// of shorter prefixes, matching Figure 1 of the paper.
+func (g *generator) allocationBits(tier int) int {
+	r := g.rng.Float64()
+	if tier == 1 {
+		// Providers hold the big blocks, including the rare legacy /8.
+		switch {
+		case r < 0.04:
+			return 8
+		case r < 0.14:
+			return 14
+		case r < 0.45:
+			return 16
+		case r < 0.75:
+			return 17
+		default:
+			return 18
+		}
+	}
+	switch {
+	case r < 0.004:
+		return 8
+	case r < 0.012:
+		return 14
+	case r < 0.05:
+		return 16
+	case r < 0.10:
+		return 17
+	case r < 0.18:
+		return 18
+	case r < 0.30:
+		return 19
+	case r < 0.50:
+		return 20
+	case r < 0.70:
+		return 21
+	default:
+		return 22
+	}
+}
+
+func (g *generator) populateAS(as *AS, ownerKind OrgKind) error {
+	nAllocs := 1
+	if g.rng.Float64() < 0.35 {
+		nAllocs = 2
+	}
+	if as.Tier == 1 {
+		nAllocs = 2 + g.rng.Intn(2)
+	}
+	for a := 0; a < nAllocs; a++ {
+		bits := g.allocationBits(as.Tier)
+		blk, err := g.alloc.alloc(bits)
+		if err != nil {
+			return err
+		}
+		as.Allocations = append(as.Allocations, blk)
+		g.carve(as, ownerKind, blk)
+	}
+	return nil
+}
+
+// carve recursively subdivides an allocation into administratively uniform
+// networks, leaving some sub-blocks unused (registries allocate more than
+// ASes actually route — the gap is what makes network dumps a coarse,
+// secondary source).
+func (g *generator) carve(as *AS, ownerKind OrgKind, blk netutil.Prefix) {
+	l := blk.Bits()
+	r := g.rng.Float64()
+	switch {
+	case l >= 28:
+		g.makeNetwork(as, ownerKind, blk)
+		return
+	case l >= 24:
+		if r < 0.985 {
+			g.makeNetwork(as, ownerKind, blk)
+			return
+		}
+		// else rare subnetting below /24 (the paper's /28 Bell Atlantic
+		// example); Figure 1 shows only ~0.1% of prefixes longer than /24
+	case l >= 17:
+		if r < 0.30 {
+			g.makeNetwork(as, ownerKind, blk)
+			return
+		}
+		if r < 0.35 {
+			return // unused block
+		}
+	default: // l < 17: big legacy blocks are mostly air
+		if r < 0.02 {
+			g.makeNetwork(as, ownerKind, blk)
+			return
+		}
+		if r < 0.42 {
+			return
+		}
+	}
+	lo, hi := blk.Halves()
+	g.carve(as, ownerKind, lo)
+	g.carve(as, ownerKind, hi)
+}
+
+func (g *generator) makeNetwork(as *AS, ownerKind OrgKind, blk netutil.Prefix) {
+	// Inside an ISP's allocation, most networks belong to customers with
+	// their own kinds and domains; pools keep the ISP's own domain.
+	kind := ownerKind
+	var base string
+	if ownerKind == OrgISP && g.rng.Float64() < 0.55 {
+		kind = customerKind(g.rng)
+		_, label := orgName(g.rng, kind)
+		base = baseDomain(g.rng, kind, label+strconv.Itoa(len(as.Networks)), as.Country)
+	} else {
+		base = baseDomain(g.rng, ownerKind, as.DNSLabel, as.Country)
+	}
+	n := &Network{
+		Prefix:         blk,
+		AS:             as,
+		Kind:           kind,
+		Country:        as.Country,
+		Pop:            g.rng.Intn(as.NumPops),
+		Domain:         networkDomain(g.rng, kind, base, len(as.Networks)),
+		DNSRegistered:  g.rng.Float64() < g.cfg.DNSRegisteredProb,
+		PerClientNames: kind == OrgISP,
+	}
+	if as.Country.NationalGateway {
+		// Interiors behind national gateways are invisible to probes
+		// regardless of local policy.
+		n.Firewalled = true
+	} else {
+		n.Firewalled = g.rng.Float64() < g.cfg.FirewalledProb
+	}
+	as.Networks = append(as.Networks, n)
+	g.in.Networks = append(g.in.Networks, n)
+}
+
+func customerKind(rng *rand.Rand) OrgKind {
+	r := rng.Float64()
+	switch {
+	case r < 0.55:
+		return OrgCompany
+	case r < 0.80:
+		return OrgUniversity
+	case r < 0.92:
+		return OrgISP
+	default:
+		return OrgGovernment
+	}
+}
+
+// RandomHost draws a uniformly random usable host address inside n.
+func (n *Network) RandomHost(rng *rand.Rand) netutil.Addr {
+	return n.HostAddr(rng.Intn(n.HostCapacity()))
+}

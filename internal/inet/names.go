@@ -1,0 +1,167 @@
+package inet
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// Name material. Organization names are assembled from neutral word lists
+// so that generated domains look plausible (macbeth.cs.wits.ac.za style)
+// without colliding with real operators.
+
+var orgWords = []string{
+	"acorn", "alder", "aspen", "basalt", "beacon", "birch", "bluff", "briar",
+	"canyon", "cedar", "cinder", "cobalt", "cypress", "delta", "ember",
+	"fern", "ficus", "flint", "gale", "garnet", "glade", "granite", "grove",
+	"harbor", "hazel", "heron", "hollow", "ibis", "juniper", "kestrel",
+	"larch", "lotus", "magnet", "maple", "marsh", "mesa", "mica", "moraine",
+	"nimbus", "oriole", "osprey", "pine", "quartz", "quill", "raven",
+	"ridge", "rowan", "sable", "sequoia", "shale", "sparrow", "spruce",
+	"summit", "tamarind", "thistle", "tundra", "vale", "walnut", "willow",
+	"wren", "yarrow", "zephyr",
+}
+
+var orgSuffixes = map[OrgKind][]string{
+	OrgUniversity: {"university", "institute", "college", "polytechnic"},
+	OrgCompany:    {"systems", "industries", "labs", "corp", "holdings", "works", "logic", "dynamics"},
+	OrgISP:        {"net", "online", "link", "connect", "telecom", "wave"},
+	OrgGovernment: {"agency", "bureau", "ministry", "authority"},
+}
+
+var departmentLabels = []string{
+	"cs", "math", "physics", "ee", "bio", "chem", "law", "med", "arts",
+	"eng", "geo", "econ", "stat", "astro", "ling", "hist",
+}
+
+var hostWords = []string{
+	"macbeth", "hamlet", "ophelia", "prospero", "ariel", "puck", "oberon",
+	"titania", "lear", "cordelia", "duncan", "banquo", "portia", "brutus",
+	"cassius", "viola", "orsino", "miranda", "iago", "emilia", "falstaff",
+	"hermia", "lysander", "demetrius", "helena", "feste", "malvolio",
+}
+
+// defaultCountries is a 1999-flavoured mix: the US dominates web clients,
+// a long tail of other countries follows, and a few countries route all
+// traffic through national gateways (the paper names Croatia, France and
+// Japan as examples it encountered).
+func defaultCountries() []*Country {
+	return []*Country{
+		{Code: "us", TLD: "", AcademicSuffix: "edu", Weight: 50},
+		{Code: "ca", TLD: "ca", AcademicSuffix: "ca", Weight: 5},
+		{Code: "uk", TLD: "uk", AcademicSuffix: "ac.uk", Weight: 5},
+		{Code: "de", TLD: "de", AcademicSuffix: "de", Weight: 4},
+		{Code: "jp", TLD: "jp", AcademicSuffix: "ac.jp", NationalGateway: true, Weight: 5},
+		{Code: "fr", TLD: "fr", AcademicSuffix: "fr", NationalGateway: true, Weight: 4},
+		{Code: "au", TLD: "au", AcademicSuffix: "edu.au", Weight: 3},
+		{Code: "br", TLD: "br", AcademicSuffix: "br", Weight: 3},
+		{Code: "kr", TLD: "kr", AcademicSuffix: "ac.kr", Weight: 2},
+		{Code: "za", TLD: "za", AcademicSuffix: "ac.za", Weight: 2},
+		{Code: "hr", TLD: "hr", AcademicSuffix: "hr", NationalGateway: true, Weight: 1},
+		{Code: "nl", TLD: "nl", AcademicSuffix: "nl", Weight: 2},
+		{Code: "se", TLD: "se", AcademicSuffix: "se", Weight: 2},
+		{Code: "it", TLD: "it", AcademicSuffix: "it", Weight: 2},
+		{Code: "mx", TLD: "mx", AcademicSuffix: "edu.mx", Weight: 2},
+		{Code: "ar", TLD: "ar", AcademicSuffix: "edu.ar", Weight: 1},
+		{Code: "cl", TLD: "cl", AcademicSuffix: "cl", Weight: 1},
+		{Code: "sg", TLD: "sg", AcademicSuffix: "edu.sg", Weight: 1},
+	}
+}
+
+// orgName invents an organization name and its base DNS label.
+func orgName(rng *rand.Rand, kind OrgKind) (display, label string) {
+	w := orgWords[rng.Intn(len(orgWords))]
+	suffix := orgSuffixes[kind][rng.Intn(len(orgSuffixes[kind]))]
+	display = strings.Title(w) + " " + strings.Title(suffix)
+	label = w
+	if rng.Intn(3) == 0 {
+		// Two-word label for variety: "ficusnet", "cedarlabs".
+		label = w + suffix
+		if len(label) > 14 {
+			label = label[:14]
+		}
+	}
+	return display, label
+}
+
+// baseDomain builds the registrable domain for an organization in a
+// country: "ficus.com" (US company), "wits.ac.za" (ZA university), etc.
+func baseDomain(rng *rand.Rand, kind OrgKind, label string, c *Country) string {
+	switch kind {
+	case OrgUniversity:
+		if c.AcademicSuffix != "" {
+			return label + "." + c.AcademicSuffix
+		}
+		return label + ".edu"
+	case OrgGovernment:
+		if c.Code == "us" {
+			return label + ".gov"
+		}
+		return label + ".gov." + c.TLD
+	case OrgISP:
+		if c.TLD == "" {
+			return label + ".net"
+		}
+		return label + ".net." + c.TLD
+	default: // company
+		if c.TLD == "" {
+			return label + ".com"
+		}
+		if rng.Intn(2) == 0 {
+			return label + ".co." + c.TLD
+		}
+		return label + "." + c.TLD
+	}
+}
+
+// networkDomain derives the per-network domain under an organization's
+// base domain. Universities put departments in front (cs.wits.ac.za);
+// companies and agencies mostly use the base domain directly, sometimes a
+// site label; ISP pools use regional pool labels.
+func networkDomain(rng *rand.Rand, kind OrgKind, base string, idx int) string {
+	switch kind {
+	case OrgUniversity:
+		dept := departmentLabels[(idx+rng.Intn(len(departmentLabels)))%len(departmentLabels)]
+		return dept + "." + base
+	case OrgISP:
+		return "pool" + strconv.Itoa(idx) + "." + base
+	default:
+		if idx == 0 || rng.Intn(3) != 0 {
+			return base
+		}
+		return "site" + strconv.Itoa(idx) + "." + base
+	}
+}
+
+// HostName returns the fully-qualified reverse-DNS name a registered
+// network publishes for addr. ISP-style networks embed the address
+// (client-12-65-147-94.pool0.ficus.net); everything else gets a themed host
+// label with a numeric disambiguator.
+func (n *Network) HostName(addr netutil.Addr) string {
+	if n.PerClientNames {
+		o := addr.Octets()
+		return "client-" + strconv.Itoa(int(o[0])) + "-" + strconv.Itoa(int(o[1])) + "-" +
+			strconv.Itoa(int(o[2])) + "-" + strconv.Itoa(int(o[3])) + "." + n.Domain
+	}
+	// Deterministic per-address label, unique within the network because the
+	// numeric suffix is the host offset.
+	off := uint32(addr) - uint32(n.Prefix.Addr())
+	word := hostWords[int(off)%len(hostWords)]
+	return word + strconv.FormatUint(uint64(off), 10) + "." + n.Domain
+}
+
+// NameSuffix implements the paper's "non-trivial suffix" (footnote 7): the
+// last 3 components when the name has ≥ 4 components, else the last 2.
+func NameSuffix(fqdn string) string {
+	parts := strings.Split(fqdn, ".")
+	n := 2
+	if len(parts) >= 4 {
+		n = 3
+	}
+	if len(parts) <= n {
+		return fqdn
+	}
+	return strings.Join(parts[len(parts)-n:], ".")
+}

@@ -1,0 +1,249 @@
+package inet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/radix"
+)
+
+// World serialization: a versioned, line-oriented, tab-separated format so
+// that loggen, bgpgen and experiment runs in separate processes can share
+// one exact ground truth instead of relying on identical generation flags.
+// The format is complete — a read-back world is behaviourally identical
+// (same networks, names, flags, topology, and therefore the same DNS,
+// traceroute, and BGP-view derivations).
+
+const worldMagic = "netcluster-world v1"
+
+// WriteWorld serializes the world.
+func WriteWorld(w io.Writer, in *Internet) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, worldMagic)
+	fmt.Fprintf(bw, "regions\t%d\n", in.Regions)
+
+	countryIdx := make(map[*Country]int, len(in.Countries))
+	fmt.Fprintf(bw, "countries\t%d\n", len(in.Countries))
+	for i, c := range in.Countries {
+		countryIdx[c] = i
+		natgw := 0
+		if c.NationalGateway {
+			natgw = 1
+		}
+		fmt.Fprintf(bw, "%s\t%s\t%s\t%d\t%d\n", c.Code, c.TLD, c.AcademicSuffix, natgw, c.Weight)
+	}
+
+	asIdx := make(map[*AS]int, len(in.ASes))
+	fmt.Fprintf(bw, "ases\t%d\n", len(in.ASes))
+	for i, as := range in.ASes {
+		asIdx[as] = i
+		allocs := make([]string, len(as.Allocations))
+		for j, a := range as.Allocations {
+			allocs[j] = a.String()
+		}
+		fmt.Fprintf(bw, "%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			as.Number, as.Name, as.DNSLabel, countryIdx[as.Country],
+			as.Region, as.Tier, as.NumPops, strings.Join(allocs, ","))
+	}
+
+	fmt.Fprintf(bw, "networks\t%d\n", len(in.Networks))
+	for _, n := range in.Networks {
+		flags := 0
+		if n.DNSRegistered {
+			flags |= 1
+		}
+		if n.Firewalled {
+			flags |= 2
+		}
+		if n.PerClientNames {
+			flags |= 4
+		}
+		fmt.Fprintf(bw, "%s\t%d\t%d\t%s\t%d\t%d\n",
+			n.Prefix, asIdx[n.AS], int(n.Kind), n.Domain, n.Pop, flags)
+	}
+	return bw.Flush()
+}
+
+// worldReader tracks position for error messages.
+type worldReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func (r *worldReader) next() (string, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimRight(r.sc.Text(), "\r\n")
+		if line != "" {
+			return line, nil
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+func (r *worldReader) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("inet: world line %d: %s", r.line, fmt.Sprintf(format, args...))
+}
+
+// section reads a "name\tcount" header line.
+func (r *worldReader) section(name string) (int, error) {
+	line, err := r.next()
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Split(line, "\t")
+	if len(fields) != 2 || fields[0] != name {
+		return 0, r.errf("expected %q header, got %q", name, line)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 {
+		return 0, r.errf("bad %s count %q", name, fields[1])
+	}
+	return n, nil
+}
+
+// ReadWorld deserializes a world written by WriteWorld, rebuilding every
+// index and back-pointer.
+func ReadWorld(rd io.Reader) (*Internet, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	r := &worldReader{sc: sc}
+
+	magic, err := r.next()
+	if err != nil {
+		return nil, fmt.Errorf("inet: reading world: %w", err)
+	}
+	if magic != worldMagic {
+		return nil, fmt.Errorf("inet: not a world file (header %q)", magic)
+	}
+	in := &Internet{truth: radix.New[*Network]()}
+
+	if in.Regions, err = r.section("regions"); err != nil {
+		return nil, err
+	}
+	if in.Regions <= 0 {
+		return nil, r.errf("regions must be positive")
+	}
+
+	nCountries, err := r.section("countries")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nCountries; i++ {
+		line, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		f := strings.Split(line, "\t")
+		if len(f) != 5 {
+			return nil, r.errf("country needs 5 fields, got %d", len(f))
+		}
+		natgw, err1 := strconv.Atoi(f[3])
+		weight, err2 := strconv.Atoi(f[4])
+		if err1 != nil || err2 != nil {
+			return nil, r.errf("bad country numbers")
+		}
+		in.Countries = append(in.Countries, &Country{
+			Code: f[0], TLD: f[1], AcademicSuffix: f[2],
+			NationalGateway: natgw == 1, Weight: weight,
+		})
+	}
+
+	nASes, err := r.section("ases")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nASes; i++ {
+		line, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		f := strings.Split(line, "\t")
+		if len(f) != 8 {
+			return nil, r.errf("AS needs 8 fields, got %d", len(f))
+		}
+		num, err := strconv.ParseUint(f[0], 10, 32)
+		if err != nil {
+			return nil, r.errf("bad AS number %q", f[0])
+		}
+		cIdx, err := strconv.Atoi(f[3])
+		if err != nil || cIdx < 0 || cIdx >= len(in.Countries) {
+			return nil, r.errf("bad country index %q", f[3])
+		}
+		region, err1 := strconv.Atoi(f[4])
+		tier, err2 := strconv.Atoi(f[5])
+		pops, err3 := strconv.Atoi(f[6])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, r.errf("bad AS numbers")
+		}
+		as := &AS{
+			Number: uint32(num), Name: f[1], DNSLabel: f[2],
+			Country: in.Countries[cIdx], Region: region, Tier: tier, NumPops: pops,
+		}
+		if f[7] != "" {
+			for _, s := range strings.Split(f[7], ",") {
+				p, err := netutil.ParsePrefix(s)
+				if err != nil {
+					return nil, r.errf("bad allocation %q: %v", s, err)
+				}
+				as.Allocations = append(as.Allocations, p)
+			}
+		}
+		in.ASes = append(in.ASes, as)
+	}
+
+	nNetworks, err := r.section("networks")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nNetworks; i++ {
+		line, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		f := strings.Split(line, "\t")
+		if len(f) != 6 {
+			return nil, r.errf("network needs 6 fields, got %d", len(f))
+		}
+		prefix, err := netutil.ParsePrefix(f[0])
+		if err != nil {
+			return nil, r.errf("bad prefix %q: %v", f[0], err)
+		}
+		asIdx, err := strconv.Atoi(f[1])
+		if err != nil || asIdx < 0 || asIdx >= len(in.ASes) {
+			return nil, r.errf("bad AS index %q", f[1])
+		}
+		kind, err1 := strconv.Atoi(f[2])
+		pop, err2 := strconv.Atoi(f[4])
+		flags, err3 := strconv.Atoi(f[5])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, r.errf("bad network numbers")
+		}
+		if kind < 0 || OrgKind(kind) >= orgKindCount {
+			return nil, r.errf("bad org kind %d", kind)
+		}
+		as := in.ASes[asIdx]
+		n := &Network{
+			Prefix: prefix, AS: as, Kind: OrgKind(kind), Domain: f[3],
+			Country: as.Country, Pop: pop,
+			DNSRegistered:  flags&1 != 0,
+			Firewalled:     flags&2 != 0,
+			PerClientNames: flags&4 != 0,
+		}
+		as.Networks = append(as.Networks, n)
+		in.Networks = append(in.Networks, n)
+	}
+	sortNetworks(in.Networks)
+	for id, n := range in.Networks {
+		n.ID = id
+		in.truth.Insert(n.Prefix, n)
+	}
+	return in, nil
+}

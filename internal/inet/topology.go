@@ -1,0 +1,115 @@
+package inet
+
+import (
+	"strconv"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// Hop is one router on a forwarding path. Responds reports whether the
+// router answers ICMP TIME_EXCEEDED when a probe expires at it; routers
+// behind a national gateway stay silent, which is how the gateway hides a
+// country's interior from traceroute.
+type Hop struct {
+	Name     string
+	Responds bool
+}
+
+// Route is the forwarding path from a vantage AS to a destination host,
+// plus whether the destination itself answers the final UDP probe with
+// ICMP PORT_UNREACHABLE (it does not when its network is firewalled or sits
+// behind a national gateway).
+type Route struct {
+	Hops        []Hop
+	DstResponds bool
+	Network     *Network
+}
+
+// coreName names the backbone router of a region.
+func coreName(region int) string {
+	return "core" + strconv.Itoa(region) + ".backbone.net"
+}
+
+func (as *AS) borderName() string {
+	return "border." + as.DNSLabel + ".net"
+}
+
+func (as *AS) popName(pop int) string {
+	return "pop" + strconv.Itoa(pop) + "." + as.DNSLabel + ".net"
+}
+
+func (n *Network) gatewayName() string {
+	// The network id disambiguates gateways of organizations that reuse
+	// one domain across several subnets (gw3.ficus.com, gw7.ficus.com) —
+	// real router names are per-device, and path-suffix matching depends
+	// on the last hop identifying the network, not the organization.
+	return "gw" + strconv.Itoa(n.ID) + "." + n.Domain
+}
+
+// GatewayName exposes the network's last-hop router name; two clients share
+// it exactly when they share a network, which is what path-suffix
+// validation keys on.
+func (n *Network) GatewayName() string { return n.gatewayName() }
+
+// regionPath returns the backbone regions crossed from a to b along the
+// shorter arc of the region ring, inclusive of both endpoints.
+func regionPath(a, b, regions int) []int {
+	if a == b {
+		return []int{a}
+	}
+	cw := (b - a + regions) % regions  // clockwise distance
+	ccw := (a - b + regions) % regions // counter-clockwise distance
+	step := 1
+	if ccw < cw {
+		step = regions - 1 // step -1 mod regions
+	}
+	path := []int{a}
+	for r := a; r != b; {
+		r = (r + step) % regions
+		path = append(path, r)
+	}
+	return path
+}
+
+// PathTo computes the forwarding path from vantage AS `from` to dst. The
+// boolean is false when dst lies outside every generated network (such
+// addresses exist: registries allocate more than ASes route).
+//
+// The path shape is: origin border router → backbone cores along the
+// region ring → (national gateway, if the destination country has one) →
+// destination AS border → destination point-of-presence → network gateway.
+// Hops after a national gateway never respond to probes.
+func (in *Internet) PathTo(from *AS, dst *Network) Route {
+	var hops []Hop
+	visible := true
+	add := func(name string) {
+		hops = append(hops, Hop{Name: name, Responds: visible})
+	}
+	add(from.borderName())
+	for _, r := range regionPath(from.Region, dst.AS.Region, in.Regions) {
+		add(coreName(r))
+	}
+	if dst.Country.NationalGateway {
+		add("natgw." + dst.Country.Code + ".net")
+		visible = false
+	}
+	add(dst.AS.borderName())
+	add(dst.AS.popName(dst.Pop))
+	add(dst.gatewayName())
+	return Route{
+		Hops:        hops,
+		DstResponds: visible && !dst.Firewalled,
+		Network:     dst,
+	}
+}
+
+// PathToAddr resolves dst's ground-truth network and computes the path to
+// it. The boolean is false when dst lies outside every generated network
+// (registries allocate more than ASes route, so such addresses exist).
+func (in *Internet) PathToAddr(from *AS, dst netutil.Addr) (Route, bool) {
+	n, ok := in.NetworkOf(dst)
+	if !ok {
+		return Route{}, false
+	}
+	return in.PathTo(from, n), true
+}

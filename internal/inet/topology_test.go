@@ -1,0 +1,121 @@
+package inet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRegionPath(t *testing.T) {
+	cases := []struct {
+		a, b, regions int
+		want          []int
+	}{
+		{0, 0, 8, []int{0}},
+		{0, 1, 8, []int{0, 1}},
+		{0, 3, 8, []int{0, 1, 2, 3}},
+		{0, 7, 8, []int{0, 7}},       // shorter arc goes backwards
+		{6, 1, 8, []int{6, 7, 0, 1}}, // wraps around
+		{0, 4, 8, []int{0, 1, 2, 3, 4}},
+	}
+	for _, c := range cases {
+		got := regionPath(c.a, c.b, c.regions)
+		if len(got) != len(c.want) {
+			t.Errorf("regionPath(%d,%d,%d) = %v, want %v", c.a, c.b, c.regions, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("regionPath(%d,%d,%d) = %v, want %v", c.a, c.b, c.regions, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestRegionPathAlwaysConnects(t *testing.T) {
+	for regions := 1; regions <= 16; regions++ {
+		for a := 0; a < regions; a++ {
+			for b := 0; b < regions; b++ {
+				p := regionPath(a, b, regions)
+				if p[0] != a || p[len(p)-1] != b {
+					t.Fatalf("regionPath(%d,%d,%d) endpoints wrong: %v", a, b, regions, p)
+				}
+				if len(p) > regions/2+2 {
+					t.Fatalf("regionPath(%d,%d,%d) not the short arc: %v", a, b, regions, p)
+				}
+			}
+		}
+	}
+}
+
+func TestPathProperties(t *testing.T) {
+	in := generate(t, smallConfig(21))
+	vantage := in.VantageASes()[0]
+	rng := rand.New(rand.NewSource(3))
+
+	for i := 0; i < 200; i++ {
+		n := in.Networks[rng.Intn(len(in.Networks))]
+		route := in.PathTo(vantage, n)
+		if len(route.Hops) < 4 {
+			t.Fatalf("path to %v too short: %v", n.Prefix, route.Hops)
+		}
+		last := route.Hops[len(route.Hops)-1]
+		if last.Name != n.GatewayName() {
+			t.Fatalf("last hop %q, want gateway %q", last.Name, n.GatewayName())
+		}
+		if n.Country.NationalGateway {
+			if route.DstResponds {
+				t.Fatalf("host behind national gateway must not respond")
+			}
+			if last.Responds {
+				t.Fatalf("gateway-interior hop must be silent")
+			}
+		} else if n.Firewalled && route.DstResponds {
+			t.Fatalf("firewalled host must not respond")
+		} else if !n.Firewalled && !route.DstResponds {
+			t.Fatalf("open host must respond")
+		}
+	}
+}
+
+func TestSameNetworkSharesPathSuffix(t *testing.T) {
+	in := generate(t, smallConfig(22))
+	vantage := in.VantageASes()[1]
+	rng := rand.New(rand.NewSource(4))
+
+	for i := 0; i < 100; i++ {
+		n := in.Networks[rng.Intn(len(in.Networks))]
+		r1, ok1 := in.PathToAddr(vantage, n.HostAddr(0))
+		r2, ok2 := in.PathToAddr(vantage, n.HostAddr(n.HostCapacity()-1))
+		if !ok1 || !ok2 {
+			t.Fatalf("hosts of %v must route", n.Prefix)
+		}
+		s1 := r1.Hops[len(r1.Hops)-2:]
+		s2 := r2.Hops[len(r2.Hops)-2:]
+		if s1[0].Name != s2[0].Name || s1[1].Name != s2[1].Name {
+			t.Fatalf("same-network hosts have different path suffixes: %v vs %v", s1, s2)
+		}
+	}
+}
+
+func TestDifferentNetworksDifferInGateway(t *testing.T) {
+	in := generate(t, smallConfig(23))
+	vantage := in.VantageASes()[0]
+	seen := map[string]*Network{}
+	for _, n := range in.Networks[:200] {
+		r := in.PathTo(vantage, n)
+		gw := r.Hops[len(r.Hops)-1].Name
+		if prev, dup := seen[gw]; dup && prev.Domain != n.Domain {
+			t.Fatalf("networks %v and %v with different domains share gateway %q", prev.Prefix, n.Prefix, gw)
+		}
+		seen[gw] = n
+	}
+}
+
+func TestPathToAddrUnrouted(t *testing.T) {
+	in := generate(t, smallConfig(24))
+	vantage := in.VantageASes()[0]
+	if _, ok := in.PathToAddr(vantage, 0x7F000001); ok { // 127.0.0.1
+		t.Error("loopback must be unrouted")
+	}
+}

@@ -1,0 +1,115 @@
+package radix
+
+import (
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// Multibit is a stride-8 longest-prefix-match table built with controlled
+// prefix expansion: every prefix is expanded to the byte boundary above
+// it, so a lookup is at most four array indexing steps with no bit
+// twiddling. This is the classic trade hardware and software routers make
+// against the path-compressed binary trie (Tree): considerably more
+// memory, considerably faster lookups on wide tables. The clustering
+// pipeline can use either engine; BenchmarkAblationTrieDesign quantifies
+// the trade on this workload.
+//
+// Multibit is build-oriented: Insert and Lookup only. Routers rebuild
+// expanded FIBs on change rather than editing them in place, and the
+// clustering pipeline's merged tables are likewise write-once; use Tree
+// when deletion is needed.
+type Multibit[V any] struct {
+	root mbNode[V]
+	size int
+	keys map[netutil.Prefix]struct{}
+}
+
+type mbEntry[V any] struct {
+	prefix netutil.Prefix
+	value  V
+}
+
+type mbNode[V any] struct {
+	children [256]*mbNode[V]
+	// entries[b] is the longest prefix terminating within this node's
+	// byte whose expansion covers slot b.
+	entries [256]*mbEntry[V]
+}
+
+// NewMultibit returns an empty table.
+func NewMultibit[V any]() *Multibit[V] {
+	return &Multibit[V]{keys: make(map[netutil.Prefix]struct{})}
+}
+
+// Len returns the number of distinct prefixes inserted.
+func (m *Multibit[V]) Len() int { return m.size }
+
+// Insert adds or replaces the value for prefix p. It reports whether the
+// prefix was newly inserted.
+func (m *Multibit[V]) Insert(p netutil.Prefix, v V) bool {
+	_, existed := m.keys[p]
+	if !existed {
+		m.keys[p] = struct{}{}
+		m.size++
+	}
+	e := &mbEntry[V]{prefix: p, value: v}
+	octets := p.Addr().Octets()
+	bits := p.Bits()
+
+	n := &m.root
+	// Walk full bytes above the terminating level.
+	fullBytes := bits / 8
+	if bits%8 == 0 && bits > 0 {
+		fullBytes-- // the final full byte is the terminating level
+	}
+	for i := 0; i < fullBytes; i++ {
+		b := octets[i]
+		if n.children[b] == nil {
+			n.children[b] = &mbNode[V]{}
+		}
+		n = n.children[b]
+	}
+	// Expand the remaining bits within the terminating byte.
+	rem := bits - fullBytes*8 // 0..8 significant bits in this byte
+	if bits == 0 {
+		rem = 0
+	}
+	base := 0
+	if rem > 0 {
+		base = int(octets[fullBytes]) & (0xFF << (8 - rem))
+	}
+	span := 1 << (8 - rem)
+	for s := 0; s < span; s++ {
+		slot := base + s
+		cur := n.entries[slot]
+		if cur == nil || cur.prefix.Bits() <= p.Bits() {
+			// Longer (or equal: replacement) prefixes win the slot.
+			if cur == nil || cur.prefix.Bits() < p.Bits() || cur.prefix == p {
+				n.entries[slot] = e
+			}
+		}
+	}
+	return !existed
+}
+
+// Lookup returns the longest stored prefix containing addr.
+func (m *Multibit[V]) Lookup(addr netutil.Addr) (netutil.Prefix, V, bool) {
+	octets := addr.Octets()
+	var best *mbEntry[V]
+	n := &m.root
+	for level := 0; level < 4; level++ {
+		b := octets[level]
+		if e := n.entries[b]; e != nil {
+			best = e
+		}
+		next := n.children[b]
+		if next == nil {
+			break
+		}
+		n = next
+	}
+	if best == nil {
+		var zero V
+		return netutil.Prefix{}, zero, false
+	}
+	return best.prefix, best.value, true
+}

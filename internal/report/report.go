@@ -1,0 +1,216 @@
+// Package report renders experiment results as fixed-width text tables,
+// ASCII histograms, and downsampled series — the output format of the
+// cmd/experiments tool that regenerates every table and figure in the
+// paper.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid. Columns are right-aligned except the first.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, stringifying each cell.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FmtFloat(v)
+		case fmt.Stringer:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			b.WriteString(pad(cell, w, i != 0))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int, right bool) string {
+	if len(s) >= w {
+		return s
+	}
+	fill := strings.Repeat(" ", w-len(s))
+	if right {
+		return fill + s
+	}
+	return s + fill
+}
+
+// FmtInt renders n with thousands separators, the style of the paper's
+// tables (e.g. 11,665,713).
+func FmtInt(n int) string {
+	s := strconv.Itoa(n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// FmtFloat renders f compactly (3 significant decimals, no trailing
+// zeros).
+func FmtFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// FmtPct renders a ratio as a percentage with one decimal.
+func FmtPct(f float64) string {
+	return strconv.FormatFloat(f*100, 'f', 1, 64) + "%"
+}
+
+// Histogram renders labeled counts as ASCII bars scaled to maxWidth.
+func Histogram(title string, labels []string, counts []int, maxWidth int) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	max := 0
+	labelW := 0
+	for i, c := range counts {
+		if c > max {
+			max = c
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for i, c := range counts {
+		bar := int(float64(c) / float64(max) * float64(maxWidth))
+		fmt.Fprintf(&b, "%s |%s %s\n", pad(labels[i], labelW, true),
+			strings.Repeat("#", bar), FmtInt(c))
+	}
+	return b.String()
+}
+
+// Downsample reduces a monotone-x series to at most n points spaced
+// logarithmically along the index axis — how the experiments print the
+// paper's log-log figures without emitting every cluster.
+func Downsample(ys []int, n int) (idx []int, vals []int) {
+	if len(ys) == 0 || n <= 0 {
+		return nil, nil
+	}
+	if len(ys) <= n {
+		for i, y := range ys {
+			idx = append(idx, i+1)
+			vals = append(vals, y)
+		}
+		return idx, vals
+	}
+	seen := map[int]bool{}
+	logMax := math.Log(float64(len(ys)))
+	for k := 0; k < n; k++ {
+		pos := int(math.Exp(logMax*float64(k)/float64(n-1))) - 1
+		if k == n-1 {
+			// Pin the final sample to the last element; exp(log(N)) can
+			// land at N-ε and round the endpoint away.
+			pos = len(ys) - 1
+		}
+		if pos < 0 {
+			pos = 0
+		}
+		if pos >= len(ys) {
+			pos = len(ys) - 1
+		}
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		idx = append(idx, pos+1)
+		vals = append(vals, ys[pos])
+	}
+	return idx, vals
+}
+
+// SeriesTable prints several downsampled y-series against their shared
+// 1-based rank axis. All series must be equally long.
+func SeriesTable(title string, xLabel string, names []string, series [][]int, points int) string {
+	if len(series) == 0 {
+		return title + "\n(empty)\n"
+	}
+	for _, s := range series[1:] {
+		if len(s) != len(series[0]) {
+			panic("report: SeriesTable length mismatch")
+		}
+	}
+	idx, _ := Downsample(series[0], points)
+	t := &Table{Title: title, Headers: append([]string{xLabel}, names...)}
+	for _, i := range idx {
+		row := make([]interface{}, 0, len(series)+1)
+		row = append(row, FmtInt(i))
+		for _, s := range series {
+			row = append(row, FmtInt(s[i-1]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

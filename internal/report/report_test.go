@@ -1,0 +1,144 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "Demo", Headers: []string{"name", "count"}}
+	tb.AddRow("alpha", 12345)
+	tb.AddRow("b", 7)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "====") {
+		t.Errorf("missing title/underline:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + underline + header + separator + 2 rows
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Right-aligned numeric column: "7" must be padded left.
+	if !strings.HasSuffix(lines[5], "    7") && !strings.HasSuffix(lines[5], " 7") {
+		t.Errorf("numeric column not right-aligned: %q", lines[5])
+	}
+}
+
+func TestAddRowStringers(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b", "c"}}
+	tb.AddRow("x", 1.5, 3)
+	if tb.Rows[0][1] != "1.5" || tb.Rows[0][2] != "3" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestFmtInt(t *testing.T) {
+	cases := map[int]string{
+		0:        "0",
+		999:      "999",
+		1000:     "1,000",
+		11665713: "11,665,713",
+		-1234567: "-1,234,567",
+		100:      "100",
+		-12:      "-12",
+	}
+	for in, want := range cases {
+		if got := FmtInt(in); got != want {
+			t.Errorf("FmtInt(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFmtFloatAndPct(t *testing.T) {
+	if got := FmtFloat(0.5); got != "0.5" {
+		t.Errorf("FmtFloat(0.5) = %q", got)
+	}
+	if got := FmtFloat(2.0); got != "2" {
+		t.Errorf("FmtFloat(2.0) = %q", got)
+	}
+	if got := FmtFloat(0.125); got != "0.125" {
+		t.Errorf("FmtFloat(0.125) = %q", got)
+	}
+	if got := FmtPct(0.954); got != "95.4%" {
+		t.Errorf("FmtPct = %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("H", []string{"a", "bb"}, []int{10, 5}, 10)
+	if !strings.Contains(out, "##########") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Errorf("half bar missing:\n%s", out)
+	}
+	// All-zero histogram must not divide by zero.
+	zero := Histogram("Z", []string{"x"}, []int{0}, 10)
+	if !strings.Contains(zero, "0") {
+		t.Errorf("zero histogram:\n%s", zero)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	ys := make([]int, 1000)
+	for i := range ys {
+		ys[i] = i
+	}
+	idx, vals := Downsample(ys, 20)
+	if len(idx) > 20 || len(idx) < 10 {
+		t.Fatalf("downsampled to %d points", len(idx))
+	}
+	if idx[0] != 1 || idx[len(idx)-1] != 1000 {
+		t.Fatalf("endpoints = %d, %d", idx[0], idx[len(idx)-1])
+	}
+	for i := range idx {
+		if vals[i] != ys[idx[i]-1] {
+			t.Fatalf("vals misaligned at %d", i)
+		}
+		if i > 0 && idx[i] <= idx[i-1] {
+			t.Fatalf("indexes not strictly increasing: %v", idx)
+		}
+	}
+	// Short input passes through.
+	idx, vals = Downsample([]int{5, 6}, 10)
+	if len(idx) != 2 || vals[0] != 5 || vals[1] != 6 {
+		t.Fatalf("short input: %v %v", idx, vals)
+	}
+	if i, v := Downsample(nil, 5); i != nil || v != nil {
+		t.Fatal("empty input must return nil")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	out := SeriesTable("S", "rank", []string{"clients", "requests"},
+		[][]int{{5, 4, 3}, {50, 40, 30}}, 10)
+	if !strings.Contains(out, "clients") || !strings.Contains(out, "50") {
+		t.Errorf("series table:\n%s", out)
+	}
+	empty := SeriesTable("E", "rank", nil, nil, 5)
+	if !strings.Contains(empty, "empty") {
+		t.Errorf("empty series table: %q", empty)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	SeriesTable("bad", "x", []string{"a", "b"}, [][]int{{1, 2}, {1}}, 5)
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	// Rows wider than the header must render, not panic.
+	tb := &Table{Headers: []string{"one"}}
+	tb.AddRow("a", "extra", "more")
+	out := tb.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "more") {
+		t.Fatalf("ragged row lost cells:\n%s", out)
+	}
+	// And rows narrower than the header.
+	tb2 := &Table{Headers: []string{"a", "b", "c"}}
+	tb2.AddRow("only")
+	if !strings.Contains(tb2.String(), "only") {
+		t.Fatal("narrow row lost")
+	}
+}

@@ -1,0 +1,101 @@
+package selfcorrect
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/netaware/netcluster/internal/cluster"
+)
+
+// Second-level clustering (Section 3.6): "we can further cluster nearby
+// client clusters into network clusters. We use traceroute to do the
+// higher level clustering. Typically, we run traceroute on a number of
+// (r >= 1) randomly selected clients in each cluster and do suffix
+// matching on the path towards each destination network."
+//
+// The suffix used here is one level above the client cluster's own: the
+// hops upstream of the last-hop gateway (the destination AS's
+// point-of-presence and border), so client clusters hanging off the same
+// upstream infrastructure group together. Network clusters feed selective
+// content distribution, proxy placement and load balancing.
+
+// NetworkCluster is a group of client clusters sharing an upstream path
+// suffix.
+type NetworkCluster struct {
+	// Key is the shared upstream path suffix (pipe-joined router names).
+	Key string
+	// Clusters are the member client clusters, in canonical prefix order.
+	Clusters []*cluster.Cluster
+	// Clients and Requests aggregate the members.
+	Clients  int
+	Requests int
+}
+
+// GroupClusters builds network clusters from a clustering result by
+// probing up to r clients per cluster. Clusters whose probes yield no
+// upstream suffix (completely hidden paths) each form their own singleton
+// group, keyed by their prefix.
+func (c *Corrector) GroupClusters(res *cluster.Result, r int) []NetworkCluster {
+	if r < 1 {
+		r = 1
+	}
+	groups := make(map[string]*NetworkCluster)
+	for _, cl := range res.Clusters {
+		key := c.upstreamKey(cl, r)
+		if key == "" {
+			key = "isolated:" + cl.Prefix.String()
+		}
+		g := groups[key]
+		if g == nil {
+			g = &NetworkCluster{Key: key}
+			groups[key] = g
+		}
+		g.Clusters = append(g.Clusters, cl)
+		g.Clients += cl.NumClients()
+		g.Requests += cl.Requests
+	}
+	out := make([]NetworkCluster, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Requests != out[j].Requests {
+			return out[i].Requests > out[j].Requests
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// upstreamKey probes up to r clients of a cluster and returns the
+// majority upstream suffix: the trailing responsive hops with the final
+// (gateway) hop removed, keeping the two routers above it.
+func (c *Corrector) upstreamKey(cl *cluster.Cluster, r int) string {
+	clients := sortedClients(cl)
+	step := 1
+	if len(clients) > r {
+		step = len(clients) / r
+	}
+	votes := map[string]int{}
+	for i := 0; i < len(clients); i += step {
+		res := c.Tracer.OptimizedPath(clients[i])
+		hops := res.ResponsiveHops
+		if len(hops) >= 1 && strings.HasPrefix(hops[len(hops)-1], "gw") {
+			hops = hops[:len(hops)-1] // drop the network-specific gateway
+		}
+		if len(hops) == 0 {
+			continue
+		}
+		if len(hops) > 2 {
+			hops = hops[len(hops)-2:]
+		}
+		votes[strings.Join(hops, "|")]++
+	}
+	best, bestN := "", 0
+	for k, n := range votes {
+		if n > bestN || (n == bestN && k < best) {
+			best, bestN = k, n
+		}
+	}
+	return best
+}

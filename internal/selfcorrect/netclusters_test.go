@@ -1,0 +1,97 @@
+package selfcorrect
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGroupClustersCoversAll(t *testing.T) {
+	f := setup(t)
+	groups := f.corr.GroupClusters(f.result, 2)
+	if len(groups) == 0 {
+		t.Fatal("no network clusters")
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.Clusters)
+		if len(g.Clusters) == 0 {
+			t.Fatal("empty network cluster")
+		}
+	}
+	if total != len(f.result.Clusters) {
+		t.Fatalf("groups cover %d of %d clusters", total, len(f.result.Clusters))
+	}
+	// Second-level clustering must actually coarsen: fewer groups than
+	// client clusters.
+	if len(groups) >= len(f.result.Clusters) {
+		t.Errorf("no coarsening: %d groups for %d clusters", len(groups), len(f.result.Clusters))
+	}
+}
+
+func TestGroupClustersSortedByRequests(t *testing.T) {
+	f := setup(t)
+	groups := f.corr.GroupClusters(f.result, 1)
+	for i := 1; i < len(groups); i++ {
+		if groups[i].Requests > groups[i-1].Requests {
+			t.Fatal("groups not sorted by requests")
+		}
+	}
+}
+
+func TestGroupClustersAggregates(t *testing.T) {
+	f := setup(t)
+	groups := f.corr.GroupClusters(f.result, 2)
+	for _, g := range groups {
+		clients, requests := 0, 0
+		for _, cl := range g.Clusters {
+			clients += cl.NumClients()
+			requests += cl.Requests
+		}
+		if clients != g.Clients || requests != g.Requests {
+			t.Fatalf("aggregate mismatch in group %q", g.Key)
+		}
+	}
+}
+
+func TestGroupClustersShareUpstream(t *testing.T) {
+	// Members of a multi-cluster group must actually share ground-truth
+	// upstream infrastructure: same AS pop (or same national gateway).
+	f := setup(t)
+	groups := f.corr.GroupClusters(f.result, 3)
+	checked := 0
+	for _, g := range groups {
+		if len(g.Clusters) < 2 || strings.HasPrefix(g.Key, "isolated:") {
+			continue
+		}
+		type popKey struct {
+			asn uint32
+			pop int
+		}
+		pops := map[popKey]bool{}
+		countries := map[string]bool{}
+		for _, cl := range g.Clusters {
+			for a := range cl.Clients {
+				n, ok := f.world.NetworkOf(a)
+				if !ok {
+					continue
+				}
+				pops[popKey{n.AS.Number, n.Pop}] = true
+				countries[n.Country.Code] = true
+				break // one representative client suffices
+			}
+		}
+		// Shared suffix means either one pop or one national gateway
+		// country hiding several pops.
+		natgw := strings.Contains(g.Key, "natgw.")
+		if !natgw && len(pops) > 1 {
+			t.Errorf("group %q spans %d pops without a national gateway", g.Key, len(pops))
+		}
+		if natgw && len(countries) > 1 {
+			t.Errorf("national-gateway group %q spans countries %v", g.Key, countries)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no multi-cluster groups to check in this world")
+	}
+}

@@ -1,0 +1,295 @@
+// Package selfcorrect implements the paper's Section 3.5 self-correction
+// and adaptation stage. Periodic traceroute (and DNS) sampling of clusters
+// is used to
+//
+//   - absorb the ~0.1% of clients no routing-table prefix covered, by
+//     treating each as a singleton cluster and merging it into clusters
+//     with a matching probe signature;
+//   - merge clusters that the sampling says belong to one network
+//     (case (i) in the paper); and
+//   - split clusters whose clients belong to several networks — the
+//     signature of route aggregation (case (ii)).
+//
+// After every merge/split the identifying prefix is recomputed as the
+// longest common prefix of the members' addresses, the paper's "the
+// network prefix and netmask will be recomputed accordingly".
+package selfcorrect
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/netaware/netcluster/internal/cluster"
+	"github.com/netaware/netcluster/internal/dnssim"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/tracesim"
+)
+
+// Corrector samples clusters through the same probing machinery the
+// validation stage uses.
+type Corrector struct {
+	Resolver *dnssim.Resolver
+	Tracer   *tracesim.Tracer
+	// SampleSize is how many clients are probed per cluster (the paper's
+	// r ≥ 1 random clients; probing every client of every cluster is
+	// exactly what the paper's design avoids).
+	SampleSize int
+}
+
+// Outcome summarizes one correction pass.
+type Outcome struct {
+	// Corrected is the re-clustered result.
+	Corrected *cluster.Result
+	// MergedAway is how many clusters disappeared into merges.
+	MergedAway int
+	// SplitInto is how many extra clusters splitting produced.
+	SplitInto int
+	// Absorbed is how many previously unclustered clients now have a
+	// cluster.
+	Absorbed int
+	// Probes and Lookups are the sampling cost of the pass.
+	Probes  int
+	Lookups int
+}
+
+// signature keys a client by what probing reveals: the DNS non-trivial
+// suffix when the name resolves, else the trailing path hops. The second
+// return distinguishes the two keying modes: keys of different modes are
+// not comparable (a resolvable and an unresolvable client may well share a
+// network).
+func (c *Corrector) signature(addr netutil.Addr) (key string, dns bool) {
+	if s, ok := c.Resolver.Suffix(addr); ok {
+		return "dns:" + s, true
+	}
+	return "path:" + strings.Join(c.Tracer.OptimizedPath(addr).PathSuffix(2), "|"), false
+}
+
+// informative reports whether a key distinguishes administrative entities
+// at all. Path keys ending at a national gateway cover a whole country and
+// carry no attribution power; everything else does.
+func informative(key string) bool {
+	if strings.HasPrefix(key, "dns:") {
+		return true
+	}
+	i := strings.LastIndexByte(key, '|')
+	last := key[i+1:]
+	return strings.HasPrefix(last, "gw.") || strings.HasPrefix(last, "dst:")
+}
+
+// networkUnique reports whether a key pins down a single network, which is
+// the bar for driving merges and absorption. Path keys ending at a network
+// gateway or at the destination do; DNS suffix keys do NOT — a non-trivial
+// name suffix is shared across an organization's networks (cs.wits.ac.za
+// and math.wits.ac.za both end in wits.ac.za), so merging on it would glue
+// sibling departments together. The paper reaches the same position:
+// suffix-based merging of too-small clusters is listed as ongoing work,
+// while its merge/split corrections come from traceroute sampling.
+func networkUnique(key string) bool {
+	return !strings.HasPrefix(key, "dns:") && informative(key)
+}
+
+// Correct runs one self-correction pass over res and re-clusters its log.
+func (c *Corrector) Correct(res *cluster.Result) Outcome {
+	probes0, lookups0 := c.Tracer.Probes, c.Resolver.Queries
+	sampleSize := c.SampleSize
+	if sampleSize < 1 {
+		sampleSize = 3
+	}
+
+	// override maps a client to its corrected cluster prefix; clients not
+	// present keep their original assignment.
+	override := make(map[netutil.Addr]netutil.Prefix)
+
+	// Pass 1: sample every cluster; record signatures.
+	type group struct {
+		members []netutil.Addr // sampled members sharing one signature
+	}
+	// bySig collects, per informative signature, which clusters' samples
+	// produced it — the merge candidates.
+	bySig := make(map[string][]*cluster.Cluster)
+	sigGroups := make(map[*cluster.Cluster]map[string]*group)
+
+	var out Outcome
+	for _, cl := range res.Clusters {
+		clients := sortedClients(cl)
+		n := len(clients)
+		step := 1
+		if n > sampleSize {
+			step = n / sampleSize
+		}
+		groups := make(map[string]*group)
+		for i := 0; i < n; i += step {
+			a := clients[i]
+			key, _ := c.signature(a)
+			g := groups[key]
+			if g == nil {
+				g = &group{}
+				groups[key] = g
+			}
+			g.members = append(g.members, a)
+		}
+		sigGroups[cl] = groups
+		for key := range groups {
+			if networkUnique(key) {
+				bySig[key] = append(bySig[key], cl)
+			}
+		}
+	}
+
+	// Pass 2: merges. Clusters whose samples produced only one signature,
+	// shared with other such clusters, belong to one network.
+	mergeTarget := make(map[*cluster.Cluster]netutil.Prefix)
+	for key, cls := range bySig {
+		if len(cls) < 2 {
+			continue
+		}
+		// Only merge clusters that look homogeneous themselves.
+		var homogeneous []*cluster.Cluster
+		for _, cl := range cls {
+			if len(sigGroups[cl]) == 1 {
+				homogeneous = append(homogeneous, cl)
+			}
+		}
+		if len(homogeneous) < 2 {
+			continue
+		}
+		var members []netutil.Addr
+		for _, cl := range homogeneous {
+			members = append(members, sortedClients(cl)...)
+		}
+		p := netutil.CommonPrefix(members)
+		for _, cl := range homogeneous {
+			mergeTarget[cl] = p
+		}
+		out.MergedAway += len(homogeneous) - 1
+		_ = key
+	}
+	for cl, p := range mergeTarget {
+		for a := range cl.Clients {
+			override[a] = p
+		}
+	}
+
+	// Pass 3: splits. A cluster whose samples produced multiple signatures
+	// of the same mode straddles networks: probe every client and
+	// partition by signature.
+	for _, cl := range res.Clusters {
+		if _, merged := mergeTarget[cl]; merged {
+			continue
+		}
+		groups := sigGroups[cl]
+		dnsKeys, pathKeys := 0, 0
+		for key := range groups {
+			if strings.HasPrefix(key, "dns:") {
+				dnsKeys++
+			} else {
+				pathKeys++
+			}
+		}
+		if dnsKeys <= 1 && pathKeys <= 1 {
+			continue
+		}
+		// Full probe of the cluster, then partition.
+		parts := make(map[string][]netutil.Addr)
+		for _, a := range sortedClients(cl) {
+			key, _ := c.signature(a)
+			parts[key] = append(parts[key], a)
+		}
+		if len(parts) < 2 {
+			continue
+		}
+		// Clients keyed by an uninformative path signature cannot be
+		// attributed; leave them with the original cluster prefix.
+		created := 0
+		for key, members := range parts {
+			if !informative(key) {
+				continue
+			}
+			p := netutil.CommonPrefix(members)
+			for _, a := range members {
+				override[a] = p
+			}
+			created++
+		}
+		if created > 1 {
+			out.SplitInto += created - 1
+		}
+	}
+
+	// Pass 4: absorb unclustered clients. Signature each; join an existing
+	// cluster with the same signature, else group the leftovers by
+	// signature into new clusters.
+	sigToPrefix := make(map[string]netutil.Prefix)
+	for cl, groups := range sigGroups {
+		target := cl.Prefix
+		if p, ok := mergeTarget[cl]; ok {
+			target = p
+		}
+		for key := range groups {
+			if networkUnique(key) {
+				if _, dup := sigToPrefix[key]; !dup {
+					sigToPrefix[key] = target
+				}
+			}
+		}
+	}
+	orphanGroups := make(map[string][]netutil.Addr)
+	for _, a := range res.Unclustered {
+		key, _ := c.signature(a)
+		if p, ok := sigToPrefix[key]; ok && networkUnique(key) {
+			override[a] = p
+			out.Absorbed++
+			continue
+		}
+		orphanGroups[key] = append(orphanGroups[key], a)
+	}
+	for key, members := range orphanGroups {
+		if !informative(key) && len(members) < 2 {
+			// A lone client behind a national gateway: make it a singleton
+			// cluster of its own address (the paper's starting point for
+			// gradual merging).
+			override[members[0]] = netutil.PrefixFrom(members[0], 32)
+			out.Absorbed++
+			continue
+		}
+		p := netutil.CommonPrefix(members)
+		for _, a := range members {
+			override[a] = p
+		}
+		out.Absorbed += len(members)
+	}
+
+	// Re-cluster the log under the corrected assignment.
+	orig := originalAssigner(res)
+	out.Corrected = cluster.ClusterLog(res.Log, cluster.Func{
+		Label: res.Method + "+selfcorrect",
+		Fn: func(a netutil.Addr) (netutil.Prefix, bool) {
+			if p, ok := override[a]; ok {
+				return p, true
+			}
+			return orig(a)
+		},
+	})
+	out.Probes = c.Tracer.Probes - probes0
+	out.Lookups = c.Resolver.Queries - lookups0
+	return out
+}
+
+// originalAssigner replays res's client→prefix mapping.
+func originalAssigner(res *cluster.Result) func(netutil.Addr) (netutil.Prefix, bool) {
+	return func(a netutil.Addr) (netutil.Prefix, bool) {
+		if cl, ok := res.ClusterOf(a); ok {
+			return cl.Prefix, true
+		}
+		return netutil.Prefix{}, false
+	}
+}
+
+func sortedClients(c *cluster.Cluster) []netutil.Addr {
+	out := make([]netutil.Addr, 0, len(c.Clients))
+	for a := range c.Clients {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

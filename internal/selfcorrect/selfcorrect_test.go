@@ -1,0 +1,221 @@
+package selfcorrect
+
+import (
+	"testing"
+
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/bgpsim"
+	"github.com/netaware/netcluster/internal/cluster"
+	"github.com/netaware/netcluster/internal/dnssim"
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/tracesim"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+type fixture struct {
+	world  *inet.Internet
+	merged *bgp.Merged
+	log    *weblog.Log
+	result *cluster.Result
+	corr   *Corrector
+}
+
+var cached *fixture
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	wcfg := inet.DefaultConfig()
+	wcfg.NumASes = 400
+	wcfg.NumTierOne = 10
+	world, err := inet.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher aggregation and darkness than default so there is something
+	// to correct.
+	scfg := bgpsim.DefaultConfig()
+	scfg.AggregateOnlyProb = 0.20
+	scfg.DarkProb = 0.03
+	sim := bgpsim.New(world, scfg)
+	merged := bgpsim.Merge(sim.Collect())
+	log, err := weblog.Generate(world, weblog.Nagano(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cluster.ClusterLog(log, cluster.NetworkAware{Table: merged})
+	cached = &fixture{
+		world:  world,
+		merged: merged,
+		log:    log,
+		result: res,
+		corr: &Corrector{
+			Resolver:   dnssim.New(world),
+			Tracer:     tracesim.New(world, world.VantageASes()[0]),
+			SampleSize: 3,
+		},
+	}
+	return cached
+}
+
+// purity measures ground-truth accuracy: the fraction of clusters all of
+// whose clients share one true network.
+func purity(world *inet.Internet, res *cluster.Result) float64 {
+	pure := 0
+	for _, cl := range res.Clusters {
+		nets := map[int]struct{}{}
+		ok := true
+		for a := range cl.Clients {
+			n, found := world.NetworkOf(a)
+			if !found {
+				ok = false
+				break
+			}
+			nets[n.ID] = struct{}{}
+		}
+		if ok && len(nets) == 1 {
+			pure++
+		}
+	}
+	return float64(pure) / float64(len(res.Clusters))
+}
+
+func TestCorrectImprovesCoverage(t *testing.T) {
+	f := setup(t)
+	if len(f.result.Unclustered) == 0 {
+		t.Skip("no unclustered clients to absorb in this world")
+	}
+	out := f.corr.Correct(f.result)
+	if out.Corrected.Coverage() <= f.result.Coverage() {
+		t.Errorf("coverage %f -> %f did not improve",
+			f.result.Coverage(), out.Corrected.Coverage())
+	}
+	if out.Corrected.Coverage() < 0.9999 {
+		t.Errorf("corrected coverage = %f, self-correction should absorb everyone",
+			out.Corrected.Coverage())
+	}
+	if out.Absorbed == 0 {
+		t.Error("Absorbed = 0 despite unclustered clients")
+	}
+}
+
+func TestCorrectImprovesPurity(t *testing.T) {
+	f := setup(t)
+	out := f.corr.Correct(f.result)
+	before, after := purity(f.world, f.result), purity(f.world, out.Corrected)
+	if after < before {
+		t.Errorf("purity %f -> %f worsened", before, after)
+	}
+	if out.SplitInto == 0 {
+		t.Error("aggregated world should force some splits")
+	}
+}
+
+func TestCorrectPreservesRequests(t *testing.T) {
+	f := setup(t)
+	out := f.corr.Correct(f.result)
+	if out.Corrected.TotalRequests != f.result.TotalRequests {
+		t.Errorf("total requests changed: %d -> %d",
+			f.result.TotalRequests, out.Corrected.TotalRequests)
+	}
+	// Every originally clustered client must still be clustered.
+	if out.Corrected.NumClients() < f.result.NumClients() {
+		t.Errorf("clients lost: %d -> %d", f.result.NumClients(), out.Corrected.NumClients())
+	}
+}
+
+func TestCorrectIsStable(t *testing.T) {
+	// A second pass over the corrected result should change little: the
+	// mechanism must converge rather than oscillate.
+	f := setup(t)
+	first := f.corr.Correct(f.result)
+	second := f.corr.Correct(first.Corrected)
+	if second.Absorbed != 0 {
+		t.Errorf("second pass absorbed %d clients; first pass should have finished", second.Absorbed)
+	}
+	drift := float64(abs(len(second.Corrected.Clusters)-len(first.Corrected.Clusters))) /
+		float64(len(first.Corrected.Clusters))
+	if drift > 0.05 {
+		t.Errorf("cluster count drifted %.1f%% on the second pass", drift*100)
+	}
+}
+
+func TestCorrectCountsProbes(t *testing.T) {
+	f := setup(t)
+	out := f.corr.Correct(f.result)
+	if out.Probes == 0 || out.Lookups == 0 {
+		t.Errorf("sampling must cost probes and lookups: %d, %d", out.Probes, out.Lookups)
+	}
+	// Sampling cost must be far below probing every client.
+	totalClients := f.result.NumClients()
+	if out.Lookups > totalClients*3 {
+		t.Errorf("lookups = %d for %d clients; sampling is not sampling", out.Lookups, totalClients)
+	}
+}
+
+func TestDefaultSampleSize(t *testing.T) {
+	f := setup(t)
+	c := &Corrector{Resolver: dnssim.New(f.world), Tracer: tracesim.New(f.world, f.world.VantageASes()[0])}
+	out := c.Correct(f.result) // SampleSize unset → default
+	if out.Corrected == nil {
+		t.Fatal("no corrected result")
+	}
+}
+
+func TestInformative(t *testing.T) {
+	cases := []struct {
+		key  string
+		want bool
+	}{
+		{"dns:wits.ac.za", true},
+		{"path:pop1.x.net|gw.cs.foo.edu", true},
+		{"path:core1.backbone.net|natgw.hr.net", false},
+		{"path:pop1.x.net|dst:host.foo.com", true},
+		{"path:natgw.jp.net", false},
+	}
+	for _, c := range cases {
+		if got := informative(c.key); got != c.want {
+			t.Errorf("informative(%q) = %v, want %v", c.key, got, c.want)
+		}
+	}
+}
+
+func TestNetworkUnique(t *testing.T) {
+	cases := []struct {
+		key  string
+		want bool
+	}{
+		{"dns:wits.ac.za", false}, // org-unique, not network-unique
+		{"path:pop1.x.net|gw.cs.foo.edu", true},
+		{"path:core1.backbone.net|natgw.hr.net", false},
+		{"path:pop1.x.net|dst:host.foo.com", true},
+	}
+	for _, c := range cases {
+		if got := networkUnique(c.key); got != c.want {
+			t.Errorf("networkUnique(%q) = %v, want %v", c.key, got, c.want)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCommonPrefixRecomputed(t *testing.T) {
+	// Clusters produced by splitting must identify by a prefix containing
+	// all their members.
+	f := setup(t)
+	out := f.corr.Correct(f.result)
+	for _, cl := range out.Corrected.Clusters {
+		for a := range cl.Clients {
+			if !cl.Prefix.Contains(a) && cl.Prefix.Bits() > 0 {
+				t.Fatalf("cluster %v does not contain its member %v", cl.Prefix, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParetoWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := ParetoWeights(rng, 10000, 1.2)
+	if len(w) != 10000 {
+		t.Fatalf("len = %d", len(w))
+	}
+	min, max := w[0], w[0]
+	for _, v := range w {
+		if v < 1 {
+			t.Fatalf("Pareto weight %g below x_m = 1", v)
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	// Heavy tail: the max of 10k draws with alpha 1.2 should dwarf the min.
+	if max < 100*min {
+		t.Errorf("tail too light: min=%g max=%g", min, max)
+	}
+}
+
+func TestParetoWeightsAlphaControlsTail(t *testing.T) {
+	// Smaller alpha → heavier tail → larger maximum share, on average.
+	share := func(alpha float64) float64 {
+		rng := rand.New(rand.NewSource(7))
+		w := ParetoWeights(rng, 5000, alpha)
+		var sum, max float64
+		for _, v := range w {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		return max / sum
+	}
+	if share(1.1) <= share(3.0) {
+		t.Errorf("alpha 1.1 share %g should exceed alpha 3.0 share %g", share(1.1), share(3.0))
+	}
+}
+
+func TestParetoWeightsPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []func(){
+		func() { ParetoWeights(rng, 0, 1.2) },
+		func() { ParetoWeights(rng, 5, 0) },
+		func() { ParetoWeights(rng, 5, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

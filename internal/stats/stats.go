@@ -1,0 +1,253 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: Zipf-like weight generation (web popularity is Zipf-distributed,
+// the paper's Section 3.2.2 observation), cumulative distributions for the
+// figure reproductions, histograms, and correlation for the spider/proxy
+// arrival-pattern comparison.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ZipfWeights returns n weights proportional to 1/(rank+1)^alpha,
+// normalized to sum to 1. Rank 0 is the heaviest. It panics for n <= 0 or
+// alpha < 0; callers pass validated experiment parameters.
+func ZipfWeights(n int, alpha float64) []float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: ZipfWeights n=%d", n))
+	}
+	if alpha < 0 {
+		panic(fmt.Sprintf("stats: ZipfWeights alpha=%f", alpha))
+	}
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -alpha)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// ParetoWeights draws n independent weights from a continuous Pareto
+// distribution with x_m = 1 and the given tail index alpha (> 0). Unlike
+// rank-based ZipfWeights, which forces a smooth monotone share profile,
+// independent Pareto draws produce what real log populations show: a mass
+// of near-minimum shares (single-client clusters, single-request clients)
+// alongside a random heavy tail. Feed the result to Apportion. It panics
+// on invalid arguments, like ZipfWeights.
+func ParetoWeights(rng *rand.Rand, n int, alpha float64) []float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: ParetoWeights n=%d", n))
+	}
+	if alpha <= 0 {
+		panic(fmt.Sprintf("stats: ParetoWeights alpha=%f", alpha))
+	}
+	w := make([]float64, n)
+	for i := range w {
+		u := rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12 // bound the tail so one draw cannot own the universe
+		}
+		w[i] = math.Pow(u, -1/alpha)
+	}
+	return w
+}
+
+// Apportion splits total into n integer shares proportional to weights,
+// guaranteeing every share ≥ min and the shares summing exactly to total
+// (largest-remainder rounding). It returns an error when the constraints
+// are unsatisfiable (total < n*min).
+func Apportion(total int, weights []float64, min int) ([]int, error) {
+	n := len(weights)
+	if total < n*min {
+		return nil, fmt.Errorf("stats: cannot apportion %d into %d shares of at least %d", total, n, min)
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	spare := total - n*min
+	shares := make([]int, n)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(spare) * w / wsum
+		fl := int(exact)
+		shares[i] = min + fl
+		assigned += fl
+		rems[i] = rem{i, exact - float64(fl)}
+	}
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].frac != rems[j].frac {
+			return rems[i].frac > rems[j].frac
+		}
+		return rems[i].idx < rems[j].idx // deterministic tie-break
+	})
+	for k := 0; k < spare-assigned; k++ {
+		shares[rems[k%n].idx]++
+	}
+	return shares, nil
+}
+
+// Point is one (x, y) sample of a distribution curve.
+type Point struct {
+	X, Y float64
+}
+
+// CDF returns the empirical cumulative distribution of values: for each
+// distinct value v (ascending), the fraction of values ≤ v. This is the
+// form of Figure 3 in the paper.
+func CDF(values []int) []Point {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	var out []Point
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, Point{X: float64(sorted[i]), Y: float64(j) / n})
+		i = j
+	}
+	return out
+}
+
+// Summary holds the moments and extremes of an integer sample.
+type Summary struct {
+	N        int
+	Min, Max int
+	Sum      int64
+	Mean     float64
+	Median   float64
+	Variance float64 // population variance
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(values []int) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(values), Min: values[0], Max: values[0]}
+	for _, v := range values {
+		s.Sum += int64(v)
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = float64(s.Sum) / float64(s.N)
+	var ss float64
+	for _, v := range values {
+		d := float64(v) - s.Mean
+		ss += d * d
+	}
+	s.Variance = ss / float64(s.N)
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = float64(sorted[mid])
+	} else {
+		s.Median = (float64(sorted[mid-1]) + float64(sorted[mid])) / 2
+	}
+	return s
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series. It returns 0 when either series has zero variance (a flat series
+// carries no pattern to correlate — the conservative answer for the
+// proxy-detection use case) and panics on mismatched lengths, which would
+// indicate a bug in the caller's binning.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Bin aggregates event timestamps into fixed-width bins covering
+// [0, horizon), returning per-bin counts as floats (ready for Pearson).
+// Events outside the horizon are clamped into the edge bins rather than
+// dropped so that totals are preserved.
+func Bin(times []uint32, horizon uint32, bins int) []float64 {
+	if bins <= 0 || horizon == 0 {
+		panic(fmt.Sprintf("stats: Bin bins=%d horizon=%d", bins, horizon))
+	}
+	out := make([]float64, bins)
+	width := float64(horizon) / float64(bins)
+	for _, t := range times {
+		i := int(float64(t) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		out[i]++
+	}
+	return out
+}
+
+// Gini computes the Gini coefficient of a sample — 0 for perfectly even
+// shares, approaching 1 when one element holds everything. The spider
+// detector uses it to quantify the paper's "uneven distribution of
+// requests among hosts within the cluster".
+func Gini(values []int) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	var cum, total float64
+	for _, v := range sorted {
+		total += float64(v)
+	}
+	if total == 0 {
+		return 0
+	}
+	var lorenz float64
+	for _, v := range sorted {
+		cum += float64(v)
+		lorenz += cum
+	}
+	// Gini = 1 - 2 * (area under Lorenz curve), trapezoid-free discrete form.
+	return 1 - (2*lorenz-total)/(float64(n)*total)
+}

@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(100, 1.0)
+	if len(w) != 100 {
+		t.Fatalf("len = %d", len(w))
+	}
+	var sum float64
+	for i := range w {
+		sum += w[i]
+		if i > 0 && w[i] > w[i-1] {
+			t.Fatalf("weights must be non-increasing: w[%d]=%g > w[%d]=%g", i, w[i], i-1, w[i-1])
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum = %g", sum)
+	}
+	// alpha = 0 is uniform.
+	u := ZipfWeights(10, 0)
+	for _, v := range u {
+		if math.Abs(v-0.1) > 1e-12 {
+			t.Fatalf("uniform weight = %g", v)
+		}
+	}
+	// Exact ratio check: w0/w1 = 2^alpha.
+	w2 := ZipfWeights(2, 2.0)
+	if math.Abs(w2[0]/w2[1]-4.0) > 1e-9 {
+		t.Fatalf("ratio = %g, want 4", w2[0]/w2[1])
+	}
+}
+
+func TestZipfWeightsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ZipfWeights(0, 1) },
+		func() { ZipfWeights(-1, 1) },
+		func() { ZipfWeights(5, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestApportion(t *testing.T) {
+	shares, err := Apportion(100, ZipfWeights(5, 1.2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, s := range shares {
+		total += s
+		if s < 1 {
+			t.Fatalf("share %d = %d < min", i, s)
+		}
+		if i > 0 && s > shares[i-1] {
+			t.Fatalf("shares must be non-increasing for Zipf weights: %v", shares)
+		}
+	}
+	if total != 100 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestApportionExactSum(t *testing.T) {
+	f := func(totalRaw uint16, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		total := int(totalRaw)%10000 + n // ensure total >= n*1
+		shares, err := Apportion(total, ZipfWeights(n, 0.9), 1)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, s := range shares {
+			if s < 1 {
+				return false
+			}
+			sum += s
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApportionUnsatisfiable(t *testing.T) {
+	if _, err := Apportion(3, ZipfWeights(5, 1), 1); err == nil {
+		t.Fatal("expected error when total < n*min")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]int{1, 1, 2, 5, 5, 5})
+	want := []Point{{1, 2.0 / 6}, {2, 3.0 / 6}, {5, 1.0}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF = %v", pts)
+	}
+	for i := range pts {
+		if pts[i].X != want[i].X || math.Abs(pts[i].Y-want[i].Y) > 1e-12 {
+			t.Errorf("CDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(vals []int) bool {
+		pts := CDF(vals)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X <= pts[i-1].X || pts[i].Y < pts[i-1].Y {
+				return false
+			}
+		}
+		return len(vals) == 0 || pts[len(pts)-1].Y == 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Sum != 10 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("mean/median = %g/%g", s.Mean, s.Median)
+	}
+	if math.Abs(s.Variance-1.25) > 1e-12 {
+		t.Fatalf("variance = %g", s.Variance)
+	}
+	odd := Summarize([]int{1, 100, 3})
+	if odd.Median != 3 {
+		t.Fatalf("odd median = %g", odd.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(a, b); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect positive = %g", r)
+	}
+	c := []float64{5, 4, 3, 2, 1}
+	if r := Pearson(a, c); math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect negative = %g", r)
+	}
+	flat := []float64{7, 7, 7, 7, 7}
+	if r := Pearson(a, flat); r != 0 {
+		t.Errorf("flat series = %g, want 0", r)
+	}
+	if r := Pearson(nil, nil); r != 0 {
+		t.Errorf("empty = %g", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	Pearson(a, a[:3])
+}
+
+func TestBin(t *testing.T) {
+	times := []uint32{0, 10, 10, 95, 99}
+	got := Bin(times, 100, 10)
+	if got[0] != 1 || got[1] != 2 || got[9] != 2 {
+		t.Fatalf("Bin = %v", got)
+	}
+	var total float64
+	for _, v := range got {
+		total += v
+	}
+	if total != 5 {
+		t.Fatalf("bin total = %g", total)
+	}
+	// Out-of-horizon events clamp to the last bin.
+	over := Bin([]uint32{150}, 100, 10)
+	if over[9] != 1 {
+		t.Fatalf("clamp = %v", over)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]int{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Errorf("even shares Gini = %g", g)
+	}
+	// One host with everything in a large cluster approaches 1.
+	skewed := make([]int, 100)
+	skewed[0] = 1_000_000
+	if g := Gini(skewed); g < 0.98 {
+		t.Errorf("extreme skew Gini = %g", g)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Errorf("empty Gini = %g", g)
+	}
+	if g := Gini([]int{0, 0}); g != 0 {
+		t.Errorf("all-zero Gini = %g", g)
+	}
+	// Gini is scale-invariant.
+	a := Gini([]int{1, 2, 3, 4})
+	b := Gini([]int{10, 20, 30, 40})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("scale invariance: %g vs %g", a, b)
+	}
+}

@@ -1,0 +1,220 @@
+// Package tracesim simulates traceroute over the ground-truth topology,
+// including the paper's two optimizations (Section 3.3):
+//
+//  1. adaptive probing — one probe per TTL, retried up to q times only when
+//     no ICMP reply arrives, instead of a fixed q probes per TTL;
+//  2. starting at Max_ttl — a single probe with TTL=30 reaches ~50% of
+//     destinations directly (those whose hosts answer UDP probes with ICMP
+//     PORT_UNREACHABLE), resolving name and RTT with one packet.
+//
+// Probe and waiting-time accounting reproduce the paper's claimed savings
+// (~90% of probes, ~80% of waiting time).
+package tracesim
+
+import (
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// Cost units: a probe that gets an ICMP reply costs one RTT; a probe that
+// times out costs a timeout interval, conventionally several RTTs. The
+// ratio matters only for the relative savings numbers.
+const (
+	replyCost   = 1
+	timeoutCost = 5
+)
+
+// Tracer issues simulated traceroutes from a fixed origin AS.
+type Tracer struct {
+	world  *inet.Internet
+	origin *inet.AS
+
+	// MaxTTL bounds hop exploration; the paper sets 30.
+	MaxTTL int
+	// ProbesPerTTL is q, the per-TTL probe budget; classic traceroute
+	// sends all q unconditionally, the optimized variant stops at the
+	// first reply.
+	ProbesPerTTL int
+
+	// Accumulated cost over all traces issued through this Tracer.
+	Probes   int
+	WaitTime int
+}
+
+// New returns a tracer with the paper's parameters (Max_ttl=30, q=3).
+func New(world *inet.Internet, origin *inet.AS) *Tracer {
+	return &Tracer{world: world, origin: origin, MaxTTL: 30, ProbesPerTTL: 3}
+}
+
+// Result is the outcome of tracing one destination.
+type Result struct {
+	// Reached reports whether the destination answered (PORT_UNREACHABLE).
+	Reached bool
+	// DstName is the destination's reverse name, when it both answered and
+	// has one ("traceroute returns the destination IP address, name (if
+	// available), and round trip time").
+	DstName string
+	// ResponsiveHops are the router names that answered TIME_EXCEEDED, in
+	// path order. For destinations behind national gateways this ends at
+	// the gateway.
+	ResponsiveHops []string
+	// Probes and WaitTime are this trace's costs.
+	Probes   int
+	WaitTime int
+}
+
+// PathSuffix returns the last n responsive router names on the discovered
+// path — the key the paper's traceroute validation matches on ("the last
+// few hops (two in our experiments) on the path towards the client"). The
+// destination itself is deliberately excluded: its identity is per-host
+// and would never match across distinct clients.
+func (r Result) PathSuffix(n int) []string {
+	ids := r.ResponsiveHops
+	if len(ids) > n {
+		ids = ids[len(ids)-n:]
+	}
+	return ids
+}
+
+// route fetches the ground-truth path; ok is false for unrouted addresses
+// (probes to them burn the full TTL range with no replies).
+func (t *Tracer) route(dst netutil.Addr) (inet.Route, bool) {
+	return t.world.PathToAddr(t.origin, dst)
+}
+
+// dstName resolves the destination's reverse name if its network registers
+// one; traceroute prints names alongside addresses when DNS has them.
+func (t *Tracer) dstName(dst netutil.Addr) string {
+	n, ok := t.world.NetworkOf(dst)
+	if !ok || !n.DNSRegistered {
+		return dst.String()
+	}
+	return n.HostName(dst)
+}
+
+// Classic runs an unoptimized traceroute: for each TTL starting at 1, send
+// exactly q probes; stop when the destination answers or MaxTTL is
+// exhausted.
+func (t *Tracer) Classic(dst netutil.Addr) Result {
+	route, routed := t.route(dst)
+	var res Result
+	for ttl := 1; ttl <= t.MaxTTL; ttl++ {
+		hopIdx := ttl - 1
+		var responds, atDst bool
+		if routed {
+			if hopIdx < len(route.Hops) {
+				responds = route.Hops[hopIdx].Responds
+			} else {
+				atDst = true
+				responds = route.DstResponds
+			}
+		}
+		// q probes regardless of the first reply.
+		for p := 0; p < t.ProbesPerTTL; p++ {
+			res.Probes++
+			if responds {
+				res.WaitTime += replyCost
+			} else {
+				res.WaitTime += timeoutCost
+			}
+		}
+		if atDst && responds {
+			// PORT_UNREACHABLE: the only signal that ends a classic
+			// traceroute early. A silent destination keeps the probes
+			// flowing all the way to MaxTTL — traceroute has no way to
+			// know it has already walked past the end of the path.
+			res.Reached = true
+			res.DstName = t.dstName(dst)
+			break
+		}
+		if responds && !atDst {
+			res.ResponsiveHops = append(res.ResponsiveHops, route.Hops[hopIdx].Name)
+		}
+	}
+	t.Probes += res.Probes
+	t.WaitTime += res.WaitTime
+	return res
+}
+
+// OptimizedPath discovers the hop path to dst with adaptive probing but
+// without the Max_ttl shortcut: validation and self-correction need the
+// trailing router hops even when the destination answers directly, because
+// path-suffix matching compares routers, not hosts. It is the "phase 2"
+// of Optimized, run unconditionally.
+func (t *Tracer) OptimizedPath(dst netutil.Addr) Result {
+	var res Result
+	t.adaptiveWalk(dst, &res)
+	t.Probes += res.Probes
+	t.WaitTime += res.WaitTime
+	return res
+}
+
+// Optimized runs the paper's improved traceroute. Phase 1 sends a single
+// probe with TTL=MaxTTL: if the destination responds, one probe resolved
+// everything. Phase 2 falls back to hop-by-hop with adaptive (1..q)
+// probing per TTL, stopping as soon as the silent region is entered a
+// second consecutive time... specifically: stop after the destination band
+// or when two consecutive TTLs yield no reply and no further hop would
+// respond (the gateway-hidden case), bounding wasted probes.
+func (t *Tracer) Optimized(dst netutil.Addr) Result {
+	route, routed := t.route(dst)
+	var res Result
+
+	// Phase 1: single Max_ttl probe.
+	res.Probes++
+	if routed && route.DstResponds && len(route.Hops) < t.MaxTTL {
+		res.WaitTime += replyCost
+		res.Reached = true
+		res.DstName = t.dstName(dst)
+		t.Probes += res.Probes
+		t.WaitTime += res.WaitTime
+		return res
+	}
+	res.WaitTime += timeoutCost
+
+	// Phase 2: adaptive hop-by-hop.
+	t.adaptiveWalk(dst, &res)
+	t.Probes += res.Probes
+	t.WaitTime += res.WaitTime
+	return res
+}
+
+// adaptiveWalk explores the path hop by hop: one probe per TTL, retried up
+// to q times only on silence; after two consecutive all-silent TTLs the
+// walk gives up (the generated topology hides only path suffixes, so
+// silence is terminal).
+func (t *Tracer) adaptiveWalk(dst netutil.Addr, res *Result) {
+	route, routed := t.route(dst)
+	silentTTLs := 0
+	for ttl := 1; ttl <= t.MaxTTL && silentTTLs < 2; ttl++ {
+		hopIdx := ttl - 1
+		var responds, atDst bool
+		if routed {
+			if hopIdx < len(route.Hops) {
+				responds = route.Hops[hopIdx].Responds
+			} else {
+				atDst = true
+				responds = route.DstResponds
+			}
+		}
+		if responds {
+			res.Probes++
+			res.WaitTime += replyCost
+			silentTTLs = 0
+			if atDst {
+				res.Reached = true
+				res.DstName = t.dstName(dst)
+				break
+			}
+			res.ResponsiveHops = append(res.ResponsiveHops, route.Hops[hopIdx].Name)
+			continue
+		}
+		// No reply: retries exhaust the probe budget for this TTL.
+		res.Probes += t.ProbesPerTTL
+		res.WaitTime += t.ProbesPerTTL * timeoutCost
+		silentTTLs++
+		if atDst {
+			break
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package tracesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+func world(t *testing.T) *inet.Internet {
+	t.Helper()
+	cfg := inet.DefaultConfig()
+	cfg.NumASes = 200
+	cfg.NumTierOne = 6
+	w, err := inet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func pickNetwork(w *inet.Internet, pred func(*inet.Network) bool) *inet.Network {
+	for _, n := range w.Networks {
+		if pred(n) {
+			return n
+		}
+	}
+	return nil
+}
+
+func TestOptimizedReachesOpenHostWithOneProbe(t *testing.T) {
+	w := world(t)
+	tr := New(w, w.VantageASes()[0])
+	n := pickNetwork(w, func(n *inet.Network) bool { return !n.Firewalled && !n.Country.NationalGateway })
+	if n == nil {
+		t.Fatal("no open network")
+	}
+	res := tr.Optimized(n.HostAddr(0))
+	if !res.Reached {
+		t.Fatal("open host must be reached")
+	}
+	if res.Probes != 1 {
+		t.Fatalf("optimized trace to open host used %d probes, want 1", res.Probes)
+	}
+	if res.DstName == "" {
+		t.Fatal("reached destination must carry a name or address")
+	}
+}
+
+func TestClassicReachesOpenHost(t *testing.T) {
+	w := world(t)
+	tr := New(w, w.VantageASes()[0])
+	n := pickNetwork(w, func(n *inet.Network) bool { return !n.Firewalled && !n.Country.NationalGateway })
+	res := tr.Classic(n.HostAddr(0))
+	if !res.Reached {
+		t.Fatal("classic trace must reach open host")
+	}
+	// Classic sends q probes per TTL for every hop plus the destination.
+	wantMin := tr.ProbesPerTTL * 2
+	if res.Probes < wantMin {
+		t.Fatalf("classic probes = %d, want ≥ %d", res.Probes, wantMin)
+	}
+	if len(res.ResponsiveHops) == 0 {
+		t.Fatal("classic trace must discover intermediate hops")
+	}
+}
+
+func TestFirewalledHostFallsBackToPath(t *testing.T) {
+	w := world(t)
+	tr := New(w, w.VantageASes()[0])
+	n := pickNetwork(w, func(n *inet.Network) bool { return n.Firewalled && !n.Country.NationalGateway })
+	if n == nil {
+		t.Fatal("no firewalled network")
+	}
+	res := tr.Optimized(n.HostAddr(0))
+	if res.Reached {
+		t.Fatal("firewalled host must not be reached")
+	}
+	if len(res.ResponsiveHops) == 0 {
+		t.Fatal("fallback must discover the path")
+	}
+	// The last responsive hop is the network's gateway.
+	last := res.ResponsiveHops[len(res.ResponsiveHops)-1]
+	if last != n.GatewayName() {
+		t.Fatalf("last hop %q, want gateway %q", last, n.GatewayName())
+	}
+}
+
+func TestNationalGatewayHidesInterior(t *testing.T) {
+	w := world(t)
+	tr := New(w, w.VantageASes()[0])
+	n := pickNetwork(w, func(n *inet.Network) bool { return n.Country.NationalGateway })
+	if n == nil {
+		t.Fatal("no national-gateway network")
+	}
+	res := tr.Optimized(n.HostAddr(0))
+	if res.Reached {
+		t.Fatal("host behind national gateway must not be reached")
+	}
+	last := res.ResponsiveHops[len(res.ResponsiveHops)-1]
+	if last != "natgw."+n.Country.Code+".net" {
+		t.Fatalf("last responsive hop %q, want the national gateway", last)
+	}
+}
+
+func TestPathSuffix(t *testing.T) {
+	r := Result{ResponsiveHops: []string{"a", "b", "c"}}
+	got := r.PathSuffix(2)
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("PathSuffix = %v", got)
+	}
+	// Reaching the destination must NOT leak a per-host key into the
+	// suffix — suffixes compare routers so same-network clients match.
+	reached := Result{ResponsiveHops: []string{"a", "b"}, Reached: true, DstName: "host.example.com"}
+	got = reached.PathSuffix(2)
+	if len(got) != 2 || got[1] != "b" {
+		t.Fatalf("reached PathSuffix = %v", got)
+	}
+	short := Result{ResponsiveHops: []string{"only"}}
+	if got := short.PathSuffix(2); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("short PathSuffix = %v", got)
+	}
+}
+
+func TestSameNetworkSharesSuffixDifferentNetworksDiffer(t *testing.T) {
+	w := world(t)
+	tr := New(w, w.VantageASes()[1])
+	var fw []*inet.Network
+	for _, n := range w.Networks {
+		if !n.Country.NationalGateway && n.HostCapacity() >= 4 {
+			fw = append(fw, n)
+		}
+		if len(fw) == 2 {
+			break
+		}
+	}
+	if len(fw) < 2 {
+		t.Fatal("need two probe-able networks")
+	}
+	a1 := tr.OptimizedPath(fw[0].HostAddr(0)).PathSuffix(2)
+	a2 := tr.OptimizedPath(fw[0].HostAddr(1)).PathSuffix(2)
+	b := tr.OptimizedPath(fw[1].HostAddr(0)).PathSuffix(2)
+	join := func(s []string) string {
+		out := ""
+		for _, v := range s {
+			out += v + "|"
+		}
+		return out
+	}
+	if join(a1) != join(a2) {
+		t.Fatalf("same network suffixes differ: %v vs %v", a1, a2)
+	}
+	if join(a1) == join(b) {
+		t.Fatalf("different networks share suffix: %v", a1)
+	}
+}
+
+func TestOptimizedSavesProbesAndTime(t *testing.T) {
+	w := world(t)
+	rng := rand.New(rand.NewSource(9))
+	classic := New(w, w.VantageASes()[0])
+	optimized := New(w, w.VantageASes()[0])
+	const trials = 400
+	reachedDirect := 0
+	for i := 0; i < trials; i++ {
+		n := w.Networks[rng.Intn(len(w.Networks))]
+		dst := n.RandomHost(rng)
+		classic.Classic(dst)
+		r := optimized.Optimized(dst)
+		if r.Reached && r.Probes == 1 {
+			reachedDirect++
+		}
+	}
+	probeSaving := 1 - float64(optimized.Probes)/float64(classic.Probes)
+	timeSaving := 1 - float64(optimized.WaitTime)/float64(classic.WaitTime)
+	if probeSaving < 0.75 {
+		t.Errorf("probe saving = %.2f, paper reports ~0.90", probeSaving)
+	}
+	if timeSaving < 0.60 {
+		t.Errorf("time saving = %.2f, paper reports ~0.80", timeSaving)
+	}
+	directFrac := float64(reachedDirect) / trials
+	if directFrac < 0.30 || directFrac > 0.70 {
+		t.Errorf("single-probe resolution fraction = %.2f, paper reports ~0.50", directFrac)
+	}
+}
+
+func TestUnroutedDestination(t *testing.T) {
+	w := world(t)
+	tr := New(w, w.VantageASes()[0])
+	res := tr.Optimized(netutil.MustParseAddr("10.9.9.9"))
+	if res.Reached || len(res.ResponsiveHops) != 0 {
+		t.Fatalf("unrouted destination: %+v", res)
+	}
+	if res.Probes == 0 {
+		t.Fatal("probing an unrouted destination still costs probes")
+	}
+	cres := tr.Classic(netutil.MustParseAddr("10.9.9.9"))
+	if cres.Reached {
+		t.Fatal("classic must not reach unrouted destination")
+	}
+}
+
+func TestTracerAccumulatesCosts(t *testing.T) {
+	w := world(t)
+	tr := New(w, w.VantageASes()[0])
+	n := w.Networks[0]
+	r1 := tr.Optimized(n.HostAddr(0))
+	r2 := tr.Optimized(n.HostAddr(1))
+	if tr.Probes != r1.Probes+r2.Probes {
+		t.Fatalf("tracer probes %d != %d + %d", tr.Probes, r1.Probes, r2.Probes)
+	}
+	if tr.WaitTime != r1.WaitTime+r2.WaitTime {
+		t.Fatalf("tracer wait %d != %d + %d", tr.WaitTime, r1.WaitTime, r2.WaitTime)
+	}
+}

@@ -1,0 +1,215 @@
+package weblog
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// Common Log Format support. Lines follow the NCSA combined-ish layout the
+// paper's traces use:
+//
+//	12.65.147.94 - - [13/Feb/1998:06:15:04 +0000] "GET /index.html HTTP/1.0" 200 4521 "-" "Mozilla/4.0"
+//
+// The trailing referer/user-agent pair is optional on read (plain common
+// format) and always written. Only GET requests with numeric sizes matter
+// to the clustering and caching pipelines, which is all the generator
+// produces; the parser is stricter than real-world Apache but explicit
+// about what it rejects.
+
+const clfTimeLayout = "02/Jan/2006:15:04:05 -0700"
+
+// WriteCLF serializes the log in combined log format.
+func WriteCLF(w io.Writer, l *Log) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for i := range l.Requests {
+		r := &l.Requests[i]
+		res := l.Resources[r.URL]
+		agent := "-"
+		if int(r.Agent) < len(l.Agents) {
+			agent = l.Agents[r.Agent]
+		}
+		ts := l.Start.Add(time.Duration(r.Time) * time.Second).Format(clfTimeLayout)
+		if _, err := fmt.Fprintf(bw, "%s - - [%s] \"GET %s HTTP/1.0\" 200 %d \"-\" \"%s\"\n",
+			r.Client, ts, res.Path, res.Size, agent); err != nil {
+			return fmt.Errorf("weblog: writing CLF: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// maybeGzip wraps r with a gzip reader when the stream starts with the
+// gzip magic bytes — server logs are customarily stored compressed, and
+// forcing callers to decompress first is a paper cut.
+func maybeGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(2)
+	if err != nil || len(magic) < 2 || magic[0] != 0x1F || magic[1] != 0x8B {
+		return br, nil // not gzip (or too short to be): parse as-is
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("weblog: gzip header detected but unreadable: %w", err)
+	}
+	return zr, nil
+}
+
+// ReadCLF parses a combined/common log format stream into a Log. Gzipped
+// input is detected and decompressed transparently. Resource
+// and agent tables are interned; request times become offsets from the
+// earliest timestamp. Clients logged as 0.0.0.0 (the BOOTP placeholder the
+// paper excludes, footnote 6) are dropped here so no downstream stage needs
+// to re-check. Malformed lines produce an error with the line number.
+func ReadCLF(r io.Reader, name string) (*Log, error) {
+	src, err := maybeGzip(r)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	l := &Log{Name: name}
+	urlIndex := make(map[string]int32)
+	agentIndex := make(map[string]uint16)
+	var times []time.Time
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		req, ts, path, size, agent, err := parseCLFLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("weblog: line %d: %w", lineno, err)
+		}
+		if req.Client.IsUnspecified() {
+			continue
+		}
+		id, ok := urlIndex[path]
+		if !ok {
+			id = int32(len(l.Resources))
+			urlIndex[path] = id
+			l.Resources = append(l.Resources, Resource{Path: path, Size: size})
+		} else if l.Resources[id].Size < size {
+			// Sizes can vary across responses (updates); keep the largest
+			// so byte-hit accounting is stable.
+			l.Resources[id].Size = size
+		}
+		aid, ok := agentIndex[agent]
+		if !ok {
+			if len(l.Agents) >= 1<<16-1 {
+				return nil, fmt.Errorf("weblog: line %d: more than %d distinct user agents", lineno, 1<<16-1)
+			}
+			aid = uint16(len(l.Agents))
+			agentIndex[agent] = aid
+			l.Agents = append(l.Agents, agent)
+		}
+		req.URL = id
+		req.Agent = aid
+		l.Requests = append(l.Requests, req)
+		times = append(times, ts)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("weblog: reading CLF: %w", err)
+	}
+	if len(l.Requests) == 0 {
+		return l, nil
+	}
+	start, end := times[0], times[0]
+	for _, t := range times {
+		if t.Before(start) {
+			start = t
+		}
+		if t.After(end) {
+			end = t
+		}
+	}
+	l.Start = start
+	l.Duration = end.Sub(start)
+	for i := range l.Requests {
+		l.Requests[i].Time = uint32(times[i].Sub(start) / time.Second)
+	}
+	l.SortByTime()
+	return l, nil
+}
+
+// parseCLFLine dissects one line. It returns the partially-filled request
+// (client only), the absolute timestamp, path, size and agent.
+func parseCLFLine(line string) (Request, time.Time, string, int32, string, error) {
+	var req Request
+	// host
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return req, time.Time{}, "", 0, "", fmt.Errorf("no fields")
+	}
+	client, err := parseClient(line[:sp])
+	if err != nil {
+		return req, time.Time{}, "", 0, "", err
+	}
+	req.Client = client
+	// [timestamp]
+	lb := strings.IndexByte(line, '[')
+	rb := strings.IndexByte(line, ']')
+	if lb < 0 || rb < lb {
+		return req, time.Time{}, "", 0, "", fmt.Errorf("missing timestamp brackets")
+	}
+	ts, err := time.Parse(clfTimeLayout, line[lb+1:rb])
+	if err != nil {
+		return req, time.Time{}, "", 0, "", fmt.Errorf("bad timestamp: %w", err)
+	}
+	// "METHOD path proto"
+	q1 := strings.IndexByte(line[rb:], '"')
+	if q1 < 0 {
+		return req, time.Time{}, "", 0, "", fmt.Errorf("missing request quote")
+	}
+	q1 += rb
+	q2 := strings.IndexByte(line[q1+1:], '"')
+	if q2 < 0 {
+		return req, time.Time{}, "", 0, "", fmt.Errorf("unterminated request")
+	}
+	q2 += q1 + 1
+	reqFields := strings.Fields(line[q1+1 : q2])
+	if len(reqFields) < 2 {
+		return req, time.Time{}, "", 0, "", fmt.Errorf("malformed request %q", line[q1+1:q2])
+	}
+	path := reqFields[1]
+	// status and size
+	rest := strings.Fields(line[q2+1:])
+	if len(rest) < 2 {
+		return req, time.Time{}, "", 0, "", fmt.Errorf("missing status/size")
+	}
+	size := int64(0)
+	if rest[1] != "-" {
+		size, err = strconv.ParseInt(rest[1], 10, 32)
+		if err != nil || size < 0 {
+			return req, time.Time{}, "", 0, "", fmt.Errorf("bad size %q", rest[1])
+		}
+	}
+	// optional trailing "referer" "agent"
+	agent := "-"
+	if i := strings.LastIndexByte(line, '"'); i > q2 {
+		j := strings.LastIndexByte(line[:i], '"')
+		if j > q2 {
+			agent = line[j+1 : i]
+		}
+	}
+	return req, ts, path, int32(size), agent, nil
+}
+
+// parseClient accepts a dotted-quad address. Hostnames (from logs with
+// resolution enabled) are rejected: clustering is defined on IP addresses,
+// and silently hashing names to fake addresses would corrupt every result
+// downstream.
+func parseClient(field string) (netutil.Addr, error) {
+	addr, err := netutil.ParseAddr(field)
+	if err != nil {
+		return 0, fmt.Errorf("bad client %q (hostname-resolved logs are unsupported): %w", field, err)
+	}
+	return addr, nil
+}

@@ -1,0 +1,157 @@
+package weblog
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCLFRoundTrip(t *testing.T) {
+	orig := tinyLog()
+	var buf bytes.Buffer
+	if err := WriteCLF(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCLF(&buf, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(orig.Requests) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(got.Requests), len(orig.Requests))
+	}
+	st, wantSt := got.Stats(), orig.Stats()
+	if st.Requests != wantSt.Requests || st.UniqueClients != wantSt.UniqueClients || st.UniqueURLs != wantSt.UniqueURLs {
+		t.Fatalf("stats differ: %+v vs %+v", st, wantSt)
+	}
+	// CLF carries absolute timestamps only, so the parsed log's Start is
+	// the earliest request, not the original nominal start. Compare
+	// absolute times per request instead.
+	for i := range got.Requests {
+		g, w := got.Requests[i], orig.Requests[i]
+		gAbs := got.Start.Add(time.Duration(g.Time) * time.Second)
+		wAbs := orig.Start.Add(time.Duration(w.Time) * time.Second)
+		if g.Client != w.Client || !gAbs.Equal(wAbs) {
+			t.Fatalf("request %d: %v@%v vs %v@%v", i, g.Client, gAbs, w.Client, wAbs)
+		}
+		if got.Resources[g.URL].Path != orig.Resources[w.URL].Path {
+			t.Fatalf("request %d path mismatch", i)
+		}
+		if got.Resources[g.URL].Size != orig.Resources[w.URL].Size {
+			t.Fatalf("request %d size mismatch", i)
+		}
+		if got.Agents[g.Agent] != orig.Agents[w.Agent] {
+			t.Fatalf("request %d agent mismatch", i)
+		}
+	}
+}
+
+func TestReadCLFPlainCommonFormat(t *testing.T) {
+	// No referer/agent columns at all.
+	in := `12.65.147.94 - - [13/Feb/1998:06:15:04 +0000] "GET /index.html HTTP/1.0" 200 4521
+24.48.3.87 - - [13/Feb/1998:06:15:05 +0000] "GET /x.gif HTTP/1.0" 304 -
+`
+	l, err := ReadCLF(strings.NewReader(in), "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Requests) != 2 {
+		t.Fatalf("requests = %d", len(l.Requests))
+	}
+	if l.Agents[l.Requests[0].Agent] != "-" {
+		t.Errorf("agent = %q, want placeholder", l.Agents[l.Requests[0].Agent])
+	}
+	if l.Resources[l.Requests[1].URL].Size != 0 {
+		t.Errorf("dash size must parse as 0")
+	}
+}
+
+func TestReadCLFDropsUnspecifiedClient(t *testing.T) {
+	in := `0.0.0.0 - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 10
+1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "GET /a HTTP/1.0" 200 10
+`
+	l, err := ReadCLF(strings.NewReader(in), "bootp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Requests) != 1 {
+		t.Fatalf("0.0.0.0 must be dropped; got %d requests", len(l.Requests))
+	}
+}
+
+func TestReadCLFErrors(t *testing.T) {
+	bad := []string{
+		`not-an-ip - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 10`,
+		`1.2.3.4 - - 13/Feb/1998 "GET /a HTTP/1.0" 200 10`,
+		`1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 notasize`,
+		`1.2.3.4 - - [garbage] "GET /a HTTP/1.0" 200 10`,
+		`1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] "GETNOPATH" 200 10`,
+		`1.2.3.4`,
+	}
+	for _, line := range bad {
+		if _, err := ReadCLF(strings.NewReader(line+"\n"), "bad"); err == nil {
+			t.Errorf("ReadCLF(%q) should fail", line)
+		}
+	}
+}
+
+func TestReadCLFEmptyAndBlank(t *testing.T) {
+	l, err := ReadCLF(strings.NewReader("\n\n\n"), "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Requests) != 0 {
+		t.Fatal("blank input must yield empty log")
+	}
+}
+
+func TestReadCLFGrowingSizeKept(t *testing.T) {
+	in := `1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 10
+1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "GET /a HTTP/1.0" 200 500
+1.2.3.4 - - [13/Feb/1998:06:15:06 +0000] "GET /a HTTP/1.0" 200 20
+`
+	l, err := ReadCLF(strings.NewReader(in), "sizes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Resources) != 1 || l.Resources[0].Size != 500 {
+		t.Fatalf("resource size = %d, want max 500", l.Resources[0].Size)
+	}
+}
+
+func TestReadCLFGzipped(t *testing.T) {
+	orig := tinyLog()
+	var plain bytes.Buffer
+	if err := WriteCLF(&plain, orig); err != nil {
+		t.Fatal(err)
+	}
+	var zipped bytes.Buffer
+	zw := gzip.NewWriter(&zipped)
+	zw.Write(plain.Bytes())
+	zw.Close()
+
+	l, err := ReadCLF(bytes.NewReader(zipped.Bytes()), "gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Requests) != len(orig.Requests) {
+		t.Fatalf("gzipped read lost requests: %d vs %d", len(l.Requests), len(orig.Requests))
+	}
+	// Streaming path too.
+	n := 0
+	if _, err := StreamCLF(bytes.NewReader(zipped.Bytes()), func(StreamRecord) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(orig.Requests) {
+		t.Fatalf("gzipped stream saw %d records", n)
+	}
+	// Corrupt gzip header errors cleanly.
+	bad := append([]byte{0x1F, 0x8B}, []byte("not really gzip")...)
+	if _, err := ReadCLF(bytes.NewReader(bad), "bad"); err == nil {
+		t.Fatal("corrupt gzip must error")
+	}
+}

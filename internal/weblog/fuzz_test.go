@@ -1,0 +1,57 @@
+package weblog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCLF asserts the log parser never panics, and that whatever it
+// accepts survives a write/read round trip with identical statistics.
+func FuzzReadCLF(f *testing.F) {
+	f.Add(`12.65.147.94 - - [13/Feb/1998:06:15:04 +0000] "GET /index.html HTTP/1.0" 200 4521 "-" "Mozilla/4.0"`)
+	f.Add(`1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 304 -`)
+	f.Add(`0.0.0.0 - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 10`)
+	f.Add("garbage line")
+	f.Add(`1.2.3.4 - - [not-a-date] "GET /a HTTP/1.0" 200 10`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		l, err := ReadCLF(strings.NewReader(line+"\n"), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := WriteCLF(&buf, l); err != nil {
+			t.Fatalf("write-back of accepted input failed: %v", err)
+		}
+		back, err := ReadCLF(strings.NewReader(buf.String()), "fuzz2")
+		if err != nil {
+			t.Fatalf("re-read of written log failed: %v", err)
+		}
+		a, b := l.Stats(), back.Stats()
+		if a.Requests != b.Requests || a.UniqueClients != b.UniqueClients || a.UniqueURLs != b.UniqueURLs {
+			t.Fatalf("round trip changed stats: %+v vs %+v", a, b)
+		}
+	})
+}
+
+// FuzzStreamCLF asserts streaming parse agrees with batch parse on record
+// counts for every input both accept.
+func FuzzStreamCLF(f *testing.F) {
+	f.Add(`1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 10`)
+	f.Add(`1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 10
+5.6.7.8 - - [13/Feb/1998:06:15:05 +0000] "GET /b HTTP/1.0" 200 20`)
+	f.Fuzz(func(t *testing.T, text string) {
+		batch, batchErr := ReadCLF(strings.NewReader(text), "b")
+		records := 0
+		_, streamErr := StreamCLF(strings.NewReader(text), func(StreamRecord) bool {
+			records++
+			return true
+		})
+		if (batchErr == nil) != (streamErr == nil) {
+			t.Fatalf("accept disagreement: batch=%v stream=%v", batchErr, streamErr)
+		}
+		if batchErr == nil && records != len(batch.Requests) {
+			t.Fatalf("record counts differ: stream %d vs batch %d", records, len(batch.Requests))
+		}
+	})
+}

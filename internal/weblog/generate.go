@@ -1,0 +1,368 @@
+package weblog
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/stats"
+)
+
+// GenConfig parameterizes a synthetic server log. Defaults (via LogProfile
+// constructors below) are tuned so the generated traces match the
+// statistical shape the paper reports for its logs: Zipf-like cluster
+// sizes and request counts, request distribution more heavy-tailed than
+// client distribution, diurnal arrivals, and optional planted spiders and
+// proxies.
+type GenConfig struct {
+	Name        string
+	Seed        int64
+	NumClients  int
+	NumRequests int
+	NumURLs     int
+	NumNetworks int // distinct ground-truth networks clients come from
+	Duration    time.Duration
+	Start       time.Time
+
+	ClientZipf  float64 // skew of clients-per-network (paper Fig 3a tail)
+	RequestZipf float64 // skew of requests-per-client (heavier, Fig 3b)
+	URLZipf     float64 // web resource popularity (classic ~0.8–1.0)
+	RepeatProb  float64 // prob. a request repeats one of the client's past URLs
+
+	// Spiders scan large URL ranges at uniform rate, dominating their
+	// cluster. SpiderFrac is the fraction of NumRequests issued by EACH
+	// spider; SpiderSpan bounds how many distinct URLs a spider sweeps
+	// (0 means the whole resource table).
+	NumSpiders int
+	SpiderFrac float64
+	SpiderSpan int
+	// Proxies aggregate hidden clients: their arrivals mirror the site's
+	// diurnal pattern and their User-Agent field varies per request.
+	NumProxies int
+	ProxyFrac  float64
+}
+
+// Validate checks internal consistency before generation.
+func (c *GenConfig) Validate() error {
+	switch {
+	case c.NumClients <= 0 || c.NumRequests <= 0 || c.NumURLs <= 0 || c.NumNetworks <= 0:
+		return fmt.Errorf("weblog: counts must be positive: %+v", *c)
+	case c.Duration <= 0:
+		return fmt.Errorf("weblog: non-positive duration %v", c.Duration)
+	case c.NumClients < c.NumNetworks:
+		return fmt.Errorf("weblog: %d clients cannot span %d networks", c.NumClients, c.NumNetworks)
+	case float64(c.NumSpiders)*c.SpiderFrac+float64(c.NumProxies)*c.ProxyFrac > 0.8:
+		return fmt.Errorf("weblog: spiders+proxies would claim over 80%% of requests")
+	}
+	return nil
+}
+
+// browserAgents is the pool of ordinary 1998-era User-Agent strings.
+var browserAgents = []string{
+	"Mozilla/4.04 [en] (X11; I; SunOS 5.6 sun4u)",
+	"Mozilla/4.0 (compatible; MSIE 4.01; Windows 95)",
+	"Mozilla/4.0 (compatible; MSIE 4.01; Windows NT)",
+	"Mozilla/3.04 (Macintosh; I; PPC)",
+	"Mozilla/4.05 [en] (Win95; I)",
+	"Mozilla/4.0 (compatible; MSIE 3.02; Windows 3.1)",
+	"Lynx/2.8rel.2 libwww-FM/2.14",
+	"Mozilla/4.5 [en] (X11; I; Linux 2.0.36 i686)",
+}
+
+const spiderAgent = "ArchitextSpider/1.0"
+
+// Generate synthesizes a server log over the given world. Clients are real
+// hosts of ground-truth networks, so the log can be clustered against the
+// world's BGP views and validated against its DNS and topology.
+func Generate(world *inet.Internet, cfg GenConfig) (*Log, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumNetworks > len(world.Networks) {
+		return nil, fmt.Errorf("weblog: config wants %d networks, world has %d", cfg.NumNetworks, len(world.Networks))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &logGen{world: world, cfg: cfg, rng: rng}
+	return g.run()
+}
+
+type logGen struct {
+	world *inet.Internet
+	cfg   GenConfig
+	rng   *rand.Rand
+}
+
+func (g *logGen) run() (*Log, error) {
+	l := &Log{
+		Name:     g.cfg.Name,
+		Start:    g.cfg.Start,
+		Duration: g.cfg.Duration,
+		Agents:   append([]string(nil), browserAgents...),
+		Truth:    &GroundTruth{Spiders: map[netutil.Addr]bool{}, Proxies: map[netutil.Addr]bool{}},
+	}
+	g.makeResources(l)
+
+	// 1. Pick the client networks and apportion clients across them.
+	// Independent Pareto draws (tail index 1/ClientZipf) rather than
+	// rank-Zipf weights: real cluster-size distributions have a large mass
+	// of single-client clusters next to a heavy tail (the paper's Nagano
+	// sizes run from 1 to 1,343).
+	networks := g.pickNetworks(g.cfg.NumNetworks)
+	clientCounts, err := stats.Apportion(g.cfg.NumClients,
+		g.mixedWeights(len(networks), 1/g.cfg.ClientZipf), 1)
+	if err != nil {
+		return nil, err
+	}
+
+	var clients []netutil.Addr
+	for i, n := range networks {
+		clients = append(clients, g.sampleHosts(n, clientCounts[i])...)
+	}
+
+	// 2. Apportion ordinary requests across clients with a heavier tail.
+	spiderReq := int(float64(g.cfg.NumRequests) * g.cfg.SpiderFrac * float64(g.cfg.NumSpiders))
+	proxyReq := int(float64(g.cfg.NumRequests) * g.cfg.ProxyFrac * float64(g.cfg.NumProxies))
+	ordinary := g.cfg.NumRequests - spiderReq - proxyReq
+	if ordinary < len(clients) {
+		return nil, fmt.Errorf("weblog: only %d ordinary requests for %d clients", ordinary, len(clients))
+	}
+	reqCounts, err := stats.Apportion(ordinary,
+		g.mixedWeights(len(clients), 1/g.cfg.RequestZipf), 1)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Emit ordinary client traffic.
+	horizon := uint32(g.cfg.Duration / time.Second)
+	urlW := newURLSampler(g.rng, g.cfg.NumURLs, g.cfg.URLZipf)
+	for i, c := range clients {
+		g.emitClient(l, c, reqCounts[i], horizon, urlW)
+	}
+
+	// 4. Spiders: small, otherwise-quiet networks; uniform arrival; broad
+	// sequential URL scans (Section 4.1.2 and Figure 9(c)).
+	for s := 0; s < g.cfg.NumSpiders; s++ {
+		n := networks[g.rng.Intn(len(networks))]
+		spider := g.sampleHosts(n, 1)[0]
+		l.Truth.Spiders[spider] = true
+		g.emitSpider(l, spider, int(float64(g.cfg.NumRequests)*g.cfg.SpiderFrac), horizon)
+	}
+
+	// 5. Proxies: arrivals mirror the site-wide diurnal pattern; User-Agent
+	// varies per request (Section 4.1.2 and Figure 9(b)).
+	for p := 0; p < g.cfg.NumProxies; p++ {
+		n := networks[g.rng.Intn(len(networks))]
+		proxy := g.sampleHosts(n, 1)[0]
+		l.Truth.Proxies[proxy] = true
+		g.emitProxy(l, proxy, int(float64(g.cfg.NumRequests)*g.cfg.ProxyFrac), horizon, urlW)
+	}
+
+	l.SortByTime()
+	return l, nil
+}
+
+// mixedWeights draws apportioning weights as a mixture: a quarter of the
+// population carries near-zero weight (drive-by clients issuing a single
+// request; networks contributing a single client — both ubiquitous in real
+// logs, where the paper's counts start at 1), the rest follows a Pareto
+// tail with the given index.
+func (g *logGen) mixedWeights(n int, alpha float64) []float64 {
+	w := stats.ParetoWeights(g.rng, n, alpha)
+	for i := range w {
+		if g.rng.Float64() < 0.25 {
+			w[i] = 1e-4 * g.rng.Float64()
+		}
+	}
+	return w
+}
+
+// makeResources builds the URL table: lognormal sizes (a few hundred bytes
+// to megabytes) and a mixture of immutable and periodically-updated
+// resources, which the PCV cache validation needs.
+func (g *logGen) makeResources(l *Log) {
+	l.Resources = make([]Resource, g.cfg.NumURLs)
+	for i := range l.Resources {
+		size := int32(math.Exp(g.rng.NormFloat64()*1.3 + 8.5))
+		if size < 120 {
+			size = 120
+		}
+		if size > 8<<20 {
+			size = 8 << 20
+		}
+		var period uint32
+		if g.rng.Float64() > 0.25 {
+			// Updated resources: mean ~6h, exponential.
+			period = uint32(g.rng.ExpFloat64()*6*3600 + 600)
+		}
+		l.Resources[i] = Resource{
+			Path:         fmt.Sprintf("/doc/%04d/page%d.html", i/100, i),
+			Size:         size,
+			ChangePeriod: period,
+		}
+	}
+}
+
+// pickNetworks selects distinct ground-truth networks, favouring none in
+// particular (popularity is applied separately via the Zipf apportioning).
+func (g *logGen) pickNetworks(k int) []*inet.Network {
+	idx := g.rng.Perm(len(g.world.Networks))[:k]
+	out := make([]*inet.Network, k)
+	for i, j := range idx {
+		out[i] = g.world.Networks[j]
+	}
+	return out
+}
+
+// sampleHosts draws count distinct host addresses from a network. When the
+// network is smaller than count, every host is used and the remainder is
+// dropped — Apportion guarantees counts are ≥1, and tiny networks simply
+// contribute fewer clients, as in reality.
+func (g *logGen) sampleHosts(n *inet.Network, count int) []netutil.Addr {
+	capacity := n.HostCapacity()
+	if count > capacity {
+		count = capacity
+	}
+	if count > capacity/2 {
+		// Dense: permute all offsets.
+		perm := g.rng.Perm(capacity)[:count]
+		out := make([]netutil.Addr, count)
+		for i, off := range perm {
+			out[i] = n.HostAddr(off)
+		}
+		return out
+	}
+	// Sparse: rejection-sample distinct offsets.
+	seen := make(map[int]struct{}, count)
+	out := make([]netutil.Addr, 0, count)
+	for len(out) < count {
+		off := g.rng.Intn(capacity)
+		if _, dup := seen[off]; dup {
+			continue
+		}
+		seen[off] = struct{}{}
+		out = append(out, n.HostAddr(off))
+	}
+	return out
+}
+
+// diurnalTime draws an arrival offset in [0, horizon) weighted by a daily
+// sinusoid (busy afternoons, quiet nights), by rejection sampling.
+func (g *logGen) diurnalTime(horizon uint32) uint32 {
+	for {
+		t := uint32(g.rng.Int63n(int64(horizon)))
+		dayFrac := float64(t%86400) / 86400
+		rate := 1 + 0.75*math.Sin(2*math.Pi*(dayFrac-0.3))
+		if g.rng.Float64()*1.75 < rate {
+			return t
+		}
+	}
+}
+
+// urlSampler draws URL ids from a Zipf(alpha) popularity — P(rank) ∝
+// rank^-alpha with the classic web exponent alpha ≈ 0.8 — via inverse-CDF
+// sampling (math/rand's Zipf needs s > 1, which would concentrate hits on
+// far too few URLs: real logs touch their whole URL space, Breslau et
+// al.'s observation the paper cites). A per-site random rank permutation
+// keeps URL id order free of popularity signal.
+type urlSampler struct {
+	rng  *rand.Rand
+	cdf  []float64
+	perm []int32
+}
+
+func newURLSampler(rng *rand.Rand, n int, alpha float64) *urlSampler {
+	w := stats.ZipfWeights(n, alpha)
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i, v := range w {
+		sum += v
+		cdf[i] = sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	perm := make([]int32, n)
+	for i, p := range rng.Perm(n) {
+		perm[i] = int32(p)
+	}
+	return &urlSampler{rng: rng, cdf: cdf, perm: perm}
+}
+
+func (u *urlSampler) draw() int32 {
+	r := u.rng.Float64()
+	i := sort.SearchFloat64s(u.cdf, r)
+	if i >= len(u.perm) {
+		i = len(u.perm) - 1
+	}
+	return u.perm[i]
+}
+
+// emitClient writes one ordinary client's requests: diurnal arrival times;
+// URL choice mixes global popularity with the client's own revisits.
+func (g *logGen) emitClient(l *Log, c netutil.Addr, count int, horizon uint32, urls *urlSampler) {
+	agent := uint16(g.rng.Intn(len(browserAgents)))
+	var history []int32
+	for k := 0; k < count; k++ {
+		var url int32
+		if len(history) > 0 && g.rng.Float64() < g.cfg.RepeatProb {
+			url = history[g.rng.Intn(len(history))]
+		} else {
+			url = urls.draw()
+			history = append(history, url)
+		}
+		l.Requests = append(l.Requests, Request{
+			Time:   g.diurnalTime(horizon),
+			Client: c,
+			URL:    url,
+			Agent:  agent,
+		})
+	}
+}
+
+// emitSpider writes a spider's scan: near-uniform arrivals dissociated from
+// the diurnal pattern, sweeping sequentially across a large slice of the
+// URL space (it visits many URLs exactly once — the anti-cache workload of
+// Figure 8(a)).
+func (g *logGen) emitSpider(l *Log, spider netutil.Addr, count int, horizon uint32) {
+	agentID := g.internAgent(l, spiderAgent)
+	span := len(l.Resources)
+	if g.cfg.SpiderSpan > 0 && g.cfg.SpiderSpan < span {
+		span = g.cfg.SpiderSpan
+	}
+	start := g.rng.Intn(len(l.Resources))
+	for k := 0; k < count; k++ {
+		l.Requests = append(l.Requests, Request{
+			Time:   uint32(g.rng.Int63n(int64(horizon))),
+			Client: spider,
+			URL:    int32((start + k%span) % len(l.Resources)),
+			Agent:  agentID,
+		})
+	}
+}
+
+// emitProxy writes a proxy's aggregated traffic: the arrival pattern and
+// URL popularity mirror the whole site (hidden clients behave like visible
+// ones), and the User-Agent changes per request because different hidden
+// browsers sit behind it.
+func (g *logGen) emitProxy(l *Log, proxy netutil.Addr, count int, horizon uint32, urls *urlSampler) {
+	for k := 0; k < count; k++ {
+		l.Requests = append(l.Requests, Request{
+			Time:   g.diurnalTime(horizon),
+			Client: proxy,
+			URL:    urls.draw(),
+			Agent:  uint16(g.rng.Intn(len(browserAgents))),
+		})
+	}
+}
+
+func (g *logGen) internAgent(l *Log, agent string) uint16 {
+	for i, a := range l.Agents {
+		if a == agent {
+			return uint16(i)
+		}
+	}
+	l.Agents = append(l.Agents, agent)
+	return uint16(len(l.Agents) - 1)
+}

@@ -1,0 +1,257 @@
+package weblog
+
+import (
+	"testing"
+
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/stats"
+)
+
+func testWorld(t *testing.T) *inet.Internet {
+	t.Helper()
+	cfg := inet.DefaultConfig()
+	cfg.NumASes = 250
+	cfg.NumTierOne = 8
+	w, err := inet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateNaganoShape(t *testing.T) {
+	w := testWorld(t)
+	cfg := Nagano(0.02) // ~1.2 K clients, ~233 K requests
+	l, err := Generate(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Requests != cfg.NumRequests {
+		t.Errorf("requests = %d, want %d", st.Requests, cfg.NumRequests)
+	}
+	// Spiders/proxies may be sampled from networks that already host
+	// clients, so unique clients can exceed NumClients by at most
+	// NumSpiders+NumProxies and fall short only if host sampling capped.
+	if st.UniqueClients < cfg.NumClients*95/100 || st.UniqueClients > cfg.NumClients+5 {
+		t.Errorf("clients = %d, want ≈%d", st.UniqueClients, cfg.NumClients)
+	}
+	if st.UniqueURLs == 0 || st.UniqueURLs > cfg.NumURLs {
+		t.Errorf("URLs = %d, table %d", st.UniqueURLs, cfg.NumURLs)
+	}
+	// Requests sorted by time and within duration.
+	horizon := uint32(cfg.Duration.Seconds())
+	for i := range l.Requests {
+		if i > 0 && l.Requests[i].Time < l.Requests[i-1].Time {
+			t.Fatal("requests not sorted")
+		}
+		if l.Requests[i].Time >= horizon {
+			t.Fatalf("request time %d beyond horizon %d", l.Requests[i].Time, horizon)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := testWorld(t)
+	a, err := Generate(w, Nagano(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(w, Nagano(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("same config, different logs")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestGenerateClientsAreRealHosts(t *testing.T) {
+	w := testWorld(t)
+	l, err := Generate(w, Nagano(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range l.Clients() {
+		if _, ok := w.NetworkOf(c); !ok {
+			t.Fatalf("client %v is not in any ground-truth network", c)
+		}
+	}
+}
+
+func TestGenerateRequestsHeavierTailThanClients(t *testing.T) {
+	w := testWorld(t)
+	l, err := Generate(w, Nagano(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group by ground-truth network and compare skew of the two
+	// distributions via their Gini coefficients: requests should be more
+	// concentrated than clients (the paper's Fig 3 observation).
+	clientsPer := map[int]map[netutil.Addr]struct{}{}
+	reqsPer := map[int]int{}
+	for i := range l.Requests {
+		n, ok := w.NetworkOf(l.Requests[i].Client)
+		if !ok {
+			t.Fatal("client outside world")
+		}
+		if clientsPer[n.ID] == nil {
+			clientsPer[n.ID] = map[netutil.Addr]struct{}{}
+		}
+		clientsPer[n.ID][l.Requests[i].Client] = struct{}{}
+		reqsPer[n.ID]++
+	}
+	var cCounts, rCounts []int
+	for id := range clientsPer {
+		cCounts = append(cCounts, len(clientsPer[id]))
+		rCounts = append(rCounts, reqsPer[id])
+	}
+	gc, gr := stats.Gini(cCounts), stats.Gini(rCounts)
+	if gr <= gc {
+		t.Errorf("request Gini %.3f should exceed client Gini %.3f", gr, gc)
+	}
+}
+
+func TestGenerateSpiderBehaviour(t *testing.T) {
+	w := testWorld(t)
+	cfg := Sun(0.01)
+	l, err := Generate(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Truth.Spiders) != cfg.NumSpiders || len(l.Truth.Proxies) != cfg.NumProxies {
+		t.Fatalf("truth: %d spiders, %d proxies", len(l.Truth.Spiders), len(l.Truth.Proxies))
+	}
+	var spider netutil.Addr
+	for s := range l.Truth.Spiders {
+		spider = s
+	}
+	spiderReqs := 0
+	spiderURLs := map[int32]struct{}{}
+	for i := range l.Requests {
+		if l.Requests[i].Client == spider {
+			spiderReqs++
+			spiderURLs[l.Requests[i].URL] = struct{}{}
+		}
+	}
+	wantReqs := int(float64(cfg.NumRequests) * cfg.SpiderFrac)
+	if spiderReqs != wantReqs {
+		t.Errorf("spider issued %d requests, want %d", spiderReqs, wantReqs)
+	}
+	if len(spiderURLs) > cfg.SpiderSpan {
+		t.Errorf("spider touched %d URLs, span is %d", len(spiderURLs), cfg.SpiderSpan)
+	}
+	// The spider should dominate URL coverage relative to its request
+	// share... it must at least touch nearly its whole span.
+	if len(spiderURLs) < cfg.SpiderSpan*9/10 && spiderReqs > cfg.SpiderSpan {
+		t.Errorf("spider touched only %d of %d URLs in span", len(spiderURLs), cfg.SpiderSpan)
+	}
+}
+
+func TestGenerateProxyAgentsVary(t *testing.T) {
+	w := testWorld(t)
+	l, err := Generate(w, Sun(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var proxy netutil.Addr
+	for p := range l.Truth.Proxies {
+		proxy = p
+	}
+	agents := map[uint16]struct{}{}
+	ordinaryAgents := map[netutil.Addr]map[uint16]struct{}{}
+	for i := range l.Requests {
+		r := l.Requests[i]
+		if r.Client == proxy {
+			agents[r.Agent] = struct{}{}
+		} else if !l.Truth.Spiders[r.Client] {
+			if ordinaryAgents[r.Client] == nil {
+				ordinaryAgents[r.Client] = map[uint16]struct{}{}
+			}
+			ordinaryAgents[r.Client][r.Agent] = struct{}{}
+		}
+	}
+	if len(agents) < 3 {
+		t.Errorf("proxy used %d agents, want several", len(agents))
+	}
+	for c, as := range ordinaryAgents {
+		if len(as) != 1 {
+			t.Fatalf("ordinary client %v used %d agents, want exactly 1", c, len(as))
+		}
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	w := testWorld(t)
+	bad := Nagano(0.01)
+	bad.NumClients = 0
+	if _, err := Generate(w, bad); err == nil {
+		t.Error("zero clients must fail")
+	}
+	bad = Nagano(0.01)
+	bad.NumNetworks = bad.NumClients + 1
+	if _, err := Generate(w, bad); err == nil {
+		t.Error("networks > clients must fail")
+	}
+	bad = Nagano(0.01)
+	bad.Duration = 0
+	if _, err := Generate(w, bad); err == nil {
+		t.Error("zero duration must fail")
+	}
+	bad = Nagano(0.01)
+	bad.NumSpiders, bad.SpiderFrac = 5, 0.2
+	if _, err := Generate(w, bad); err == nil {
+		t.Error("spiders claiming all traffic must fail")
+	}
+	bad = Nagano(0.01)
+	bad.NumNetworks = len(w.Networks) + 1
+	if _, err := Generate(w, bad); err == nil {
+		t.Error("more networks than the world has must fail")
+	}
+}
+
+func TestProfilesScale(t *testing.T) {
+	for _, cfg := range Profiles(0.001) {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s at tiny scale invalid: %v", cfg.Name, err)
+		}
+		if cfg.NumClients < cfg.NumNetworks {
+			t.Errorf("%s: clients %d < networks %d", cfg.Name, cfg.NumClients, cfg.NumNetworks)
+		}
+	}
+	full := Nagano(1.0)
+	if full.NumRequests != 11665713 || full.NumClients != 59582 || full.NumURLs != 33875 || full.NumNetworks != 9853 {
+		t.Errorf("Nagano(1.0) must match the paper's counts: %+v", full)
+	}
+}
+
+func TestGenerateDiurnalPattern(t *testing.T) {
+	w := testWorld(t)
+	l, err := Generate(w, Nagano(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []uint32
+	for i := range l.Requests {
+		times = append(times, l.Requests[i].Time)
+	}
+	bins := stats.Bin(times, uint32(l.Duration.Seconds()), 24)
+	min, max := bins[0], bins[0]
+	for _, b := range bins {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if max < 2*min {
+		t.Errorf("diurnal variation too flat: min=%g max=%g", min, max)
+	}
+}

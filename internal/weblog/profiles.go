@@ -1,0 +1,121 @@
+package weblog
+
+import (
+	"time"
+)
+
+// Log profiles mirroring the four traces the paper reports on. Counts at
+// scale = 1 match the paper's published numbers where given (Nagano:
+// 11,665,713 requests from 59,582 clients over 33,875 URLs in one day;
+// Sun: 116,274 URLs with one spider and one suspected proxy; cluster
+// totals of Table 4: Apache 35,563 / EW3 24,921 / Sun 33,468). Where the
+// paper gives only ranges, the profiles pick values inside them.
+//
+// Scale proportionally shrinks the population so unit tests and quick
+// experiment runs stay fast; the Zipf exponents — which determine every
+// distributional conclusion — do not change with scale.
+
+func scaled(v int, scale float64, min int) int {
+	s := int(float64(v) * scale)
+	if s < min {
+		s = min
+	}
+	return s
+}
+
+// Nagano is the paper's primary example: the 1998 Winter Olympics site,
+// one day (Feb 13, 1998), a transient-event log with no spiders and a
+// single busy suspected proxy (77,311 requests from a one-client cluster).
+func Nagano(scale float64) GenConfig {
+	return GenConfig{
+		Name:        "Nagano",
+		Seed:        1998,
+		NumClients:  scaled(59582, scale, 200),
+		NumRequests: scaled(11665713, scale, 4000),
+		NumURLs:     scaled(33875, scale, 120),
+		NumNetworks: scaled(9853, scale, 50),
+		Duration:    24 * time.Hour,
+		Start:       time.Date(1998, 2, 13, 0, 0, 0, 0, time.UTC),
+		ClientZipf:  0.75,
+		RequestZipf: 0.85,
+		URLZipf:     0.80,
+		RepeatProb:  0.60,
+		NumProxies:  1,
+		ProxyFrac:   0.0066, // 77,311 of 11.67 M requests
+	}
+}
+
+// Apache is a large popular-site log: the biggest cluster population of
+// the four traces.
+func Apache(scale float64) GenConfig {
+	return GenConfig{
+		Name:        "Apache",
+		Seed:        1999,
+		NumClients:  scaled(180000, scale, 400),
+		NumRequests: scaled(7200000, scale, 8000),
+		NumURLs:     scaled(42000, scale, 150),
+		NumNetworks: scaled(35563, scale, 120),
+		Duration:    7 * 24 * time.Hour,
+		Start:       time.Date(1999, 6, 1, 0, 0, 0, 0, time.UTC),
+		ClientZipf:  0.72,
+		RequestZipf: 0.86,
+		URLZipf:     0.82,
+		RepeatProb:  0.55,
+		NumSpiders:  1,
+		SpiderFrac:  0.02,
+		NumProxies:  2,
+		ProxyFrac:   0.008,
+	}
+}
+
+// EW3 (Easy World Wide Web) is the small-site trace: few unique URLs (the
+// paper's low end is 340) with a moderate client population.
+func EW3(scale float64) GenConfig {
+	return GenConfig{
+		Name:        "EW3",
+		Seed:        2000,
+		NumClients:  scaled(110000, scale, 300),
+		NumRequests: scaled(2600000, scale, 6000),
+		NumURLs:     scaled(340, scale, 60),
+		NumNetworks: scaled(24921, scale, 90),
+		Duration:    14 * 24 * time.Hour,
+		Start:       time.Date(1999, 3, 1, 0, 0, 0, 0, time.UTC),
+		ClientZipf:  0.70,
+		RequestZipf: 0.84,
+		URLZipf:     0.75,
+		RepeatProb:  0.55,
+		NumProxies:  1,
+		ProxyFrac:   0.007,
+	}
+}
+
+// Sun is the trace with the paper's canonical spider (692,453 requests,
+// 4,426 of 116,274 URLs, 99.79% of its cluster's requests) and the
+// canonical proxy (323,867 of its cluster's 326,566 requests).
+func Sun(scale float64) GenConfig {
+	return GenConfig{
+		Name:        "Sun",
+		Seed:        2001,
+		NumClients:  scaled(170000, scale, 400),
+		NumRequests: scaled(6400000, scale, 9000),
+		NumURLs:     scaled(116274, scale, 200),
+		NumNetworks: scaled(33468, scale, 110),
+		Duration:    30 * 24 * time.Hour,
+		Start:       time.Date(1999, 1, 4, 0, 0, 0, 0, time.UTC),
+		ClientZipf:  0.72,
+		RequestZipf: 0.85,
+		URLZipf:     0.80,
+		RepeatProb:  0.55,
+		NumSpiders:  1,
+		SpiderFrac:  0.108,                   // 692,453 of 6.4 M requests
+		SpiderSpan:  scaled(4426, scale, 40), // of 116,274 URLs
+		NumProxies:  1,
+		ProxyFrac:   0.051, // 323,867 of 6.4 M requests
+	}
+}
+
+// Profiles returns the four paper traces at the given scale, in the order
+// the paper lists them.
+func Profiles(scale float64) []GenConfig {
+	return []GenConfig{Apache(scale), EW3(scale), Nagano(scale), Sun(scale)}
+}

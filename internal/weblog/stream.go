@@ -1,0 +1,123 @@
+package weblog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Streaming access to Common Log Format data. The paper's largest trace
+// has 46 million requests; at 16 bytes per packed request that still fits
+// in memory, but the raw CLF text does not always, and clustering —
+// which needs only (client, URL id, size, time) per line — can run in one
+// pass. StreamCLF parses incrementally and hands each record to a
+// callback; cluster.ClusterStream builds on it.
+
+// StreamRecord is one parsed log line plus the interned metadata a
+// consumer needs without retaining the line.
+type StreamRecord struct {
+	Request Request
+	// Abs is the absolute timestamp (Request.Time is relative to the
+	// stream's first record).
+	Abs time.Time
+	// Path and Agent reference interned strings valid beyond the callback.
+	Path  string
+	Agent string
+	Size  int32
+}
+
+// StreamStats accumulates what a single pass can know.
+type StreamStats struct {
+	Lines   int // lines parsed (excluding blanks)
+	Records int // records delivered (0.0.0.0 clients are dropped)
+	URLs    int // distinct URLs interned
+	Agents  int // distinct agents interned
+	Start   time.Time
+	End     time.Time
+}
+
+// StreamCLF parses r line by line, invoking fn for every request record.
+// Unlike ReadCLF it retains only interning tables, not the records, so
+// arbitrarily large logs stream in constant memory (modulo distinct URL
+// and agent counts). Request.Time is seconds since the first record's
+// timestamp; CLF files are chronological in practice, and records arriving
+// out of order carry a clamped offset rather than an error. fn returning
+// false stops the stream early without error.
+func StreamCLF(r io.Reader, fn func(StreamRecord) bool) (StreamStats, error) {
+	src, err := maybeGzip(r)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var st StreamStats
+	urlIndex := make(map[string]int32)
+	agentIndex := make(map[string]uint16)
+	var paths []string
+	var agents []string
+	var started bool
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		st.Lines++
+		req, ts, path, size, agent, err := parseCLFLine(line)
+		if err != nil {
+			return st, fmt.Errorf("weblog: line %d: %w", st.Lines, err)
+		}
+		if req.Client.IsUnspecified() {
+			continue
+		}
+		if !started {
+			st.Start, started = ts, true
+		}
+		if ts.After(st.End) {
+			st.End = ts
+		}
+		if ts.Before(st.Start) {
+			// Clamp out-of-order records to the stream origin; a one-pass
+			// consumer cannot rebase earlier records.
+			ts = st.Start
+		}
+		req.Time = uint32(ts.Sub(st.Start) / time.Second)
+
+		id, ok := urlIndex[path]
+		if !ok {
+			id = int32(len(urlIndex))
+			// Intern the path once so records never alias scanner memory.
+			path = strings.Clone(path)
+			urlIndex[path] = id
+			paths = append(paths, path)
+		} else {
+			path = paths[id]
+		}
+		req.URL = id
+		aid, ok := agentIndex[agent]
+		if !ok {
+			if len(agentIndex) >= 1<<16-1 {
+				return st, fmt.Errorf("weblog: line %d: more than %d distinct user agents", st.Lines, 1<<16-1)
+			}
+			aid = uint16(len(agentIndex))
+			agent = strings.Clone(agent)
+			agentIndex[agent] = aid
+			agents = append(agents, agent)
+		} else {
+			agent = agents[aid]
+		}
+		req.Agent = aid
+
+		st.Records++
+		if !fn(StreamRecord{Request: req, Abs: ts, Path: path, Agent: agent, Size: size}) {
+			break
+		}
+	}
+	st.URLs = len(urlIndex)
+	st.Agents = len(agentIndex)
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("weblog: streaming CLF: %w", err)
+	}
+	return st, nil
+}

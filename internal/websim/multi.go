@@ -1,0 +1,184 @@
+package websim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/netaware/netcluster/internal/cache"
+	"github.com/netaware/netcluster/internal/cluster"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+// Multi-server simulation, the paper's closing remark in Section 4.1.5:
+// "While we only address simulation of Web caching system with one server
+// and multiple proxies, we can also simulate multiple servers and multiple
+// proxies by merging more server logs collected at the same time."
+//
+// Each input is one origin server's clustered log. The same per-cluster
+// proxy serves its clients' requests to every origin: resources are
+// namespaced per server, so /index.html on server A and server B are
+// distinct cache entries, but one client population shares one proxy.
+
+// ServerOutcome reports one origin's view of the shared proxy fleet.
+type ServerOutcome struct {
+	Name         string
+	Requests     int
+	HitRatio     float64
+	ByteHitRatio float64
+}
+
+// MultiOutcome aggregates a multi-server run.
+type MultiOutcome struct {
+	Servers []ServerOutcome
+	// Overall ratios across all origins.
+	HitRatio     float64
+	ByteHitRatio float64
+	Requests     int
+	// Proxies in decreasing order of request volume, aggregated across
+	// servers.
+	Proxies []ProxyOutcome
+}
+
+// SimulateMulti replays several clustered logs through one shared fleet of
+// per-cluster proxies. All logs are assumed to start at the same instant
+// ("collected at the same time"); each log's own clustering result decides
+// its clients' clusters — with a common table and method the assignments
+// agree across logs. An error is returned when two results disagree about
+// a shared client's cluster, which would mean they were clustered with
+// different tables.
+func SimulateMulti(results []*cluster.Result, cfg Config) (MultiOutcome, error) {
+	if len(results) == 0 {
+		return MultiOutcome{}, fmt.Errorf("websim: no inputs")
+	}
+
+	// Build the combined resource table: per-server offsets namespace URLs.
+	var combined []weblog.Resource
+	offsets := make([]int32, len(results))
+	for i, res := range results {
+		offsets[i] = int32(len(combined))
+		combined = append(combined, res.Log.Resources...)
+	}
+
+	// Merge request streams in time order (k-way, but a simple global sort
+	// keeps the code obvious; logs are already sorted so this is nearly
+	// linear in practice for Go's sort on mostly-ordered input).
+	type tagged struct {
+		weblog.Request
+		server int
+	}
+	var all []tagged
+	for i, res := range results {
+		for j := range res.Log.Requests {
+			r := res.Log.Requests[j]
+			r.URL += offsets[i]
+			all = append(all, tagged{Request: r, server: i})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+
+	// Consistent cluster assignment across results.
+	assign := func(server int, a netutil.Addr) (netutil.Prefix, bool) {
+		if cl, ok := results[server].ClusterOf(a); ok {
+			return cl.Prefix, true
+		}
+		return netutil.Prefix{}, false
+	}
+	for _, res := range results[1:] {
+		for a, cl := range sampleAssignments(res, 64) {
+			if p0, ok := results[0].ClusterOf(a); ok && p0.Prefix != cl {
+				return MultiOutcome{}, fmt.Errorf(
+					"websim: results disagree on client %v (%v vs %v): cluster all logs with one table",
+					a, p0.Prefix, cl)
+			}
+		}
+	}
+
+	proxies := map[netutil.Prefix]*cache.Proxy{}
+	type perServer struct {
+		requests int
+		hits     int
+		bytes    int64
+		byteHits int64
+	}
+	srv := make([]perServer, len(results))
+
+	for _, r := range all {
+		p, ok := assign(r.server, r.Client)
+		if !ok {
+			srv[r.server].requests++
+			srv[r.server].bytes += int64(combined[r.URL].Size)
+			continue
+		}
+		px := proxies[p]
+		if px == nil {
+			px = cache.NewProxy(cfg.CacheBytes, cfg.TTL, cfg.PCV)
+			proxies[p] = px
+		}
+		before := px.Stats
+		px.Tick(r.Time)
+		px.Request(combined, r.URL, r.Time)
+		s := &srv[r.server]
+		s.requests++
+		s.hits += px.Stats.Hits - before.Hits
+		s.bytes += px.Stats.Bytes - before.Bytes
+		s.byteHits += px.Stats.ByteHits - before.ByteHits
+	}
+
+	var out MultiOutcome
+	var totReq, totHits int
+	var totBytes, totByteHits int64
+	for i, res := range results {
+		s := srv[i]
+		so := ServerOutcome{Name: res.Log.Name, Requests: s.requests}
+		if s.requests > 0 {
+			so.HitRatio = float64(s.hits) / float64(s.requests)
+		}
+		if s.bytes > 0 {
+			so.ByteHitRatio = float64(s.byteHits) / float64(s.bytes)
+		}
+		out.Servers = append(out.Servers, so)
+		totReq += s.requests
+		totHits += s.hits
+		totBytes += s.bytes
+		totByteHits += s.byteHits
+	}
+	out.Requests = totReq
+	if totReq > 0 {
+		out.HitRatio = float64(totHits) / float64(totReq)
+	}
+	if totBytes > 0 {
+		out.ByteHitRatio = float64(totByteHits) / float64(totBytes)
+	}
+	for p, px := range proxies {
+		out.Proxies = append(out.Proxies, ProxyOutcome{
+			Prefix:   p,
+			Requests: px.Stats.Requests,
+			Bytes:    px.Stats.Bytes,
+			Stats:    px.Stats,
+		})
+	}
+	sort.Slice(out.Proxies, func(i, j int) bool {
+		if out.Proxies[i].Requests != out.Proxies[j].Requests {
+			return out.Proxies[i].Requests > out.Proxies[j].Requests
+		}
+		return netutil.ComparePrefix(out.Proxies[i].Prefix, out.Proxies[j].Prefix) < 0
+	})
+	return out, nil
+}
+
+// sampleAssignments returns up to n (client, prefix) pairs from a result,
+// deterministically, for cross-result consistency checking.
+func sampleAssignments(res *cluster.Result, n int) map[netutil.Addr]netutil.Prefix {
+	out := make(map[netutil.Addr]netutil.Prefix, n)
+	for _, cl := range res.Clusters {
+		for a := range cl.Clients {
+			out[a] = cl.Prefix
+			break
+		}
+		if len(out) >= n {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package websim
+
+import (
+	"testing"
+
+	"github.com/netaware/netcluster/internal/cluster"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+func TestSimulateMultiMatchesSingleOnOneLog(t *testing.T) {
+	f := setup(t)
+	cfg := DefaultConfig()
+	cfg.MinURLAccesses = 0 // multi path has no URL floor; align
+	single := Simulate(f.naResult, cfg)
+	multi, err := SimulateMulti([]*cluster.Result{f.naResult}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Requests != single.Requests+single.Bypassed {
+		t.Fatalf("requests: multi %d vs single %d+%d", multi.Requests, single.Requests, single.Bypassed)
+	}
+	// Hit counts agree (multi counts bypassed requests as misses in the
+	// same way: they never reach a proxy).
+	if diff := multi.HitRatio - float64(single.HitRatio)*float64(single.Requests-single.Bypassed)/float64(single.Requests); diff > 0.05 || diff < -0.05 {
+		t.Fatalf("hit ratios diverge: multi %.3f vs single %.3f", multi.HitRatio, single.HitRatio)
+	}
+}
+
+func TestSimulateMultiTwoServers(t *testing.T) {
+	f := setup(t)
+	// A second origin with a different workload over the same world and
+	// table: same clustering method, so assignments agree.
+	world := fixtureWorld(t)
+	log2, err := weblog.Generate(world, weblog.EW3(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := cluster.ClusterLog(log2, cluster.NetworkAware{Table: fixtureTable(t)})
+	cfg := DefaultConfig()
+	cfg.MinURLAccesses = 0
+	out, err := SimulateMulti([]*cluster.Result{f.naResult, res2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Servers) != 2 {
+		t.Fatalf("servers = %d", len(out.Servers))
+	}
+	if out.Servers[0].Requests == 0 || out.Servers[1].Requests == 0 {
+		t.Fatal("both servers must see traffic")
+	}
+	if out.Requests != out.Servers[0].Requests+out.Servers[1].Requests {
+		t.Fatal("request totals inconsistent")
+	}
+	if out.HitRatio <= 0 || out.HitRatio >= 1 {
+		t.Fatalf("overall hit ratio = %.3f", out.HitRatio)
+	}
+	// Proxy fleet is shared: total proxy requests equal clustered requests.
+	proxyReqs := 0
+	for _, p := range out.Proxies {
+		proxyReqs += p.Requests
+	}
+	if proxyReqs > out.Requests {
+		t.Fatalf("proxy requests %d exceed total %d", proxyReqs, out.Requests)
+	}
+}
+
+func TestSimulateMultiEmpty(t *testing.T) {
+	if _, err := SimulateMulti(nil, DefaultConfig()); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}

@@ -1,0 +1,250 @@
+// Package whois implements the RFC 3912 query/response protocol for the
+// AS registry: the observable source of the "AS numbers and geographical
+// locations" the paper's proxy-placement strategy 2 groups by, and of the
+// AS information its future-work section wants for error reduction. One
+// query ("AS7018\r\n") yields a text record; the registry content derives
+// from the ground-truth world via bgpsim.ASRegistry.
+package whois
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one AS registry entry.
+type Record struct {
+	ASN     uint32
+	Name    string
+	Country string
+}
+
+// Server answers whois queries over TCP.
+type Server struct {
+	records map[uint32]Record
+
+	mu       sync.Mutex
+	listener net.Listener
+	done     chan struct{}
+	queries  int
+}
+
+// NewServer builds a server over a registry snapshot.
+func NewServer(records map[uint32]Record) *Server {
+	cp := make(map[uint32]Record, len(records))
+	for k, v := range records {
+		cp[k] = v
+	}
+	return &Server{records: cp, done: make(chan struct{})}
+}
+
+// QueryCount returns how many queries the server has answered.
+func (s *Server) QueryCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// Start listens on addr ("127.0.0.1:0" for tests) and serves until Close.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("whois: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	go s.serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	default:
+		close(s.done)
+	}
+	if s.listener != nil {
+		return s.listener.Close()
+	}
+	return nil
+}
+
+func (s *Server) serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		go s.handle(conn)
+	}
+}
+
+// handle answers one connection: whois is one query, one response, close.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	query := strings.TrimSpace(line)
+	asn, ok := parseASQuery(query)
+	if !ok {
+		fmt.Fprintf(w, "%% error: unsupported query %q (use ASnnnn)\r\n", query)
+		return
+	}
+	rec, found := s.records[asn]
+	if !found {
+		fmt.Fprintf(w, "%% no entries found for AS%d\r\n", asn)
+		return
+	}
+	fmt.Fprintf(w, "aut-num:    AS%d\r\n", rec.ASN)
+	fmt.Fprintf(w, "as-name:    %s\r\n", rec.Name)
+	fmt.Fprintf(w, "country:    %s\r\n", strings.ToUpper(rec.Country))
+	fmt.Fprintf(w, "source:     SYNTHETIC-REGISTRY\r\n")
+}
+
+func parseASQuery(q string) (uint32, bool) {
+	q = strings.ToUpper(strings.TrimSpace(q))
+	q = strings.TrimPrefix(q, "AS")
+	v, err := strconv.ParseUint(q, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(v), true
+}
+
+// Client queries a whois server, caching responses (registry data is
+// static over an experiment's lifetime, and strategy-2 grouping asks for
+// the same origin ASes repeatedly).
+type Client struct {
+	Server  string
+	Timeout time.Duration
+
+	mu    sync.Mutex
+	cache map[uint32]*Record // nil entry = known-missing
+	count int
+}
+
+// NewClient returns a client for the server address.
+func NewClient(server string) *Client {
+	return &Client{Server: server, Timeout: 5 * time.Second, cache: map[uint32]*Record{}}
+}
+
+// NetworkQueries returns how many queries actually went over the wire.
+func (c *Client) NetworkQueries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Lookup fetches the record for asn. ok is false when the registry has no
+// entry; transport failures return an error.
+func (c *Client) Lookup(asn uint32) (Record, bool, error) {
+	c.mu.Lock()
+	if rec, hit := c.cache[asn]; hit {
+		c.mu.Unlock()
+		if rec == nil {
+			return Record{}, false, nil
+		}
+		return *rec, true, nil
+	}
+	c.mu.Unlock()
+
+	rec, found, err := c.fetch(asn)
+	if err != nil {
+		return Record{}, false, err
+	}
+	c.mu.Lock()
+	if found {
+		cp := rec
+		c.cache[asn] = &cp
+	} else {
+		c.cache[asn] = nil
+	}
+	c.mu.Unlock()
+	return rec, found, nil
+}
+
+func (c *Client) fetch(asn uint32) (Record, bool, error) {
+	c.mu.Lock()
+	c.count++
+	c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", c.Server, c.Timeout)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("whois: dial: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(c.Timeout))
+	if _, err := fmt.Fprintf(conn, "AS%d\r\n", asn); err != nil {
+		return Record{}, false, err
+	}
+	rec := Record{ASN: asn}
+	found := false
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "%") {
+			continue // comment / not-found notice
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "as-name":
+			rec.Name = val
+			found = true
+		case "country":
+			rec.Country = strings.ToLower(val)
+			found = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Record{}, false, err
+	}
+	return rec, found, nil
+}
+
+// CountryOf adapts the client to the placement.GroupByASAndLocation
+// signature: unknown or unreachable ASes map to "".
+func (c *Client) CountryOf(asn uint32) string {
+	rec, ok, err := c.Lookup(asn)
+	if err != nil || !ok {
+		return ""
+	}
+	return rec.Country
+}
+
+// SortedASNs lists a registry's AS numbers in order, for deterministic
+// dumps and tests.
+func SortedASNs(records map[uint32]Record) []uint32 {
+	out := make([]uint32, 0, len(records))
+	for asn := range records {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,160 @@
+package whois
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testRecords() map[uint32]Record {
+	return map[uint32]Record{
+		7018: {ASN: 7018, Name: "Ficus Networks", Country: "us"},
+		701:  {ASN: 701, Name: "Cedar Telecom", Country: "jp"},
+		64:   {ASN: 64, Name: "Acorn Systems", Country: "za"},
+	}
+}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer(testRecords())
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+func TestLookupKnownAS(t *testing.T) {
+	_, addr := startServer(t)
+	c := NewClient(addr)
+	rec, ok, err := c.Lookup(7018)
+	if err != nil || !ok {
+		t.Fatalf("Lookup = %+v %v %v", rec, ok, err)
+	}
+	if rec.Name != "Ficus Networks" || rec.Country != "us" || rec.ASN != 7018 {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestLookupUnknownAS(t *testing.T) {
+	_, addr := startServer(t)
+	c := NewClient(addr)
+	if _, ok, err := c.Lookup(9999); err != nil || ok {
+		t.Fatalf("unknown AS: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestClientCaching(t *testing.T) {
+	srv, addr := startServer(t)
+	c := NewClient(addr)
+	for i := 0; i < 5; i++ {
+		if _, ok, err := c.Lookup(701); err != nil || !ok {
+			t.Fatal(err)
+		}
+		if _, ok, _ := c.Lookup(9999); ok {
+			t.Fatal("unknown became known")
+		}
+	}
+	if c.NetworkQueries() != 2 {
+		t.Fatalf("network queries = %d, want 2 (cached afterwards)", c.NetworkQueries())
+	}
+	if srv.QueryCount() != 2 {
+		t.Fatalf("server saw %d queries", srv.QueryCount())
+	}
+}
+
+func TestCountryOf(t *testing.T) {
+	_, addr := startServer(t)
+	c := NewClient(addr)
+	if got := c.CountryOf(701); got != "jp" {
+		t.Fatalf("CountryOf(701) = %q", got)
+	}
+	if got := c.CountryOf(9999); got != "" {
+		t.Fatalf("CountryOf(unknown) = %q", got)
+	}
+	// Unreachable server degrades to "".
+	dead := NewClient("127.0.0.1:1")
+	dead.Timeout = 200 * time.Millisecond
+	if got := dead.CountryOf(7018); got != "" {
+		t.Fatalf("CountryOf via dead server = %q", got)
+	}
+}
+
+func TestRawProtocol(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "as64\r\n") // lowercase accepted
+	buf := make([]byte, 1024)
+	n, _ := conn.Read(buf)
+	resp := string(buf[:n])
+	for _, want := range []string{"aut-num:    AS64", "as-name:    Acorn Systems", "country:    ZA"} {
+		if !strings.Contains(resp, want) {
+			t.Errorf("response missing %q:\n%s", want, resp)
+		}
+	}
+}
+
+func TestUnsupportedQuery(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "1.2.3.4\r\n")
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf)
+	if !strings.Contains(string(buf[:n]), "% error") {
+		t.Fatalf("response = %q", string(buf[:n]))
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewClient(addr)
+			for j := 0; j < 10; j++ {
+				if _, ok, err := c.Lookup(7018); err != nil || !ok {
+					t.Errorf("concurrent lookup failed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSortedASNs(t *testing.T) {
+	got := SortedASNs(testRecords())
+	want := []uint32{64, 701, 7018}
+	if len(got) != len(want) {
+		t.Fatalf("SortedASNs = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SortedASNs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,368 @@
+// Package netcluster is a network-aware web-client clustering library: a
+// complete reproduction of Krishnamurthy & Wang, "On Network-Aware
+// Clustering of Web Clients" (SIGCOMM 2000).
+//
+// The central operation groups the client IP addresses found in a web
+// server log into clusters — sets of clients that are topologically close
+// and likely under common administrative control — by longest-prefix
+// matching each address against a table merged from BGP routing-table
+// snapshots:
+//
+//	table := netcluster.NewTable()
+//	table.Add(snapshot)                   // from netcluster.ReadSnapshot
+//	log, _ := netcluster.ReadLog(f, "nagano")
+//	result := netcluster.ClusterLog(log, netcluster.NetworkAware{Table: table})
+//
+// Around that core the package exposes the paper's full pipeline:
+//
+//   - baseline clusterers (Simple /24 and Classful) for comparison;
+//   - validation by DNS-name and traceroute path-suffix sampling;
+//   - self-correction (merge/split/absorb) driven by probe sampling;
+//   - spider and proxy detection from per-cluster access patterns;
+//   - a trace-driven web-caching simulation with per-cluster proxies
+//     running LRU + piggyback cache validation;
+//   - a synthetic Internet (ground-truth networks, BGP vantage views with
+//     aggregation and daily churn, DNS, traceroute) standing in for the
+//     1999 data sources the paper consumed, so every experiment is
+//     reproducible offline.
+//
+// The implementation lives in internal packages; this package re-exports
+// the supported surface as type aliases, so downstream code imports only
+// github.com/netaware/netcluster.
+package netcluster
+
+import (
+	"io"
+
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/bgpsim"
+	"github.com/netaware/netcluster/internal/cluster"
+	"github.com/netaware/netcluster/internal/detect"
+	"github.com/netaware/netcluster/internal/dnssim"
+	"github.com/netaware/netcluster/internal/httpproxy"
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/placement"
+	"github.com/netaware/netcluster/internal/selfcorrect"
+	"github.com/netaware/netcluster/internal/tracesim"
+	"github.com/netaware/netcluster/internal/validate"
+	"github.com/netaware/netcluster/internal/weblog"
+	"github.com/netaware/netcluster/internal/websim"
+)
+
+// Addressing primitives.
+type (
+	// Addr is an IPv4 address.
+	Addr = netutil.Addr
+	// Prefix is an IPv4 network prefix (address + mask length).
+	Prefix = netutil.Prefix
+)
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) { return netutil.ParseAddr(s) }
+
+// ParsePrefix parses CIDR "a.b.c.d/len" notation.
+func ParsePrefix(s string) (Prefix, error) { return netutil.ParsePrefix(s) }
+
+// MustParseAddr is ParseAddr for trusted constants; it panics on error.
+func MustParseAddr(s string) Addr { return netutil.MustParseAddr(s) }
+
+// MustParsePrefix is ParsePrefix for trusted constants; it panics on error.
+func MustParsePrefix(s string) Prefix { return netutil.MustParsePrefix(s) }
+
+// Routing-table snapshots and the merged prefix table.
+type (
+	// Snapshot is one routing-table or network-registry dump.
+	Snapshot = bgp.Snapshot
+	// Entry is one snapshot row.
+	Entry = bgp.Entry
+	// SourceKind distinguishes BGP tables from registry network dumps.
+	SourceKind = bgp.SourceKind
+	// Table is the merged prefix/netmask table clustering consumes.
+	Table = bgp.Merged
+)
+
+// Snapshot source kinds.
+const (
+	SourceBGP         = bgp.SourceBGP
+	SourceNetworkDump = bgp.SourceNetworkDump
+)
+
+// NewTable returns an empty merged prefix table; Add snapshots to it.
+func NewTable() *Table { return bgp.NewMerged() }
+
+// ReadSnapshot parses a snapshot dump (see internal/bgp for the format;
+// prefix fields accept CIDR, dotted-netmask, and classful notations).
+func ReadSnapshot(r io.Reader) (*Snapshot, error) { return bgp.ReadSnapshot(r) }
+
+// ParsePrefixEntry parses a single prefix field in any of the three
+// 1999-era dump notations.
+func ParsePrefixEntry(s string) (Prefix, error) { return bgp.ParsePrefixEntry(s) }
+
+// Web server logs.
+type (
+	// Log is an in-memory access log.
+	Log = weblog.Log
+	// Request is one log line.
+	Request = weblog.Request
+	// Resource is one distinct URL with its size and change behaviour.
+	Resource = weblog.Resource
+)
+
+// ReadLog parses a Common Log Format (plain or combined) stream.
+func ReadLog(r io.Reader, name string) (*Log, error) { return weblog.ReadCLF(r, name) }
+
+// WriteLog serializes a log in combined log format.
+func WriteLog(w io.Writer, l *Log) error { return weblog.WriteCLF(w, l) }
+
+// Clustering.
+type (
+	// Clusterer assigns a client address to its cluster prefix.
+	Clusterer = cluster.Clusterer
+	// NetworkAware is the paper's method: longest-prefix match against a
+	// merged routing table.
+	NetworkAware = cluster.NetworkAware
+	// Simple is the first-24-bits baseline.
+	Simple = cluster.Simple
+	// Classful is the address-class baseline.
+	Classful = cluster.Classful
+	// Cluster is one identified client cluster.
+	Cluster = cluster.Cluster
+	// Result is the outcome of clustering a log.
+	Result = cluster.Result
+	// Thresholding is the busy-cluster cut of Section 4.1.3.
+	Thresholding = cluster.Thresholding
+)
+
+// ClusterLog groups every client in l according to c.
+func ClusterLog(l *Log, c Clusterer) *Result { return cluster.ClusterLog(l, c) }
+
+// StreamResult is the single-pass clustering outcome for streamed logs.
+type StreamResult = cluster.StreamResult
+
+// ClusterStream clusters a Common Log Format stream in one pass and
+// constant memory — for logs too large to load, or for the paper's
+// real-time clustering of very recent log data.
+func ClusterStream(r io.Reader, c Clusterer) (*StreamResult, error) {
+	return cluster.ClusterStream(r, c)
+}
+
+// Validation.
+type (
+	// ValidationReport aggregates sampled validation verdicts (Table 3).
+	ValidationReport = validate.Report
+	// ClusterVerdict is the validation outcome for one cluster.
+	ClusterVerdict = validate.ClusterVerdict
+)
+
+// SampleClusters draws a deterministic random sample of clusters for
+// validation; the paper samples 1%.
+func SampleClusters(clusters []*Cluster, frac float64, seed int64) []*Cluster {
+	return validate.Sample(clusters, frac, seed)
+}
+
+// Detection of spiders and proxies.
+type (
+	// Finding is one suspected spider or proxy.
+	Finding = detect.Finding
+	// DetectConfig tunes the detector.
+	DetectConfig = detect.Config
+)
+
+// Detection outcome kinds and confidence levels.
+const (
+	KindSpider          = detect.Spider
+	KindProxy           = detect.Proxy
+	ConfidenceConfirmed = detect.Confirmed
+	ConfidenceSuspected = detect.Suspected
+)
+
+// DefaultDetectConfig returns thresholds reproducing the paper's examples.
+func DefaultDetectConfig() DetectConfig { return detect.DefaultConfig() }
+
+// DetectRobots scans a clustering result for spiders and proxies.
+func DetectRobots(res *Result, cfg DetectConfig) []Finding { return detect.Detect(res, cfg) }
+
+// Eliminate returns a copy of the log without requests from the given
+// clients (the paper's pre-caching cleanup).
+func Eliminate(l *Log, clients map[Addr]bool) *Log { return detect.Eliminate(l, clients) }
+
+// FindingClients collects finding clients in a form Eliminate accepts.
+func FindingClients(fs []Finding, kinds ...detect.Kind) map[Addr]bool {
+	return detect.FindingClients(fs, kinds...)
+}
+
+// Web caching simulation.
+type (
+	// SimConfig parameterizes a caching simulation run.
+	SimConfig = websim.Config
+	// SimOutcome aggregates one run's results.
+	SimOutcome = websim.Outcome
+	// ProxyOutcome reports one cluster proxy's performance.
+	ProxyOutcome = websim.ProxyOutcome
+)
+
+// DefaultSimConfig mirrors the paper's setup: 1 h TTL, PCV on, 10-access
+// URL floor.
+func DefaultSimConfig() SimConfig { return websim.DefaultConfig() }
+
+// Simulate replays a clustered log through per-cluster proxy caches.
+func Simulate(res *Result, cfg SimConfig) SimOutcome { return websim.Simulate(res, cfg) }
+
+// SimulateSweep runs Simulate across proxy cache sizes (Figure 11).
+func SimulateSweep(res *Result, cfg SimConfig, sizes []int64) []SimOutcome {
+	return websim.Sweep(res, cfg, sizes)
+}
+
+// MultiOutcome aggregates a multi-server simulation run.
+type MultiOutcome = websim.MultiOutcome
+
+// SimulateMulti replays several clustered logs (one per origin server)
+// through one shared fleet of per-cluster proxies — the paper's
+// multi-server extension of the caching simulation.
+func SimulateMulti(results []*Result, cfg SimConfig) (MultiOutcome, error) {
+	return websim.SimulateMulti(results, cfg)
+}
+
+// Proxy placement (Section 4.1.4).
+type (
+	// PlacementMetric selects the load measure that sizes proxy counts.
+	PlacementMetric = placement.Metric
+	// PlacementPlan is a per-busy-cluster proxy allocation.
+	PlacementPlan = placement.Plan
+	// ProxyGroup is a set of proxies grouped by origin AS.
+	ProxyGroup = placement.ProxyCluster
+)
+
+// Placement load metrics.
+const (
+	PlaceByClients  = placement.ByClients
+	PlaceByRequests = placement.ByRequests
+	PlaceByURLs     = placement.ByURLs
+	PlaceByBytes    = placement.ByBytes
+)
+
+// PlanPlacement builds a strategy-1 plan: every busy cluster receives
+// proxies proportional to its load.
+func PlanPlacement(res *Result, coverFrac float64, metric PlacementMetric, perProxy int64) (PlacementPlan, error) {
+	return placement.PerCluster(res, coverFrac, metric, perProxy)
+}
+
+// GroupProxiesByAS buckets a plan's proxies into cooperating proxy
+// clusters by the origin AS of each cluster's prefix (strategy 2).
+func GroupProxiesByAS(plan PlacementPlan, table *Table) []ProxyGroup {
+	return placement.GroupByAS(plan, table)
+}
+
+// GroupProxiesByASAndLocation additionally splits by country via a
+// whois-style AS→country lookup, the paper's full strategy 2.
+func GroupProxiesByASAndLocation(plan PlacementPlan, table *Table, countryOf func(asn uint32) string) []ProxyGroup {
+	return placement.GroupByASAndLocation(plan, table, countryOf)
+}
+
+// ASInfo is a whois-style AS registry record.
+type ASInfo = bgpsim.ASInfo
+
+// HTTPProxy is a runnable HTTP implementation of the caching proxy the
+// simulation models: TTL freshness, If-Modified-Since revalidation,
+// piggyback cache validation, LRU eviction. Deploy one in front of each
+// identified cluster (see cmd/pcvproxy).
+type HTTPProxy = httpproxy.Proxy
+
+// HTTPProxyStats mirrors the simulation's cache statistics for measured
+// deployments.
+type HTTPProxyStats = httpproxy.Stats
+
+// NewHTTPProxy returns a caching proxy for the origin base URL with the
+// paper's defaults (1 h TTL, PCV on).
+func NewHTTPProxy(origin string) (*HTTPProxy, error) { return httpproxy.New(origin) }
+
+// Synthetic world: the offline substitute for the paper's live data
+// sources. Generate a world once, derive BGP views, logs, DNS and
+// traceroute from it.
+type (
+	// World is a generated ground-truth Internet.
+	World = inet.Internet
+	// WorldConfig controls world generation.
+	WorldConfig = inet.Config
+	// Network is one administratively uniform ground-truth subnet.
+	Network = inet.Network
+	// BGPSim derives vantage-point views from a world.
+	BGPSim = bgpsim.Sim
+	// BGPSimConfig controls announcement behaviour.
+	BGPSimConfig = bgpsim.Config
+	// ViewConfig describes one vantage point.
+	ViewConfig = bgpsim.ViewConfig
+	// LogConfig parameterizes synthetic log generation.
+	LogConfig = weblog.GenConfig
+	// Resolver simulates reverse DNS over a world.
+	Resolver = dnssim.Resolver
+	// Tracer simulates (optimized) traceroute over a world.
+	Tracer = tracesim.Tracer
+	// Corrector runs the self-correction and adaptation stage.
+	Corrector = selfcorrect.Corrector
+	// CorrectionOutcome summarizes one self-correction pass.
+	CorrectionOutcome = selfcorrect.Outcome
+	// NetworkCluster is a second-level group of client clusters sharing
+	// upstream infrastructure (Section 3.6).
+	NetworkCluster = selfcorrect.NetworkCluster
+)
+
+// DefaultWorldConfig returns the scale used by the headline experiments.
+func DefaultWorldConfig() WorldConfig { return inet.DefaultConfig() }
+
+// GenerateWorld builds a deterministic synthetic Internet.
+func GenerateWorld(cfg WorldConfig) (*World, error) { return inet.Generate(cfg) }
+
+// WriteWorld serializes a world so separate processes can share one exact
+// ground truth (see cmd/worldgen).
+func WriteWorld(w io.Writer, world *World) error { return inet.WriteWorld(w, world) }
+
+// ReadWorld deserializes a world written by WriteWorld.
+func ReadWorld(r io.Reader) (*World, error) { return inet.ReadWorld(r) }
+
+// NewBGPSim fixes a world's route-announcement behaviour.
+func NewBGPSim(w *World, cfg BGPSimConfig) *BGPSim { return bgpsim.New(w, cfg) }
+
+// DefaultBGPSimConfig mirrors the paper's observed error rates.
+func DefaultBGPSimConfig() BGPSimConfig { return bgpsim.DefaultConfig() }
+
+// StandardViews mirrors the paper's Table 1 source list.
+func StandardViews() []ViewConfig { return bgpsim.StandardViews() }
+
+// CollectAndMerge generates every standard view plus registry dumps and
+// merges them into a clustering table.
+func CollectAndMerge(s *BGPSim) *Table { return bgpsim.Merge(s.Collect()) }
+
+// GenerateLog synthesizes a server log over a world.
+func GenerateLog(w *World, cfg LogConfig) (*Log, error) { return weblog.Generate(w, cfg) }
+
+// NaganoProfile returns the paper's primary trace shape at the given
+// scale (1.0 = the paper's published counts). ApacheProfile, EW3Profile
+// and SunProfile cover the other traces.
+func NaganoProfile(scale float64) LogConfig { return weblog.Nagano(scale) }
+
+// ApacheProfile returns the large popular-site trace shape.
+func ApacheProfile(scale float64) LogConfig { return weblog.Apache(scale) }
+
+// EW3Profile returns the small-site trace shape.
+func EW3Profile(scale float64) LogConfig { return weblog.EW3(scale) }
+
+// SunProfile returns the trace with the canonical spider and proxy.
+func SunProfile(scale float64) LogConfig { return weblog.Sun(scale) }
+
+// NewResolver returns a reverse-DNS resolver over a world.
+func NewResolver(w *World) *Resolver { return dnssim.New(w) }
+
+// NewTracer returns a traceroute simulator probing from origin.
+func NewTracer(w *World, origin *inet.AS) *Tracer { return tracesim.New(w, origin) }
+
+// ValidateNslookup runs the DNS suffix validation over sampled clusters.
+func ValidateNslookup(w *World, r *Resolver, sampled []*Cluster) ValidationReport {
+	return validate.Nslookup(w, r, sampled)
+}
+
+// ValidateTraceroute runs the optimized-traceroute validation.
+func ValidateTraceroute(w *World, r *Resolver, t *Tracer, sampled []*Cluster) ValidationReport {
+	return validate.Traceroute(w, r, t, sampled)
+}
