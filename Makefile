@@ -1,0 +1,35 @@
+# Developer entry points. `make check` is the full pre-merge gate:
+# vet + race-enabled tests, including the chaos suite. The chaos suite
+# (root-level TestChaos*) runs live wire exchanges under injected faults
+# and takes several seconds; `make test-short` skips it via -short.
+
+GO ?= go
+
+.PHONY: all build test test-short race vet chaos check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fast loop: skips the chaos suite and other -short-aware slow tests.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Just the fault-injection acceptance tests, verbosely.
+chaos:
+	$(GO) test -count=1 -race -run 'TestChaos' -v .
+
+check: vet race
+
+clean:
+	$(GO) clean ./...

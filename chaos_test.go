@@ -1,0 +1,174 @@
+package netcluster_test
+
+// Chaos acceptance test: the live validation pipeline — network-aware
+// clustering of a synthetic access log, then per-cluster verification over
+// a real DNS wire exchange — must survive a seeded 20% packet-drop /
+// 50ms-jitter fault profile. The verdicts under faults must agree with the
+// fault-free run on at least 95% of sampled clusters, and the degradation
+// counters (retries, breaker opens, demoted clients) must record the cost
+// of that agreement rather than hiding it.
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/netaware/netcluster/internal/bgpsim"
+	"github.com/netaware/netcluster/internal/cluster"
+	"github.com/netaware/netcluster/internal/dnswire"
+	"github.com/netaware/netcluster/internal/faultnet"
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/retry"
+	"github.com/netaware/netcluster/internal/validate"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+// chaosWorld builds a small but realistic pipeline input: world, merged
+// routing table, Nagano-profile log, and its network-aware clustering.
+func chaosWorld(t *testing.T) (*inet.Internet, []*cluster.Cluster) {
+	t.Helper()
+	cfg := inet.DefaultConfig()
+	cfg.Seed = 42
+	cfg.NumASes = 360
+	world, err := inet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := bgpsim.DefaultConfig()
+	bcfg.Seed = 42
+	merged := bgpsim.Merge(bgpsim.New(world, bcfg).Collect())
+	log, err := weblog.Generate(world, weblog.Nagano(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cluster.ClusterLog(log, cluster.NetworkAware{Table: merged})
+	sampled := validate.Sample(res.Clusters, 0.25, 42)
+	if len(sampled) > 20 {
+		sampled = sampled[:20]
+	}
+	if len(sampled) < 5 {
+		t.Fatalf("sample too small to be meaningful: %d clusters", len(sampled))
+	}
+	return world, sampled
+}
+
+// liveNslookup runs the nslookup validation method against a live DNS
+// server (optionally behind faults) and returns the report plus the
+// injected-fault statistics.
+func liveNslookup(t *testing.T, world *inet.Internet, sampled []*cluster.Cluster, prof faultnet.Profile, seed int64) (validate.Report, faultnet.Stats) {
+	t.Helper()
+	srv := dnswire.NewServer(dnswire.NewReverseZone(world))
+	var inj *faultnet.Injector
+	if prof != (faultnet.Profile{}) {
+		inj = faultnet.New(prof)
+		srv.Wrap = inj.PacketConn
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := dnswire.NewClient(addr.String())
+	c.Seed(seed)
+	c.Timeout = 150 * time.Millisecond
+	c.Retries = 5
+	c.Backoff.BaseDelay = 5 * time.Millisecond
+	c.Backoff.MaxDelay = 40 * time.Millisecond
+	rep := validate.Nslookup(world, dnswire.SuffixResolver{Client: c}, sampled)
+	var st faultnet.Stats
+	if inj != nil {
+		st = inj.Stats()
+	}
+	return rep, st
+}
+
+func TestChaosValidationPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	world, sampled := chaosWorld(t)
+
+	// Fault-free baseline over the live wire.
+	base, _ := liveNslookup(t, world, sampled, faultnet.Profile{}, 1)
+	if base.SampledClusters != len(sampled) {
+		t.Fatalf("baseline covered %d/%d clusters", base.SampledClusters, len(sampled))
+	}
+	if base.Degradation.Any() {
+		t.Fatalf("fault-free run must not degrade: %+v", base.Degradation)
+	}
+
+	// The acceptance profile: 20% request drop, 50ms response jitter.
+	prof := faultnet.Profile{
+		Seed:     42,
+		Inbound:  faultnet.Faults{Drop: 0.20},
+		Outbound: faultnet.Faults{Jitter: 50 * time.Millisecond},
+	}
+	got, faults := liveNslookup(t, world, sampled, prof, 2)
+	if got.SampledClusters != len(sampled) {
+		t.Fatalf("chaos run covered %d/%d clusters", got.SampledClusters, len(sampled))
+	}
+	if faults.Drops == 0 {
+		t.Fatalf("injector never fired: %+v", faults)
+	}
+	if got.Degradation.Retries == 0 {
+		t.Fatal("20% loss must force retries; counter is zero")
+	}
+
+	// Verdict convergence: >= 95% positional agreement with the clean run.
+	match := 0
+	for i := range base.Verdicts {
+		if base.Verdicts[i].Pass == got.Verdicts[i].Pass {
+			match++
+		}
+	}
+	agree := float64(match) / float64(len(base.Verdicts))
+	if agree < 0.95 {
+		t.Fatalf("verdict agreement %.1f%% < 95%% (faults %+v, degradation %+v)",
+			agree*100, faults, got.Degradation)
+	}
+	t.Logf("agreement %.1f%%, faults %+v, degradation %+v", agree*100, faults, got.Degradation)
+}
+
+// TestChaosDeadResolverDegradesGracefully pins the breaker-open and
+// demotion counters deterministically: a resolver address with nothing
+// listening fails every exchange, the breaker opens after two failures,
+// and every affected client is demoted to unresolvable — yet the
+// validation run still completes and reports verdicts.
+func TestChaosDeadResolverDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	world, sampled := chaosWorld(t)
+
+	// Grab a loopback UDP port and release it: queries go nowhere.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := pc.LocalAddr().String()
+	pc.Close()
+
+	c := dnswire.NewClient(dead)
+	c.Seed(3)
+	c.Timeout = 50 * time.Millisecond
+	c.Retries = 1
+	c.Backoff.BaseDelay = time.Millisecond
+	c.Breaker = retry.NewBreaker(2, time.Hour)
+
+	rep := validate.Nslookup(world, dnswire.SuffixResolver{Client: c}, sampled)
+	if rep.SampledClusters != len(sampled) {
+		t.Fatalf("dead-resolver run aborted: %d/%d clusters", rep.SampledClusters, len(sampled))
+	}
+	deg := rep.Degradation
+	if deg.DemotedClients == 0 || deg.BreakerOpens == 0 {
+		t.Fatalf("dead resolver must demote clients and open the breaker: %+v", deg)
+	}
+	if deg.FastFails == 0 {
+		t.Fatalf("open breaker must fast-fail later lookups: %+v", deg)
+	}
+	if rep.ReachableClients != 0 {
+		t.Fatalf("no client can resolve through a dead resolver: %d reachable", rep.ReachableClients)
+	}
+	t.Logf("degradation %+v over %d clients", deg, rep.SampledClients)
+}

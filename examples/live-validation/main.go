@@ -5,21 +5,34 @@
 // grouping consume both over the network, exactly as the 1999 pipeline
 // consumed nslookup and whois.
 //
-//	go run ./examples/live-validation
+// The -loss, -jitter, and -seed flags stand both servers behind a
+// deterministic fault injector, showing the resilient clients (retry,
+// backoff, circuit breaker, graceful demotion) earning their keep:
+//
+//	go run ./examples/live-validation -loss 0.2 -jitter 50ms
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	netcluster "github.com/netaware/netcluster"
 	"github.com/netaware/netcluster/internal/dnswire"
+	"github.com/netaware/netcluster/internal/faultnet"
 	"github.com/netaware/netcluster/internal/placement"
 	"github.com/netaware/netcluster/internal/validate"
 	"github.com/netaware/netcluster/internal/whois"
 )
 
 func main() {
+	loss := flag.Float64("loss", 0, "packet/connection drop probability injected in front of both servers (0..1)")
+	jitter := flag.Duration("jitter", 0, "max random delay injected on server responses")
+	seed := flag.Int64("seed", 1, "fault-injection seed (same seed, same faults)")
+	flag.Parse()
+	faulty := *loss > 0 || *jitter > 0
+
 	wcfg := netcluster.DefaultWorldConfig()
 	wcfg.NumASes = 500
 	world, err := netcluster.GenerateWorld(wcfg)
@@ -29,8 +42,18 @@ func main() {
 	sim := netcluster.NewBGPSim(world, netcluster.DefaultBGPSimConfig())
 	table := netcluster.CollectAndMerge(sim)
 
-	// Start the DNS server over the world's reverse zone.
+	// Start the DNS server over the world's reverse zone, behind faults
+	// when requested: requests are dropped, responses are jittered.
 	dnsSrv := dnswire.NewServer(dnswire.NewReverseZone(world))
+	var dnsInj *faultnet.Injector
+	if faulty {
+		dnsInj = faultnet.New(faultnet.Profile{
+			Seed:     *seed,
+			Inbound:  faultnet.Faults{Drop: *loss},
+			Outbound: faultnet.Faults{Jitter: *jitter},
+		})
+		dnsSrv.Wrap = dnsInj.PacketConn
+	}
 	dnsAddr, err := dnsSrv.Start("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -38,18 +61,32 @@ func main() {
 	defer dnsSrv.Close()
 	fmt.Printf("DNS server on %v (in-addr.arpa for %d networks)\n", dnsAddr, len(world.Networks))
 
-	// Start the whois server over the AS registry.
+	// Start the whois server over the AS registry, dropping connections
+	// at accept time under the same loss rate.
 	records := map[uint32]whois.Record{}
 	for asn, info := range sim.ASRegistry() {
 		records[asn] = whois.Record{ASN: asn, Name: info.Name, Country: info.Country}
 	}
 	whoisSrv := whois.NewServer(records)
+	var whoisInj *faultnet.Injector
+	if faulty {
+		whoisInj = faultnet.New(faultnet.Profile{
+			Seed:    *seed + 1,
+			Inbound: faultnet.Faults{Drop: *loss},
+		})
+		whoisSrv.Wrap = whoisInj.Listener
+	}
 	whoisAddr, err := whoisSrv.Start("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer whoisSrv.Close()
-	fmt.Printf("whois server on %v (%d AS records)\n\n", whoisAddr, len(records))
+	fmt.Printf("whois server on %v (%d AS records)\n", whoisAddr, len(records))
+	if faulty {
+		fmt.Printf("fault profile: %.0f%% loss, %v jitter, seed %d\n",
+			*loss*100, *jitter, *seed)
+	}
+	fmt.Println()
 
 	// Cluster a log and validate a sample — DNS queries go over UDP.
 	accessLog, err := netcluster.GenerateLog(world, netcluster.NaganoProfile(0.01))
@@ -59,12 +96,30 @@ func main() {
 	res := netcluster.ClusterLog(accessLog, netcluster.NetworkAware{Table: table})
 	sampled := netcluster.SampleClusters(res.Clusters, 0.10, 42)
 
-	resolver := dnswire.SuffixResolver{Client: dnswire.NewClient(dnsAddr.String())}
+	dnsClient := dnswire.NewClient(dnsAddr.String())
+	if faulty {
+		// Short per-attempt deadlines and a deep retry ladder keep the
+		// run's wall clock bounded under loss.
+		dnsClient.Timeout = 150 * time.Millisecond
+		dnsClient.Retries = 5
+		dnsClient.Backoff.BaseDelay = 5 * time.Millisecond
+		dnsClient.Backoff.MaxDelay = 40 * time.Millisecond
+	}
+	resolver := dnswire.SuffixResolver{Client: dnsClient}
 	report := validate.Nslookup(world, resolver, sampled)
 	fmt.Printf("validated %d sampled clusters over live DNS: %.1f%% pass, %d/%d clients resolvable\n",
 		report.SampledClusters, report.PassRate()*100,
 		report.ReachableClients, report.SampledClients)
-	fmt.Printf("(%d UDP queries served)\n\n", dnsSrv.QueryCount())
+	fmt.Printf("(%d UDP queries served)\n", dnsSrv.QueryCount())
+	if deg := report.Degradation; deg.Any() {
+		fmt.Printf("degradation: %d retries, %d breaker opens, %d fast-fails, %d clients demoted\n",
+			deg.Retries, deg.BreakerOpens, deg.FastFails, deg.DemotedClients)
+	}
+	if dnsInj != nil {
+		st := dnsInj.Stats()
+		fmt.Printf("injected DNS faults: %d drops, %d delays over %d ops\n", st.Drops, st.Delays, st.Ops)
+	}
+	fmt.Println()
 
 	// Group busy-cluster proxies by origin AS + whois country — queries go
 	// over TCP, cached client-side.
@@ -73,6 +128,11 @@ func main() {
 		log.Fatal(err)
 	}
 	wc := whois.NewClient(whoisAddr.String())
+	if faulty {
+		wc.Timeout = 300 * time.Millisecond
+		wc.Retries = 6
+		wc.Backoff.BaseDelay = 5 * time.Millisecond
+	}
 	groups := placement.GroupByASAndLocation(plan, table, wc.CountryOf)
 	fmt.Printf("strategy-2 proxy clusters via live whois: %d groups from %d busy clusters\n",
 		len(groups), len(plan.Assignments))
@@ -83,5 +143,12 @@ func main() {
 		fmt.Printf("  AS%-6d %-3s %2d clusters %3d proxies %8d requests\n",
 			g.OriginAS, g.Country, len(g.Members), g.Proxies, g.Requests)
 	}
-	fmt.Printf("(%d whois queries over the wire, rest cached)\n", wc.NetworkQueries())
+	fmt.Printf("(%d whois queries over the wire, rest cached", wc.NetworkQueries())
+	if wc.RetryCount() > 0 {
+		fmt.Printf("; %d retries", wc.RetryCount())
+	}
+	if whoisInj != nil {
+		fmt.Printf("; %d connections dropped by faultnet", whoisInj.Stats().Drops)
+	}
+	fmt.Println(")")
 }

@@ -1,54 +1,221 @@
 package dnswire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/netaware/netcluster/internal/inet"
 	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/retry"
 )
 
-// Client issues queries over UDP with timeouts and bounded retries — the
-// nslookup of the pipeline.
+// Counters snapshots a client's resilience activity — the degradation
+// evidence the validation report surfaces when the pipeline runs over a
+// lossy network.
+type Counters struct {
+	// Queries is the number of Query calls issued.
+	Queries int
+	// Attempts is the number of datagram exchanges actually tried.
+	Attempts int
+	// Retries is Attempts beyond each query's first (Attempts - Queries
+	// for queries that reached the wire).
+	Retries int
+	// Timeouts counts attempts that died waiting for a response.
+	Timeouts int
+	// Malformed counts received datagrams that failed to decode or failed
+	// ID/question validation and were discarded.
+	Malformed int
+	// FastFails counts queries rejected by an open circuit breaker
+	// without touching the network.
+	FastFails int
+	// BreakerOpens counts circuit-breaker trips.
+	BreakerOpens int
+}
+
+// clientSeq differentiates the default rng seed of successive clients
+// without reaching for wall-clock entropy, keeping runs reproducible.
+var clientSeq atomic.Int64
+
+// Client issues queries over UDP with per-attempt deadlines, exponential
+// backoff with jitter, response validation, and a circuit breaker — the
+// nslookup of the pipeline, hardened for the lossy network the paper ran
+// it over.
 type Client struct {
 	// Server is the resolver address, e.g. "127.0.0.1:5353".
 	Server string
 	// Timeout bounds each attempt; Retries is how many extra attempts a
-	// timed-out query gets.
+	// failed query gets.
 	Timeout time.Duration
 	Retries int
+	// Backoff schedules the delay between attempts. MaxAttempts and
+	// PerAttempt are derived from Retries and Timeout at query time, so
+	// only the delay/jitter fields matter here.
+	Backoff retry.Policy
+	// Breaker, when non-nil, makes queries fail fast with retry.ErrOpen
+	// while the resolver looks dead. NewClient installs one (5 consecutive
+	// failures, 2s cooldown); set to nil to disable.
+	Breaker *retry.Breaker
+	// Dial opens the per-attempt UDP flow; overridable so tests can
+	// interpose a faultnet wrapper client-side. Nil uses net.Dialer.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
 
-	mu      sync.Mutex
-	rng     *rand.Rand
+	mu       sync.Mutex
+	rng      *rand.Rand
+	counters Counters
+	// Queries mirrors counters.Queries for backward compatibility with
+	// callers that read the field directly.
 	Queries int
 }
 
-// NewClient returns a client with 2s timeouts and one retry.
+// NewClient returns a client with 2s per-attempt timeouts, two retries
+// with jittered exponential backoff, and a circuit breaker. The rng is
+// seeded deterministically; use Seed to pin it in tests.
 func NewClient(server string) *Client {
 	return &Client{
 		Server:  server,
 		Timeout: 2 * time.Second,
-		Retries: 1,
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		Retries: 2,
+		Backoff: retry.Policy{BaseDelay: 25 * time.Millisecond, MaxDelay: 400 * time.Millisecond, Jitter: 0.5},
+		Breaker: retry.NewBreaker(5, 2*time.Second),
+		rng:     rand.New(rand.NewSource(clientSeq.Add(1))),
 	}
+}
+
+// Seed re-seeds the client's rng (query IDs and backoff jitter) for
+// deterministic tests.
+func (c *Client) Seed(seed int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rng = rand.New(rand.NewSource(seed))
+}
+
+// Counters returns a snapshot of the client's resilience counters.
+func (c *Client) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ct := c.counters
+	ct.BreakerOpens = c.Breaker.Opens()
+	return ct
 }
 
 // ErrNXDomain reports that the queried name does not exist.
 var ErrNXDomain = errors.New("dnswire: no such domain")
 
+// ErrMalformed reports a response that decoded but failed validation, or
+// an rcode indicating the server cannot ever answer this question.
+var ErrMalformed = errors.New("dnswire: malformed response")
+
+// classify maps attempt errors for the retry loop: definitive protocol
+// answers (NXDOMAIN, refused/notimpl rcodes) are fatal, everything else —
+// timeouts, resets, SERVFAIL, garbage — is worth another attempt.
+func classify(err error) retry.Class {
+	if errors.Is(err, ErrNXDomain) || errors.Is(err, ErrMalformed) {
+		return retry.Fatal
+	}
+	return retry.Transient
+}
+
 // Query sends one question and returns the answers. NXDOMAIN surfaces as
 // ErrNXDomain; an empty answer section with RcodeOK returns an empty
 // slice and nil error (NODATA).
 func (c *Client) Query(name string, qtype uint16) ([]RR, error) {
+	return c.QueryContext(context.Background(), name, qtype)
+}
+
+// QueryContext is Query bounded by ctx: cancellation stops the retry
+// ladder between and during attempts.
+func (c *Client) QueryContext(ctx context.Context, name string, qtype uint16) ([]RR, error) {
 	c.mu.Lock()
-	id := uint16(c.rng.Intn(1 << 16))
-	c.Queries++
+	c.counters.Queries++
+	c.Queries = c.counters.Queries
 	c.mu.Unlock()
 
+	if c.Breaker != nil && !c.Breaker.Allow() {
+		c.mu.Lock()
+		c.counters.FastFails++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("dnswire: query %q: %w", name, retry.ErrOpen)
+	}
+
+	policy := c.Backoff
+	policy.MaxAttempts = c.Retries + 1
+	policy.PerAttempt = c.Timeout
+	policy.Classify = classify
+	policy.Rand = c.randFloat
+
+	var answers []RR
+	attempts, err := policy.Do(ctx, func(ctx context.Context) error {
+		a, aerr := c.exchange(ctx, name, qtype)
+		if aerr == nil {
+			answers = a
+		}
+		return aerr
+	})
+	c.mu.Lock()
+	c.counters.Attempts += attempts
+	if attempts > 1 {
+		c.counters.Retries += attempts - 1
+	}
+	c.mu.Unlock()
+
+	// NXDOMAIN is a healthy server answering; only transport-level
+	// failures feed the breaker.
+	if c.Breaker != nil {
+		if err == nil || errors.Is(err, ErrNXDomain) || errors.Is(err, ErrMalformed) {
+			c.Breaker.Record(nil)
+		} else {
+			c.Breaker.Record(err)
+		}
+	}
+	if err != nil {
+		if errors.Is(err, ErrNXDomain) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dnswire: query %q failed %s", name, retry.Attempts(attempts, err))
+	}
+	return answers, nil
+}
+
+func (c *Client) randFloat() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// newID draws a fresh transaction ID. Each attempt gets its own ID so a
+// late response to attempt N can never satisfy attempt N+1.
+func (c *Client) newID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return uint16(c.rng.Intn(1 << 16))
+}
+
+func (c *Client) countTimeout() {
+	c.mu.Lock()
+	c.counters.Timeouts++
+	c.mu.Unlock()
+}
+
+func (c *Client) countMalformed() {
+	c.mu.Lock()
+	c.counters.Malformed++
+	c.mu.Unlock()
+}
+
+// exchange performs one attempt: fresh ID, fresh socket, read until a
+// validated response or the deadline. Datagrams that fail to decode, or
+// that carry the wrong ID or question, are discarded and the read
+// continues — a corrupted or stale datagram must not abort the attempt
+// while the real answer may still be in flight.
+func (c *Client) exchange(ctx context.Context, name string, qtype uint16) ([]RR, error) {
+	id := c.newID()
 	req := &Message{
 		Header:    Header{ID: id, RD: false},
 		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
@@ -57,24 +224,23 @@ func (c *Client) Query(name string, qtype uint16) ([]RR, error) {
 	if err != nil {
 		return nil, err
 	}
-	var lastErr error
-	for attempt := 0; attempt <= c.Retries; attempt++ {
-		answers, err := c.exchange(pkt, id)
-		if err == nil || errors.Is(err, ErrNXDomain) {
-			return answers, err
-		}
-		lastErr = err
-	}
-	return nil, fmt.Errorf("dnswire: query %q failed: %w", name, lastErr)
-}
 
-func (c *Client) exchange(pkt []byte, id uint16) ([]RR, error) {
-	conn, err := net.Dial("udp", c.Server)
+	dial := c.Dial
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	conn, err := dial(ctx, "udp", c.Server)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(c.Timeout))
+
+	deadline := time.Now().Add(c.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	conn.SetDeadline(deadline)
 	if _, err := conn.Write(pkt); err != nil {
 		return nil, err
 	}
@@ -82,27 +248,48 @@ func (c *Client) exchange(pkt []byte, id uint16) ([]RR, error) {
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {
+			if retry.IsTimeout(err) {
+				c.countTimeout()
+			}
 			return nil, err
 		}
 		resp, err := Decode(buf[:n])
 		if err != nil {
-			return nil, err
+			c.countMalformed()
+			continue // corrupted datagram; the real answer may still come
 		}
-		if resp.Header.ID != id {
-			continue // stale datagram from a previous attempt
-		}
-		if !resp.Header.QR {
-			return nil, errors.New("dnswire: response without QR flag")
+		if !c.responseMatches(resp, id, name, qtype) {
+			c.countMalformed()
+			continue // stale or spoofed; keep waiting
 		}
 		switch resp.Header.Rcode {
 		case RcodeOK:
 			return resp.Answers, nil
 		case RcodeNXDomain:
 			return nil, ErrNXDomain
+		case RcodeServFail:
+			return nil, fmt.Errorf("dnswire: server failure (rcode %d)", resp.Header.Rcode)
 		default:
-			return nil, fmt.Errorf("dnswire: server rcode %d", resp.Header.Rcode)
+			return nil, fmt.Errorf("%w: server rcode %d", ErrMalformed, resp.Header.Rcode)
 		}
 	}
+}
+
+// responseMatches validates a decoded datagram against this attempt: QR
+// set, matching transaction ID, and (when a question section is echoed)
+// a question matching what we asked. A response that fails any check is
+// discarded rather than trusted — late replies to earlier attempts carry
+// stale IDs, and a FORMERR response legitimately echoes no question.
+func (c *Client) responseMatches(resp *Message, id uint16, name string, qtype uint16) bool {
+	if !resp.Header.QR || resp.Header.ID != id {
+		return false
+	}
+	if len(resp.Questions) == 0 {
+		// Only header-level errors may omit the question echo.
+		return resp.Header.Rcode != RcodeOK
+	}
+	q := resp.Questions[0]
+	return strings.EqualFold(q.Name, name) && q.Type == qtype && q.Class == ClassIN
 }
 
 // SuffixResolver adapts a Client to validate.NameResolver: reverse-resolve
@@ -115,18 +302,42 @@ type SuffixResolver struct {
 
 // Suffix implements the validation pipeline's resolver contract.
 func (r SuffixResolver) Suffix(addr netutil.Addr) (string, bool) {
+	s, ok, _ := r.SuffixErr(addr)
+	return s, ok
+}
+
+// SuffixErr implements validate's error-aware resolver contract: NXDOMAIN
+// is (_, false, nil) — the name genuinely has no entry — while transport
+// failures return the error so validation can count the client as demoted
+// rather than definitively unresolvable.
+func (r SuffixResolver) SuffixErr(addr netutil.Addr) (string, bool, error) {
 	name, ok, err := r.Client.LookupAddr(addr)
-	if err != nil || !ok {
-		return "", false
+	if err != nil {
+		return "", false, err
 	}
-	return inet.NameSuffix(name), true
+	if !ok {
+		return "", false, nil
+	}
+	return inet.NameSuffix(name), true, nil
+}
+
+// DegradationCounters implements validate's degradation contract,
+// surfacing the client's retry/breaker activity.
+func (r SuffixResolver) DegradationCounters() (retries, breakerOpens, fastFails int) {
+	ct := r.Client.Counters()
+	return ct.Retries, ct.BreakerOpens, ct.FastFails
 }
 
 // LookupAddr performs the reverse lookup the validation pipeline needs:
 // PTR for addr's in-addr.arpa name. ok is false on NXDOMAIN; transport
 // errors are returned as errors.
 func (c *Client) LookupAddr(addr netutil.Addr) (name string, ok bool, err error) {
-	answers, err := c.Query(ReverseName(addr), TypePTR)
+	return c.LookupAddrContext(context.Background(), addr)
+}
+
+// LookupAddrContext is LookupAddr bounded by ctx.
+func (c *Client) LookupAddrContext(ctx context.Context, addr netutil.Addr) (name string, ok bool, err error) {
+	answers, err := c.QueryContext(ctx, ReverseName(addr), TypePTR)
 	if errors.Is(err, ErrNXDomain) {
 		return "", false, nil
 	}

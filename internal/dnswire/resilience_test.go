@@ -1,0 +1,353 @@
+package dnswire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/netaware/netcluster/internal/faultnet"
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/retry"
+)
+
+// fakeResolver runs a scripted UDP responder: for each received query it
+// calls script with the decoded request and sends back whatever datagrams
+// script returns.
+func fakeResolver(t *testing.T, script func(req *Message) [][]byte) net.Addr {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, maxUDPSize)
+		for {
+			n, raddr, err := conn.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			req, err := Decode(buf[:n])
+			if err != nil {
+				continue
+			}
+			for _, resp := range script(req) {
+				conn.WriteTo(resp, raddr)
+			}
+		}
+	}()
+	return conn.LocalAddr()
+}
+
+func answerFor(req *Message, target string) []byte {
+	resp := &Message{
+		Header:    Header{ID: req.Header.ID, QR: true, AA: true},
+		Questions: req.Questions,
+		Answers: []RR{{
+			Name: req.Questions[0].Name, Type: req.Questions[0].Type,
+			Class: ClassIN, TTL: 60, Target: target,
+		}},
+	}
+	out, _ := resp.Encode()
+	return out
+}
+
+func TestSeededClientIsDeterministic(t *testing.T) {
+	ids := func(seed int64) []uint16 {
+		c := NewClient("127.0.0.1:1")
+		c.Seed(seed)
+		out := make([]uint16, 8)
+		for i := range out {
+			out[i] = c.newID()
+		}
+		return out
+	}
+	a, b := ids(99), ids(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded ID stream diverged at %d", i)
+		}
+	}
+}
+
+// TestStaleIDRejectedAcrossAttempts: the resolver answers the first
+// attempt with a deliberately wrong (previous-attempt-style) ID and never
+// anything else, then answers the second attempt correctly. The client
+// must discard the stale datagram, time out, retry with a fresh ID, and
+// succeed — a late reply to attempt N must not satisfy attempt N+1.
+func TestStaleIDRejectedAcrossAttempts(t *testing.T) {
+	calls := 0
+	addr := fakeResolver(t, func(req *Message) [][]byte {
+		calls++
+		if calls == 1 {
+			stale := &Message{
+				Header:    Header{ID: req.Header.ID + 1, QR: true},
+				Questions: req.Questions,
+			}
+			out, _ := stale.Encode()
+			return [][]byte{out}
+		}
+		return [][]byte{answerFor(req, "host1.example.net")}
+	})
+	c := NewClient(addr.String())
+	c.Seed(7)
+	c.Timeout = 150 * time.Millisecond
+	c.Retries = 2
+	c.Backoff.BaseDelay = time.Millisecond
+
+	answers, err := c.Query("1.0.0.10.in-addr.arpa", TypePTR)
+	if err != nil || len(answers) != 1 || answers[0].Target != "host1.example.net" {
+		t.Fatalf("answers=%v err=%v", answers, err)
+	}
+	ct := c.Counters()
+	if ct.Malformed == 0 {
+		t.Fatalf("stale-ID datagram must be counted malformed: %+v", ct)
+	}
+	if ct.Retries == 0 || ct.Timeouts == 0 {
+		t.Fatalf("first attempt must time out and retry: %+v", ct)
+	}
+}
+
+// TestWrongQuestionRejected: a response with our ID but a different
+// question section (cache-poisoning shape) is discarded.
+func TestWrongQuestionRejected(t *testing.T) {
+	calls := 0
+	addr := fakeResolver(t, func(req *Message) [][]byte {
+		calls++
+		if calls == 1 {
+			forged := &Message{
+				Header: Header{ID: req.Header.ID, QR: true},
+				Questions: []Question{{
+					Name: "evil.example.com", Type: req.Questions[0].Type, Class: ClassIN,
+				}},
+				Answers: []RR{{Name: "evil.example.com", Type: TypePTR, Class: ClassIN, TTL: 60,
+					Target: "attacker.example.com"}},
+			}
+			out, _ := forged.Encode()
+			return [][]byte{out, answerFor(req, "real.example.net")}
+		}
+		return [][]byte{answerFor(req, "real.example.net")}
+	})
+	c := NewClient(addr.String())
+	c.Seed(3)
+	c.Timeout = 200 * time.Millisecond
+	answers, err := c.Query("2.0.0.10.in-addr.arpa", TypePTR)
+	if err != nil || len(answers) != 1 {
+		t.Fatalf("answers=%v err=%v", answers, err)
+	}
+	if answers[0].Target != "real.example.net" {
+		t.Fatalf("forged answer accepted: %v", answers[0])
+	}
+	if c.Counters().Malformed == 0 {
+		t.Fatal("forged datagram must be counted malformed")
+	}
+}
+
+func TestResponseMatches(t *testing.T) {
+	c := NewClient("127.0.0.1:1")
+	q := Question{Name: "x.in-addr.arpa", Type: TypePTR, Class: ClassIN}
+	ok := &Message{Header: Header{ID: 5, QR: true}, Questions: []Question{q}}
+	if !c.responseMatches(ok, 5, "X.IN-ADDR.ARPA", TypePTR) {
+		t.Fatal("case-insensitive match must pass")
+	}
+	if c.responseMatches(ok, 6, q.Name, TypePTR) {
+		t.Fatal("wrong ID must fail")
+	}
+	if c.responseMatches(ok, 5, q.Name, TypeA) {
+		t.Fatal("wrong qtype must fail")
+	}
+	noQR := &Message{Header: Header{ID: 5}, Questions: []Question{q}}
+	if c.responseMatches(noQR, 5, q.Name, TypePTR) {
+		t.Fatal("missing QR must fail")
+	}
+	// FORMERR without an echoed question is a legitimate error response...
+	formerr := &Message{Header: Header{ID: 5, QR: true, Rcode: RcodeFormErr}}
+	if !c.responseMatches(formerr, 5, q.Name, TypePTR) {
+		t.Fatal("FORMERR without question echo must match")
+	}
+	// ...but a "successful" answer without one is not.
+	bare := &Message{Header: Header{ID: 5, QR: true, Rcode: RcodeOK}}
+	if c.responseMatches(bare, 5, q.Name, TypePTR) {
+		t.Fatal("OK response without question echo must fail")
+	}
+}
+
+// TestQueryUnderPacketLoss: the real server behind a 30% drop profile;
+// every lookup must still succeed (with retries) and the retry counter
+// must show the client worked for it.
+func TestQueryUnderPacketLoss(t *testing.T) {
+	w := world(t)
+	srv := NewServer(NewReverseZone(w))
+	inj := faultnet.New(faultnet.Lossy(17, 0.3, 0))
+	srv.Wrap = inj.PacketConn
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewClient(addr.String())
+	c.Seed(21)
+	c.Timeout = 100 * time.Millisecond
+	c.Retries = 7 // 0.3 drop each way: per-attempt failure ~0.51, 8 attempts → ~0.5% residual
+	c.Backoff.BaseDelay = 2 * time.Millisecond
+	c.Backoff.MaxDelay = 10 * time.Millisecond
+
+	lookups := 0
+	for _, n := range w.Networks {
+		if !n.DNSRegistered {
+			continue
+		}
+		host := n.HostAddr(1)
+		name, ok, err := c.LookupAddr(host)
+		if err != nil || !ok {
+			t.Fatalf("LookupAddr(%v) under loss: ok=%v err=%v", host, ok, err)
+		}
+		if want := n.HostName(host); name != want {
+			t.Fatalf("name = %q, want %q", name, want)
+		}
+		lookups++
+		if lookups == 25 {
+			break
+		}
+	}
+	ct := c.Counters()
+	if ct.Retries == 0 {
+		t.Fatalf("30%% loss must force retries: %+v", ct)
+	}
+	if inj.Stats().Drops == 0 {
+		t.Fatalf("injector must have dropped datagrams: %+v", inj.Stats())
+	}
+	t.Logf("loss run: %d lookups, counters %+v, faults %+v", lookups, ct, inj.Stats())
+}
+
+// TestBreakerFailsFastOnDeadResolver: a resolver that is simply gone
+// (closed port) must not cost a full timeout ladder per query forever —
+// after the threshold the breaker rejects instantly.
+func TestBreakerFailsFastOnDeadResolver(t *testing.T) {
+	// Reserve a port, then close it so nothing listens.
+	tmp, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := tmp.LocalAddr().String()
+	tmp.Close()
+
+	c := NewClient(addr)
+	c.Seed(5)
+	c.Timeout = 50 * time.Millisecond
+	c.Retries = 0
+	c.Backoff.BaseDelay = 0
+	c.Breaker = retry.NewBreaker(3, time.Hour)
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query("1.0.0.10.in-addr.arpa", TypePTR); err == nil {
+			t.Fatal("query against a dead resolver must fail")
+		}
+	}
+	start := time.Now()
+	_, err = c.Query("1.0.0.10.in-addr.arpa", TypePTR)
+	if !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("open breaker must surface retry.ErrOpen, got %v", err)
+	}
+	if since := time.Since(start); since > 20*time.Millisecond {
+		t.Fatalf("fast-fail took %v", since)
+	}
+	ct := c.Counters()
+	if ct.FastFails == 0 || ct.BreakerOpens == 0 {
+		t.Fatalf("counters = %+v", ct)
+	}
+}
+
+// TestBreakerRecovers: after the cooldown a half-open trial against a
+// now-healthy resolver closes the circuit again.
+func TestBreakerRecovers(t *testing.T) {
+	addr := fakeResolver(t, func(req *Message) [][]byte {
+		return [][]byte{answerFor(req, "alive.example.net")}
+	})
+	c := NewClient(addr.String())
+	c.Seed(13)
+	c.Timeout = 100 * time.Millisecond
+	c.Breaker = retry.NewBreaker(1, time.Millisecond)
+	// Trip the breaker with one forced failure against a dead port.
+	goodServer := c.Server
+	tmp, _ := net.ListenPacket("udp", "127.0.0.1:0")
+	dead := tmp.LocalAddr().String()
+	tmp.Close()
+	c.Server = dead
+	c.Retries = 0
+	if _, err := c.Query("1.0.0.10.in-addr.arpa", TypePTR); err == nil {
+		t.Fatal("dead port must fail")
+	}
+	c.Server = goodServer
+	time.Sleep(5 * time.Millisecond) // let the cooldown lapse
+	if _, err := c.Query("1.0.0.10.in-addr.arpa", TypePTR); err != nil {
+		t.Fatalf("half-open trial against healthy resolver: %v", err)
+	}
+	if _, err := c.Query("1.0.0.10.in-addr.arpa", TypePTR); err != nil {
+		t.Fatalf("closed circuit must serve normally: %v", err)
+	}
+}
+
+func TestQueryContextCancellation(t *testing.T) {
+	addr := fakeResolver(t, func(req *Message) [][]byte {
+		return nil // never answer
+	})
+	c := NewClient(addr.String())
+	c.Seed(1)
+	c.Timeout = 10 * time.Second
+	c.Retries = 5
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.QueryContext(ctx, "1.0.0.10.in-addr.arpa", TypePTR)
+	if err == nil {
+		t.Fatal("cancelled query must fail")
+	}
+	if since := time.Since(start); since > time.Second {
+		t.Fatalf("cancellation must cut the 10s ladder short, took %v", since)
+	}
+}
+
+// TestSuffixErrClassification: NXDOMAIN is a definitive no (no error),
+// a dead resolver is an error — validate uses the distinction to demote
+// rather than misclassify clients.
+func TestSuffixErrClassification(t *testing.T) {
+	w := world(t)
+	srv := NewServer(NewReverseZone(w))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(addr.String())
+	c.Seed(2)
+	r := SuffixResolver{Client: c}
+
+	var unregistered *inet.Network
+	for _, n := range w.Networks {
+		if !n.DNSRegistered {
+			unregistered = n
+			break
+		}
+	}
+	if _, ok, err := r.SuffixErr(unregistered.HostAddr(1)); ok || err != nil {
+		t.Fatalf("NXDOMAIN: ok=%v err=%v, want false,nil", ok, err)
+	}
+
+	srv.Close()
+	dead := NewClient(addr.String())
+	dead.Seed(2)
+	dead.Timeout = 50 * time.Millisecond
+	dead.Retries = 0
+	rDead := SuffixResolver{Client: dead}
+	if _, ok, err := rDead.SuffixErr(unregistered.HostAddr(1)); ok || err == nil {
+		t.Fatalf("dead resolver: ok=%v err=%v, want false,non-nil", ok, err)
+	}
+	retries, opens, fastFails := rDead.DegradationCounters()
+	_ = retries
+	_ = opens
+	_ = fastFails // counters exist; exact values depend on breaker config
+}

@@ -89,6 +89,11 @@ func (z *ReverseZone) Lookup(name string, qtype uint16) ([]RR, uint8) {
 type Server struct {
 	zone Zone
 
+	// Wrap, when non-nil, wraps the bound socket before serving — the
+	// injection point for faultnet.Injector.PacketConn, so tests and the
+	// chaos sweep can stand the server up behind a lossy network.
+	Wrap func(net.PacketConn) net.PacketConn
+
 	mu      sync.Mutex
 	conn    net.PacketConn
 	done    chan struct{}
@@ -114,11 +119,15 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dnswire: listen: %w", err)
 	}
+	bound := conn.LocalAddr()
+	if s.Wrap != nil {
+		conn = s.Wrap(conn)
+	}
 	s.mu.Lock()
 	s.conn = conn
 	s.mu.Unlock()
 	go s.serve(conn)
-	return conn.LocalAddr(), nil
+	return bound, nil
 }
 
 // Close stops the server.

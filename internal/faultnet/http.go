@@ -1,0 +1,115 @@
+package faultnet
+
+import (
+	"io"
+	"net/http"
+)
+
+// errDropped is the failure surfaced when an injected drop swallows an
+// HTTP exchange; it reports Timeout() true because that is how a dropped
+// request manifests to a real client.
+type errDropped struct{}
+
+func (errDropped) Error() string   { return "faultnet: request dropped (timeout)" }
+func (errDropped) Timeout() bool   { return true }
+func (errDropped) Temporary() bool { return true }
+
+// RoundTripper wraps an http.RoundTripper with the injector's profile:
+// outbound faults hit the request (drop → timeout error, reset →
+// connection reset, latency → synchronous delay), inbound faults hit the
+// response (drop/reset → error after the exchange, truncate/corrupt →
+// damaged body).
+func (i *Injector) RoundTripper(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &roundTripper{inner: inner, inj: i}
+}
+
+type roundTripper struct {
+	inner http.RoundTripper
+	inj   *Injector
+}
+
+func (t *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.inj.countOp()
+	out := t.inj.prof.Outbound
+	if t.inj.roll(out.Drop) {
+		t.inj.count(&t.inj.stats.Drops)
+		return nil, errDropped{}
+	}
+	if t.inj.roll(out.Reset) {
+		t.inj.count(&t.inj.stats.Resets)
+		return nil, errReset{op: "request"}
+	}
+	t.inj.delaySync(out)
+
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	in := t.inj.prof.Inbound
+	if t.inj.roll(in.Drop) {
+		t.inj.count(&t.inj.stats.Drops)
+		resp.Body.Close()
+		return nil, errDropped{}
+	}
+	if t.inj.roll(in.Reset) {
+		t.inj.count(&t.inj.stats.Resets)
+		resp.Body.Close()
+		return nil, errReset{op: "response"}
+	}
+	t.inj.delaySync(in)
+	if t.inj.roll(in.Truncate) {
+		t.inj.count(&t.inj.stats.Truncates)
+		// Deliver roughly half the body then EOF; ContentLength no longer
+		// matches, which a robust client must tolerate or detect.
+		resp.Body = &truncatedBody{inner: resp.Body, remaining: halfOrOne(resp.ContentLength)}
+		resp.ContentLength = -1
+	}
+	if t.inj.roll(in.Corrupt) {
+		resp.Body = &corruptBody{inner: resp.Body, inj: t.inj}
+	}
+	return resp, nil
+}
+
+func halfOrOne(contentLength int64) int64 {
+	if contentLength > 1 {
+		return contentLength / 2
+	}
+	return 1
+}
+
+type truncatedBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }
+
+type corruptBody struct {
+	inner io.ReadCloser
+	inj   *Injector
+}
+
+func (b *corruptBody) Read(p []byte) (int, error) {
+	n, err := b.inner.Read(p)
+	if n > 0 {
+		b.inj.corrupt(p[:n])
+	}
+	return n, err
+}
+
+func (b *corruptBody) Close() error { return b.inner.Close() }

@@ -14,6 +14,7 @@ package httpproxy
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -34,6 +35,9 @@ type Stats struct {
 	SyncValidations int
 	Evictions       int
 	Errors          int
+	// StaleServes counts responses served from an expired entry because
+	// the origin could not be reached for revalidation (ServeStale on).
+	StaleServes int
 }
 
 type entry struct {
@@ -58,6 +62,12 @@ type Proxy struct {
 	PCV bool
 	// PiggybackLimit caps validations per origin contact.
 	PiggybackLimit int
+	// ServeStale serves an expired cached entry when revalidation fails
+	// with a transport error, instead of failing the client with 502 —
+	// the degraded mode a resilient deployment wants when its origin
+	// flakes. The entry stays marked expired so a later contact
+	// revalidates it.
+	ServeStale bool
 	// Now is the clock, overridable in tests.
 	Now func() time.Time
 
@@ -99,6 +109,12 @@ func (p *Proxy) Stats() Stats {
 	return p.stats
 }
 
+// SetTransport replaces the origin transport — the injection point for a
+// faultnet RoundTripper in chaos tests and sweeps.
+func (p *Proxy) SetTransport(rt http.RoundTripper) {
+	p.client.Transport = rt
+}
+
 // ServeHTTP implements http.Handler. Non-GET requests pass through
 // uncached.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -126,11 +142,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.stats.Validations++
 		p.stats.SyncValidations++
 		p.mu.Unlock()
-		p.revalidateAndServe(w, key, e, now)
+		p.revalidateAndServe(r.Context(), w, key, e, now)
 		return
 	}
 	p.mu.Unlock()
-	p.fetchAndServe(w, key, now)
+	p.fetchAndServe(r.Context(), w, key, now)
 }
 
 // serveLocked writes a cached entry and releases the lock.
@@ -148,8 +164,8 @@ func (p *Proxy) serveLocked(w http.ResponseWriter, e *entry) {
 }
 
 // fetchAndServe brings a missing resource in from the origin.
-func (p *Proxy) fetchAndServe(w http.ResponseWriter, key string, now time.Time) {
-	resp, body, err := p.originGet(key, time.Time{}, now)
+func (p *Proxy) fetchAndServe(ctx context.Context, w http.ResponseWriter, key string, now time.Time) {
+	resp, body, err := p.originGet(ctx, key, time.Time{}, now)
 	if err != nil {
 		p.countError()
 		http.Error(w, "origin unreachable: "+err.Error(), http.StatusBadGateway)
@@ -182,10 +198,28 @@ func (p *Proxy) fetchAndServe(w http.ResponseWriter, key string, now time.Time) 
 }
 
 // revalidateAndServe refreshes a stale entry via If-Modified-Since.
-func (p *Proxy) revalidateAndServe(w http.ResponseWriter, key string, stale *entry, now time.Time) {
-	resp, body, err := p.originGet(key, stale.lastModified, now)
+// When the origin is unreachable and ServeStale is set, the expired copy
+// is served (marked X-Cache: STALE) rather than failing the client; the
+// entry stays expired so a later origin contact revalidates it.
+func (p *Proxy) revalidateAndServe(ctx context.Context, w http.ResponseWriter, key string, stale *entry, now time.Time) {
+	resp, body, err := p.originGet(ctx, key, stale.lastModified, now)
 	if err != nil {
 		p.countError()
+		if p.ServeStale {
+			p.mu.Lock()
+			p.stats.StaleServes++
+			p.stats.Bytes += int64(len(stale.body))
+			p.stats.ByteHits += int64(len(stale.body))
+			p.expired[key] = struct{}{}
+			staleBody := stale.body
+			header := stale.header.Clone()
+			p.mu.Unlock()
+			copyHeader(w.Header(), header)
+			w.Header().Set("X-Cache", "STALE")
+			w.WriteHeader(http.StatusOK)
+			w.Write(staleBody)
+			return
+		}
 		http.Error(w, "origin unreachable: "+err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -224,10 +258,10 @@ func (p *Proxy) revalidateAndServe(w http.ResponseWriter, key string, stale *ent
 
 // originGet performs one origin request (with IMS when since is non-zero)
 // and, with PCV enabled, piggybacks validations for expired entries.
-func (p *Proxy) originGet(key string, since time.Time, now time.Time) (*http.Response, []byte, error) {
+func (p *Proxy) originGet(ctx context.Context, key string, since time.Time, now time.Time) (*http.Response, []byte, error) {
 	u := *p.origin
 	u.Path, u.RawQuery = splitKey(key)
-	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -323,7 +357,7 @@ func (p *Proxy) Sweep() {
 func (p *Proxy) passThrough(w http.ResponseWriter, r *http.Request) {
 	u := *p.origin
 	u.Path, u.RawQuery = r.URL.Path, r.URL.RawQuery
-	req, err := http.NewRequest(r.Method, u.String(), r.Body)
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return

@@ -1,0 +1,113 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned (wrapped) by clients whose circuit breaker is open:
+// the peer has failed enough consecutive attempts that further queries
+// fail fast instead of burning a timeout ladder each.
+var ErrOpen = errors.New("retry: circuit breaker open")
+
+// Breaker is a consecutive-failure circuit breaker. Closed passes all
+// traffic; Threshold consecutive recorded failures open it; after
+// Cooldown one trial request is allowed through (half-open) and its
+// outcome closes or re-opens the circuit.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the breaker;
+	// values below 1 disable it (Allow always true).
+	Threshold int
+	// Cooldown is how long the breaker stays open before permitting a
+	// half-open trial.
+	Cooldown time.Duration
+	// Now is the clock, overridable in tests.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	failures int
+	openedAt time.Time
+	open     bool
+	halfOpen bool
+	opens    int
+	fastFail int
+}
+
+// NewBreaker returns a breaker that opens after threshold consecutive
+// failures and re-tests the peer every cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{Threshold: threshold, Cooldown: cooldown}
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether a request may proceed. When the breaker is open
+// and the cooldown has elapsed, it admits exactly one half-open trial.
+func (b *Breaker) Allow() bool {
+	if b == nil || b.Threshold < 1 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.now().Sub(b.openedAt) >= b.Cooldown && !b.halfOpen {
+		b.halfOpen = true
+		return true
+	}
+	b.fastFail++
+	return false
+}
+
+// Record feeds an attempt outcome into the breaker. nil closes the
+// circuit and resets the failure run; an error extends the run and opens
+// the circuit at Threshold (or immediately re-opens a half-open trial).
+func (b *Breaker) Record(err error) {
+	if b == nil || b.Threshold < 1 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.failures = 0
+		b.open = false
+		b.halfOpen = false
+		return
+	}
+	b.failures++
+	if b.halfOpen || (!b.open && b.failures >= b.Threshold) {
+		b.open = true
+		b.halfOpen = false
+		b.openedAt = b.now()
+		b.opens++
+	}
+}
+
+// Opens returns how many times the breaker has tripped open — a
+// degradation counter the validation report surfaces.
+func (b *Breaker) Opens() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// FastFails returns how many requests were rejected without touching the
+// network while the breaker was open.
+func (b *Breaker) FastFails() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fastFail
+}

@@ -1,0 +1,191 @@
+// Package retry centralizes the resilience primitives the live
+// measurement pipeline needs against a lossy Internet: a retry policy
+// (exponential backoff with jitter and per-attempt deadlines), an error
+// classifier separating transient transport failures from definitive
+// protocol answers, and a circuit breaker so a dead peer fails fast
+// instead of pinning every lookup on a full timeout ladder.
+//
+// The paper's Section 3.3 pipeline budgeted for exactly these failures —
+// roughly half the nslookup probes never resolved and unanswered
+// traceroute probes were retried with bounded patience — so the clients
+// in dnswire, whois and httpproxy share this package rather than each
+// growing an ad-hoc loop.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Class buckets an attempt error for the retry loop.
+type Class int
+
+const (
+	// Transient errors (timeouts, resets, dials to a busy peer) are worth
+	// another attempt after backoff.
+	Transient Class = iota
+	// Fatal errors are definitive answers (NXDOMAIN, malformed protocol
+	// state that will not heal): retrying cannot change the outcome.
+	Fatal
+)
+
+// Classifier maps an attempt error to a Class. A nil Classifier treats
+// every error as Transient.
+type Classifier func(error) Class
+
+// Policy drives a bounded retry loop. The zero value retries nothing;
+// use DefaultPolicy for sensible live-pipeline defaults.
+type Policy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// Values below 1 behave as 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = no cap).
+	MaxDelay time.Duration
+	// Jitter randomizes each backoff by ±Jitter fraction (0.5 = ±50%),
+	// decorrelating clients that share a recovering server.
+	Jitter float64
+	// PerAttempt bounds each attempt with a context deadline (0 = none;
+	// the caller's context still applies).
+	PerAttempt time.Duration
+	// Classify decides whether an error is worth retrying; nil means
+	// everything is Transient.
+	Classify Classifier
+	// Rand yields uniform values in [0,1) for jitter. Nil disables
+	// jitter randomization (deterministic midpoint), which keeps tests
+	// reproducible without threading an rng everywhere.
+	Rand func() float64
+	// Sleep is the clock hook, overridable in tests; nil uses a real
+	// context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultPolicy is the live pipeline's stance: three attempts, 50 ms
+// initial backoff doubling to a 500 ms cap, ±50% jitter.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts: 3,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Jitter:      0.5,
+	}
+}
+
+// Backoff returns the delay before attempt number attempt (attempt 1 is
+// the first retry). Exported so tests and reports can explain schedules.
+func (p Policy) Backoff(attempt int) time.Duration {
+	if p.BaseDelay <= 0 || attempt < 1 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		u := 0.5 // deterministic midpoint without an rng
+		if p.Rand != nil {
+			u = p.Rand()
+		}
+		// Scale into [1-Jitter, 1+Jitter).
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*u-1)))
+	}
+	return d
+}
+
+// Do runs op under the policy. It returns the number of attempts made and
+// the first nil or Fatal error, or the last Transient error once attempts
+// are exhausted. op receives a per-attempt context when PerAttempt is set.
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) (attempts int, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	max := p.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < max; attempt++ {
+		if attempt > 0 {
+			if err := p.sleep(ctx, p.Backoff(attempt)); err != nil {
+				return attempts, err
+			}
+		}
+		attempts++
+		attemptCtx, cancel := p.attemptContext(ctx)
+		err := op(attemptCtx)
+		cancel()
+		if err == nil {
+			return attempts, nil
+		}
+		lastErr = err
+		if p.classify(err) == Fatal {
+			return attempts, err
+		}
+		if ctx.Err() != nil {
+			return attempts, lastErr
+		}
+	}
+	return attempts, lastErr
+}
+
+func (p Policy) attemptContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.PerAttempt <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, p.PerAttempt)
+}
+
+func (p Policy) classify(err error) Class {
+	if p.Classify == nil {
+		return Transient
+	}
+	return p.Classify(err)
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// IsTimeout reports whether err is a deadline-style failure (net.Error
+// timeout or context deadline), the dominant loss signature on UDP.
+func IsTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Attempts annotates err with how many attempts were spent on it, for
+// error messages that should explain the patience already applied.
+func Attempts(attempts int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("after %d attempt(s): %w", attempts, err)
+}

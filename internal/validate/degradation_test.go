@@ -1,0 +1,109 @@
+package validate
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/netaware/netcluster/internal/dnssim"
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// flakyResolver wraps the pure resolver and fails every Nth lookup with a
+// transport error, simulating a resolver behind a lossy network that
+// exhausted its retries. It also reports synthetic retry counters.
+type flakyResolver struct {
+	inner   *dnssim.Resolver
+	n       int
+	calls   int
+	retries int
+	opens   int
+}
+
+func (f *flakyResolver) Suffix(addr netutil.Addr) (string, bool) {
+	s, ok, err := f.SuffixErr(addr)
+	return s, ok && err == nil
+}
+
+func (f *flakyResolver) SuffixErr(addr netutil.Addr) (string, bool, error) {
+	f.calls++
+	if f.n > 0 && f.calls%f.n == 0 {
+		f.retries += 2 // a demotion implies the retry ladder was spent
+		if f.calls%(4*f.n) == 0 {
+			f.opens++
+		}
+		return "", false, errors.New("resolver unreachable")
+	}
+	s, ok := f.inner.Suffix(addr)
+	return s, ok, nil
+}
+
+func (f *flakyResolver) DegradationCounters() (int, int, int) {
+	return f.retries, f.opens, 0
+}
+
+// TestErroringResolverDemotesNotAborts: the fault-aware path completes,
+// counts demotions, and the pure-resolver report stays unchanged.
+func TestErroringResolverDemotesNotAborts(t *testing.T) {
+	p := setup(t)
+	sampled := Sample(p.naResult.Clusters, 0.05, 7)
+	flaky := &flakyResolver{inner: p.resolver, n: 5}
+
+	rep := Nslookup(p.world, flaky, sampled)
+	if rep.SampledClusters != len(sampled) {
+		t.Fatalf("run aborted: %d/%d clusters", rep.SampledClusters, len(sampled))
+	}
+	if rep.Degradation.DemotedClients == 0 {
+		t.Fatal("every 5th lookup erred; demotions must be counted")
+	}
+	if rep.Degradation.Retries == 0 {
+		t.Fatal("resolver counters must be charged to the report")
+	}
+	if !rep.Degradation.Any() {
+		t.Fatal("Any() must reflect the recorded degradation")
+	}
+
+	// Demoted clients reduce resolvable counts relative to the pure run.
+	pure := Nslookup(p.world, p.resolver, sampled)
+	if rep.ReachableClients >= pure.ReachableClients {
+		t.Fatalf("flaky reachable %d !< pure reachable %d",
+			rep.ReachableClients, pure.ReachableClients)
+	}
+	if pure.Degradation.Any() {
+		t.Fatalf("pure resolver must report zero degradation: %+v", pure.Degradation)
+	}
+}
+
+// TestTracerouteDemotedClientsUsePathFallback: a demoted client is keyed
+// by its probed path, as the paper's method prescribes for unresolvable
+// names — so a fully-demoted cluster still gets a verdict.
+func TestTracerouteDemotedClientsUsePathFallback(t *testing.T) {
+	p := setup(t)
+	sampled := Sample(p.naResult.Clusters, 0.05, 7)
+	dead := &flakyResolver{inner: p.resolver, n: 1} // every lookup errs
+
+	rep := Traceroute(p.world, dead, p.tracer, sampled)
+	if rep.SampledClusters != len(sampled) {
+		t.Fatal("traceroute run aborted")
+	}
+	if rep.Degradation.DemotedClients != rep.SampledClients {
+		t.Fatalf("all %d clients should be demoted, got %d",
+			rep.SampledClients, rep.Degradation.DemotedClients)
+	}
+	// Every client fell back to path keys; clusters must still mostly
+	// pass (the tracer is fault-free here).
+	if rep.PassRate() == 0 {
+		t.Fatal("path fallback must still produce verdicts")
+	}
+}
+
+// TestSelectiveCountsDegradation: the selective method shares the same
+// demotion semantics.
+func TestSelectiveCountsDegradation(t *testing.T) {
+	p := setup(t)
+	sampled := Sample(p.naResult.Clusters, 0.05, 7)
+	flaky := &flakyResolver{inner: p.resolver, n: 3}
+	rep := Selective(p.world, flaky, sampled, 0.95)
+	if rep.Degradation.DemotedClients == 0 {
+		t.Fatal("selective must count demotions")
+	}
+}

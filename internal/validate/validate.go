@@ -31,6 +31,73 @@ type NameResolver interface {
 	Suffix(addr netutil.Addr) (string, bool)
 }
 
+// ErrorResolver is the fault-aware variant: it distinguishes a definitive
+// NXDOMAIN (ok == false, err == nil) from a transport failure (err !=
+// nil). When a resolver implements it, validation demotes erroring
+// clients to "unresolvable" — feeding the traceroute fallback exactly as
+// the paper's pipeline treated a timed-out nslookup — instead of
+// silently conflating the two, and counts the demotion.
+type ErrorResolver interface {
+	SuffixErr(addr netutil.Addr) (string, bool, error)
+}
+
+// DegradationCounters is implemented by resolvers that track their own
+// resilience activity (dnswire.SuffixResolver); validation snapshots it
+// around a run so each Report carries the retries and breaker trips it
+// caused.
+type DegradationCounters interface {
+	DegradationCounters() (retries, breakerOpens, fastFails int)
+}
+
+// Degradation aggregates the resilience events behind one Report: how
+// hard the pipeline had to work to produce its verdicts, and how many
+// clients it demoted along the way.
+type Degradation struct {
+	// DemotedClients counts lookups that failed at the transport layer
+	// and were treated as unresolvable.
+	DemotedClients int
+	// Retries, BreakerOpens and FastFails are the resolver's counters
+	// attributable to this run (zero for pure in-process resolvers).
+	Retries      int
+	BreakerOpens int
+	FastFails    int
+}
+
+// Any reports whether any degradation was observed.
+func (d Degradation) Any() bool {
+	return d.DemotedClients > 0 || d.Retries > 0 || d.BreakerOpens > 0 || d.FastFails > 0
+}
+
+// resolveSuffix keys one client, demoting transport errors to
+// "unresolvable" when the resolver can distinguish them.
+func resolveSuffix(resolver NameResolver, a netutil.Addr, deg *Degradation) (string, bool) {
+	if er, ok := resolver.(ErrorResolver); ok {
+		s, resolved, err := er.SuffixErr(a)
+		if err != nil {
+			deg.DemotedClients++
+			return "", false
+		}
+		return s, resolved
+	}
+	return resolver.Suffix(a)
+}
+
+// degradationSpan snapshots a resolver's counters and returns a closer
+// that charges the delta to the report.
+func degradationSpan(resolver NameResolver, rep *Report) func() {
+	dc, ok := resolver.(DegradationCounters)
+	if !ok {
+		return func() {}
+	}
+	r0, b0, f0 := dc.DegradationCounters()
+	return func() {
+		r1, b1, f1 := dc.DegradationCounters()
+		rep.Degradation.Retries += r1 - r0
+		rep.Degradation.BreakerOpens += b1 - b0
+		rep.Degradation.FastFails += f1 - f0
+	}
+}
+
 // Sample draws approximately frac of the clusters (at least one, when any
 // exist) uniformly at random but deterministically in seed. The paper
 // samples 1%.
@@ -81,6 +148,9 @@ type Report struct {
 	MisidentifiedNonUS int
 	TrulyIncorrect     int
 	Verdicts           []ClusterVerdict
+	// Degradation records the resilience events (demotions, retries,
+	// breaker activity) behind this report's verdicts.
+	Degradation Degradation
 }
 
 // PassRate is the fraction of sampled clusters passing the method's test.
@@ -122,14 +192,15 @@ func groundTruth(world *inet.Internet, c *cluster.Cluster, v *ClusterVerdict) {
 // fails when two resolvable clients carry different non-trivial suffixes;
 // clusters with fewer than two resolvable clients cannot be falsified and
 // pass, as in the paper's methodology.
-func Nslookup(world *inet.Internet, resolver NameResolver, sampled []*cluster.Cluster) Report {
-	rep := Report{Method: "nslookup", SampledClusters: len(sampled)}
+func Nslookup(world *inet.Internet, resolver NameResolver, sampled []*cluster.Cluster) (rep Report) {
+	rep = Report{Method: "nslookup", SampledClusters: len(sampled)}
+	defer degradationSpan(resolver, &rep)()
 	for _, c := range sampled {
 		v := ClusterVerdict{Cluster: c, Pass: true}
 		var suffix string
 		for _, a := range clientsOf(c) {
 			rep.SampledClients++
-			s, ok := resolver.Suffix(a)
+			s, ok := resolveSuffix(resolver, a, &rep.Degradation)
 			if !ok {
 				continue
 			}
@@ -160,8 +231,9 @@ func Nslookup(world *inet.Internet, resolver NameResolver, sampled []*cluster.Cl
 // test: clients whose names resolve are suffix-matched on names; the rest
 // are matched on the last two hops of the probed path. Either group
 // disagreeing fails the cluster.
-func Traceroute(world *inet.Internet, resolver NameResolver, tracer *tracesim.Tracer, sampled []*cluster.Cluster) Report {
-	rep := Report{Method: "traceroute", SampledClusters: len(sampled)}
+func Traceroute(world *inet.Internet, resolver NameResolver, tracer *tracesim.Tracer, sampled []*cluster.Cluster) (rep Report) {
+	rep = Report{Method: "traceroute", SampledClusters: len(sampled)}
+	defer degradationSpan(resolver, &rep)()
 	for _, c := range sampled {
 		v := ClusterVerdict{Cluster: c, Pass: true}
 		var nameSuffix, pathSuffix string
@@ -169,7 +241,7 @@ func Traceroute(world *inet.Internet, resolver NameResolver, tracer *tracesim.Tr
 			rep.SampledClients++
 			rep.ReachableClients++ // traceroute keys every client
 			v.Resolvable++
-			if s, ok := resolver.Suffix(a); ok {
+			if s, ok := resolveSuffix(resolver, a, &rep.Degradation); ok {
 				if nameSuffix == "" {
 					nameSuffix = s
 				} else if s != nameSuffix {
@@ -238,15 +310,16 @@ func PrefixLenRange(sampled []*cluster.Cluster) (min, max int) {
 // majority key. The paper sketches this as future work ("if 95% of the
 // clients inside the cluster are correctly identified, we could consider
 // this cluster to be correct").
-func Selective(world *inet.Internet, resolver NameResolver, sampled []*cluster.Cluster, threshold float64) Report {
-	rep := Report{Method: "selective-nslookup", SampledClusters: len(sampled)}
+func Selective(world *inet.Internet, resolver NameResolver, sampled []*cluster.Cluster, threshold float64) (rep Report) {
+	rep = Report{Method: "selective-nslookup", SampledClusters: len(sampled)}
+	defer degradationSpan(resolver, &rep)()
 	for _, c := range sampled {
 		v := ClusterVerdict{Cluster: c, Pass: true}
 		counts := map[string]int{}
 		keyed := 0
 		for _, a := range clientsOf(c) {
 			rep.SampledClients++
-			s, ok := resolver.Suffix(a)
+			s, ok := resolveSuffix(resolver, a, &rep.Degradation)
 			if !ok {
 				continue
 			}

@@ -8,13 +8,18 @@ package whois
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/netaware/netcluster/internal/retry"
 )
 
 // Record is one AS registry entry.
@@ -28,19 +33,40 @@ type Record struct {
 type Server struct {
 	records map[uint32]Record
 
+	// ReadTimeout bounds how long a connection may take to deliver its
+	// one query line; WriteTimeout bounds the response write. Together
+	// they guarantee a stalled or malicious client cannot pin a handler
+	// goroutine forever.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// MaxRequest caps the query line in bytes (newline included); longer
+	// requests are rejected without reading further.
+	MaxRequest int
+	// Wrap, when non-nil, wraps the listener before serving — the
+	// injection point for faultnet.Injector.Listener.
+	Wrap func(net.Listener) net.Listener
+
 	mu       sync.Mutex
 	listener net.Listener
 	done     chan struct{}
 	queries  int
+	rejected int
 }
 
-// NewServer builds a server over a registry snapshot.
+// NewServer builds a server over a registry snapshot with 10s read/write
+// timeouts and a 128-byte request cap (an "ASnnnn\r\n" query is under 14).
 func NewServer(records map[uint32]Record) *Server {
 	cp := make(map[uint32]Record, len(records))
 	for k, v := range records {
 		cp[k] = v
 	}
-	return &Server{records: cp, done: make(chan struct{})}
+	return &Server{
+		records:      cp,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 10 * time.Second,
+		MaxRequest:   128,
+		done:         make(chan struct{}),
+	}
 }
 
 // QueryCount returns how many queries the server has answered.
@@ -50,17 +76,29 @@ func (s *Server) QueryCount() int {
 	return s.queries
 }
 
+// RejectedCount returns how many connections were cut off for exceeding
+// MaxRequest or stalling past ReadTimeout.
+func (s *Server) RejectedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejected
+}
+
 // Start listens on addr ("127.0.0.1:0" for tests) and serves until Close.
 func (s *Server) Start(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("whois: listen: %w", err)
 	}
+	bound := ln.Addr()
+	if s.Wrap != nil {
+		ln = s.Wrap(ln)
+	}
 	s.mu.Lock()
 	s.listener = ln
 	s.mu.Unlock()
 	go s.serve(ln)
-	return ln.Addr(), nil
+	return bound, nil
 }
 
 // Close stops the server.
@@ -94,18 +132,48 @@ func (s *Server) serve(ln net.Listener) {
 	}
 }
 
+func (s *Server) countRejected() {
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
 // handle answers one connection: whois is one query, one response, close.
+// The query read is bounded both in time (ReadTimeout) and size
+// (MaxRequest), so a client that stalls mid-line or streams garbage
+// costs one goroutine for at most ReadTimeout.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
-	line, err := bufio.NewReader(conn).ReadString('\n')
+	if s.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+	}
+	max := s.MaxRequest
+	if max <= 0 {
+		max = 128
+	}
+	r := bufio.NewReaderSize(io.LimitReader(conn, int64(max)), max)
+	line, err := r.ReadString('\n')
 	if err != nil {
+		// EOF with a full buffer means the cap was hit before a newline:
+		// an oversized request, not a benign disconnect.
+		if err == io.EOF && len(line) >= max {
+			s.countRejected()
+			if s.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+			}
+			fmt.Fprintf(conn, "%% error: request exceeds %d bytes\r\n", max)
+		} else {
+			s.countRejected()
+		}
 		return
 	}
 	s.mu.Lock()
 	s.queries++
 	s.mu.Unlock()
 
+	if s.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+	}
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
 	query := strings.TrimSpace(line)
@@ -137,31 +205,64 @@ func parseASQuery(q string) (uint32, bool) {
 
 // Client queries a whois server, caching responses (registry data is
 // static over an experiment's lifetime, and strategy-2 grouping asks for
-// the same origin ASes repeatedly).
+// the same origin ASes repeatedly). Transport failures are retried with
+// backoff and, past Breaker's threshold, fail fast.
 type Client struct {
 	Server  string
 	Timeout time.Duration
+	// Retries is how many extra attempts a failed fetch gets.
+	Retries int
+	// Backoff schedules delays between attempts (delay fields only;
+	// attempt counts and deadlines derive from Retries and Timeout).
+	Backoff retry.Policy
+	// Breaker, when non-nil, fails lookups fast while the registry looks
+	// dead. NewClient installs one (5 failures, 2s cooldown).
+	Breaker *retry.Breaker
+	// Dial opens the connection; overridable so tests can interpose a
+	// faultnet wrapper client-side. Nil uses net.Dialer.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
 
-	mu    sync.Mutex
-	cache map[uint32]*Record // nil entry = known-missing
-	count int
+	mu      sync.Mutex
+	cache   map[uint32]*Record // nil entry = known-missing
+	count   int
+	retries int
 }
 
 // NewClient returns a client for the server address.
 func NewClient(server string) *Client {
-	return &Client{Server: server, Timeout: 5 * time.Second, cache: map[uint32]*Record{}}
+	return &Client{
+		Server:  server,
+		Timeout: 5 * time.Second,
+		Retries: 2,
+		Backoff: retry.Policy{BaseDelay: 25 * time.Millisecond, MaxDelay: 400 * time.Millisecond, Jitter: 0.5},
+		Breaker: retry.NewBreaker(5, 2*time.Second),
+		cache:   map[uint32]*Record{},
+	}
 }
 
-// NetworkQueries returns how many queries actually went over the wire.
+// NetworkQueries returns how many fetch attempts actually went over the
+// wire.
 func (c *Client) NetworkQueries() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.count
 }
 
+// RetryCount returns how many of those were retries after a failure.
+func (c *Client) RetryCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
+}
+
 // Lookup fetches the record for asn. ok is false when the registry has no
 // entry; transport failures return an error.
 func (c *Client) Lookup(asn uint32) (Record, bool, error) {
+	return c.LookupContext(context.Background(), asn)
+}
+
+// LookupContext is Lookup bounded by ctx.
+func (c *Client) LookupContext(ctx context.Context, asn uint32) (Record, bool, error) {
 	c.mu.Lock()
 	if rec, hit := c.cache[asn]; hit {
 		c.mu.Unlock()
@@ -172,9 +273,31 @@ func (c *Client) Lookup(asn uint32) (Record, bool, error) {
 	}
 	c.mu.Unlock()
 
-	rec, found, err := c.fetch(asn)
+	if c.Breaker != nil && !c.Breaker.Allow() {
+		return Record{}, false, fmt.Errorf("whois: AS%d: %w", asn, retry.ErrOpen)
+	}
+
+	policy := c.Backoff
+	policy.MaxAttempts = c.Retries + 1
+	policy.PerAttempt = c.Timeout
+
+	var rec Record
+	var found bool
+	attempts, err := policy.Do(ctx, func(ctx context.Context) error {
+		var ferr error
+		rec, found, ferr = c.fetch(ctx, asn)
+		return ferr
+	})
+	c.mu.Lock()
+	if attempts > 1 {
+		c.retries += attempts - 1
+	}
+	c.mu.Unlock()
+	if c.Breaker != nil {
+		c.Breaker.Record(err)
+	}
 	if err != nil {
-		return Record{}, false, err
+		return Record{}, false, fmt.Errorf("whois: AS%d failed %s", asn, retry.Attempts(attempts, err))
 	}
 	c.mu.Lock()
 	if found {
@@ -187,23 +310,38 @@ func (c *Client) Lookup(asn uint32) (Record, bool, error) {
 	return rec, found, nil
 }
 
-func (c *Client) fetch(asn uint32) (Record, bool, error) {
+// errEmptyResponse marks a connection that closed before delivering any
+// record lines — retriable, the peer may have reset us mid-exchange.
+var errEmptyResponse = errors.New("whois: empty response")
+
+func (c *Client) fetch(ctx context.Context, asn uint32) (Record, bool, error) {
 	c.mu.Lock()
 	c.count++
 	c.mu.Unlock()
-	conn, err := net.DialTimeout("tcp", c.Server, c.Timeout)
+	dial := c.Dial
+	if dial == nil {
+		d := net.Dialer{Timeout: c.Timeout}
+		dial = d.DialContext
+	}
+	conn, err := dial(ctx, "tcp", c.Server)
 	if err != nil {
 		return Record{}, false, fmt.Errorf("whois: dial: %w", err)
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(c.Timeout))
+	deadline := time.Now().Add(c.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	conn.SetDeadline(deadline)
 	if _, err := fmt.Fprintf(conn, "AS%d\r\n", asn); err != nil {
 		return Record{}, false, err
 	}
 	rec := Record{ASN: asn}
 	found := false
+	sawLine := false
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
+		sawLine = true
 		line := strings.TrimSpace(sc.Text())
 		if strings.HasPrefix(line, "%") {
 			continue // comment / not-found notice
@@ -224,6 +362,9 @@ func (c *Client) fetch(asn uint32) (Record, bool, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return Record{}, false, err
+	}
+	if !sawLine {
+		return Record{}, false, errEmptyResponse
 	}
 	return rec, found, nil
 }
