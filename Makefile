@@ -1,11 +1,17 @@
 # Developer entry points. `make check` is the full pre-merge gate:
-# vet + race-enabled tests, including the chaos suite. The chaos suite
-# (root-level TestChaos*) runs live wire exchanges under injected faults
-# and takes several seconds; `make test-short` skips it via -short.
+# vet + race-enabled tests (including the chaos suite and the
+# parallel/sequential equivalence tests) + a short smoke run of the
+# performance benchmarks. The chaos suite (root-level TestChaos*) runs
+# live wire exchanges under injected faults and takes several seconds;
+# `make test-short` skips it via -short.
 
 GO ?= go
 
-.PHONY: all build test test-short race vet chaos check clean
+# Benchmarks of the compiled lookup table, parallel clustering engines and
+# CLF fast path; bench-json freezes their numbers into BENCH_clustering.json.
+PERF_BENCH = LongestPrefixMatch|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF
+
+.PHONY: all build test test-short race vet chaos bench-json bench-smoke check clean
 
 all: build
 
@@ -29,7 +35,18 @@ vet:
 chaos:
 	$(GO) test -count=1 -race -run 'TestChaos' -v .
 
-check: vet race
+# Record lookup/cluster/parse benchmark results machine-readably.
+bench-json:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench '$(PERF_BENCH)' -benchmem . | ./bin/benchjson -out BENCH_clustering.json
+
+# One-iteration-class smoke of the same benchmarks: catches bit-rot in
+# bench code without paying for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(PERF_BENCH)' -benchtime 10x . > /dev/null
+
+check: vet race bench-smoke
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -1,7 +1,11 @@
 package netcluster_test
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	"math/rand"
+	"sync"
 	"testing"
 
 	netcluster "github.com/netaware/netcluster"
@@ -14,6 +18,7 @@ import (
 	"github.com/netaware/netcluster/internal/stats"
 	"github.com/netaware/netcluster/internal/tracesim"
 	"github.com/netaware/netcluster/internal/validate"
+	"github.com/netaware/netcluster/internal/weblog"
 	"github.com/netaware/netcluster/internal/websim"
 )
 
@@ -47,6 +52,116 @@ func BenchmarkClusterLogSimple(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cluster.ClusterLog(f.log, cluster.Simple{})
+	}
+}
+
+// BenchmarkLongestPrefixMatchCompiled is the compiled-table counterpart of
+// BenchmarkLongestPrefixMatch: same client population, one flat-array walk
+// instead of two tree walks. The ratio of the two is the headline number
+// in BENCH_clustering.json.
+func BenchmarkLongestPrefixMatchCompiled(b *testing.B) {
+	f := setup(b)
+	compiled := f.table.Compile()
+	clients := f.log.Clients()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compiled.Lookup(clients[i%len(clients)])
+	}
+}
+
+// BenchmarkTableCompile measures the one-time cost of building the
+// compiled snapshot, the price paid to make every later lookup cheap.
+func BenchmarkTableCompile(b *testing.B) {
+	f := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.table.Compile()
+	}
+}
+
+// ---- Parallel clustering engine (Apache profile, BENCH_clustering.json) ----
+
+// The parallel benchmarks run on the Apache profile — the paper's largest
+// cluster population — cached once alongside its CLF serialization.
+var (
+	perfOnce  sync.Once
+	apacheLog *netcluster.Log
+	apacheCLF []byte
+)
+
+func perfSetup(b *testing.B) *fixture {
+	f := setup(b)
+	perfOnce.Do(func() {
+		l, err := netcluster.GenerateLog(f.world, netcluster.ApacheProfile(0.01))
+		if err != nil {
+			panic(err)
+		}
+		var buf bytes.Buffer
+		if err := netcluster.WriteLog(&buf, l); err != nil {
+			panic(err)
+		}
+		apacheLog, apacheCLF = l, buf.Bytes()
+	})
+	return f
+}
+
+// BenchmarkClusterLogParallel scales the in-memory engine across worker
+// counts; workers-1 is the sequential reference path.
+func BenchmarkClusterLogParallel(b *testing.B) {
+	f := perfSetup(b)
+	na := netcluster.NetworkAware{Table: f.table}.Compile()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportMetric(float64(len(apacheLog.Requests)), "requests/op")
+			for i := 0; i < b.N; i++ {
+				netcluster.ClusterLogParallel(apacheLog, na, netcluster.ParallelOptions{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkClusterStreamParallel scales the one-pass engine: a single
+// parser goroutine feeding sharded accumulators.
+func BenchmarkClusterStreamParallel(b *testing.B) {
+	f := perfSetup(b)
+	na := netcluster.NetworkAware{Table: f.table}.Compile()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(apacheCLF)))
+			for i := 0; i < b.N; i++ {
+				if _, err := netcluster.ClusterStreamParallel(bytes.NewReader(apacheCLF), na, netcluster.ParallelOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCLFParseStream measures the zero-allocation CLF ingestion fast
+// path in isolation: parse + intern, no clustering.
+func BenchmarkCLFParseStream(b *testing.B) {
+	perfSetup(b)
+	b.SetBytes(int64(len(apacheCLF)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := weblog.StreamCLF(bytes.NewReader(apacheCLF), func(weblog.StreamRecord) bool {
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteCLF measures log serialization (append-formatted lines,
+// per-second timestamp cache).
+func BenchmarkWriteCLF(b *testing.B) {
+	perfSetup(b)
+	b.SetBytes(int64(len(apacheCLF)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := netcluster.WriteLog(io.Discard, apacheLog); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

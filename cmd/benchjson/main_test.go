@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkLongestPrefixMatchCompiled \t 9185babc\t")
+	if ok {
+		t.Fatalf("garbage accepted: %+v", b)
+	}
+	b, ok = parseBenchLine("BenchmarkClusterLogParallel/workers-4-8 \t 50\t 22915486 ns/op\t 14400 requests/op\t 9472109 B/op\t 11288 allocs/op")
+	if !ok {
+		t.Fatal("valid line rejected")
+	}
+	if b.Name != "BenchmarkClusterLogParallel/workers-4-8" || b.Iterations != 50 {
+		t.Fatalf("name/iters: %+v", b)
+	}
+	if b.NsPerOp != 22915486 {
+		t.Fatalf("ns/op = %v", b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 9472109 || b.AllocsPerOp == nil || *b.AllocsPerOp != 11288 {
+		t.Fatalf("benchmem fields: %+v", b)
+	}
+	if b.Metrics["requests/op"] != 14400 {
+		t.Fatalf("custom metric: %+v", b.Metrics)
+	}
+	if _, ok := parseBenchLine("ok  \tgithub.com/netaware/netcluster\t0.4s"); ok {
+		t.Fatal("non-benchmark line accepted")
+	}
+	if _, ok := parseBenchLine("BenchmarkNoResult"); ok {
+		t.Fatal("name-only line accepted")
+	}
+	// A line without ns/op (pure custom metrics) is not a result line the
+	// file format can anchor on.
+	if _, ok := parseBenchLine("BenchmarkX 10 5.0 widgets/op"); ok {
+		t.Fatal("line without ns/op accepted")
+	}
+}

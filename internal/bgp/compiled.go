@@ -1,0 +1,108 @@
+package bgp
+
+import (
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/radix"
+)
+
+// Compiled is an immutable, read-optimized snapshot of a Merged table. The
+// primary/secondary precedence of Section 3.1.1 — longest match among
+// BGP-derived prefixes first, network-dump prefixes only as a fallback —
+// is folded into a single stride-8 multibit structure at compile time, so
+// one flat-array walk replaces the two pointer-chasing tree walks of
+// Merged.Lookup. Compiled is safe for unlimited concurrent readers with no
+// locks; it does not observe later Add calls on the source table, so
+// recompile after merging new snapshots (routers rebuild expanded FIBs on
+// change for the same reason).
+type Compiled struct {
+	frozen                   *radix.Frozen[compiledValue]
+	prov                     map[netutil.Prefix]*Provenance
+	kinds                    map[netutil.Prefix]SourceKind
+	numPrimary, numSecondary int
+}
+
+type compiledValue struct {
+	kind SourceKind
+	prov *Provenance
+}
+
+// Precedence ranks: any primary (BGP) prefix must beat any secondary
+// (network dump) prefix, and within a class longer prefixes win — exactly
+// the order Merged.Lookup establishes with its two sequential walks. The
+// rank (classBias + bits) collapses that two-key comparison into one
+// integer, so the multibit slot rule and the lookup walk need no
+// class-specific branches.
+const compiledPrimaryBias = 64
+
+// Compile builds the read-optimized form of the table. The default route
+// 0/0 is excluded from the match structure — Merged.Lookup already treats
+// it as unclusterable in either class — but retains its provenance entry.
+func (m *Merged) Compile() *Compiled {
+	c := &Compiled{
+		prov:         make(map[netutil.Prefix]*Provenance, m.Len()),
+		kinds:        make(map[netutil.Prefix]SourceKind, m.Len()),
+		numPrimary:   m.primary.Len(),
+		numSecondary: m.secondary.Len(),
+	}
+	mb := radix.NewMultibit[compiledValue]()
+	m.primary.Walk(func(p netutil.Prefix, prov *Provenance) bool {
+		c.prov[p] = prov
+		c.kinds[p] = SourceBGP
+		if p.Bits() > 0 {
+			mb.InsertRanked(p, compiledValue{kind: SourceBGP, prov: prov}, compiledPrimaryBias+p.Bits())
+		}
+		return true
+	})
+	m.secondary.Walk(func(p netutil.Prefix, prov *Provenance) bool {
+		if _, dup := c.prov[p]; !dup {
+			c.prov[p] = prov
+			c.kinds[p] = SourceNetworkDump
+		}
+		if p.Bits() > 0 {
+			mb.InsertRanked(p, compiledValue{kind: SourceNetworkDump, prov: prov}, p.Bits())
+		}
+		return true
+	})
+	c.frozen = mb.Freeze()
+	return c
+}
+
+// Lookup performs the clustering lookup for addr with the same semantics
+// as Merged.Lookup — longest BGP match first, network-dump fallback, the
+// bare default route treated as unclusterable — in a single table walk.
+func (c *Compiled) Lookup(addr netutil.Addr) (Match, bool) {
+	p, v, ok := c.frozen.Lookup(addr)
+	if !ok {
+		return Match{}, false
+	}
+	return Match{Prefix: p, Kind: v.kind}, true
+}
+
+// Provenance returns the recorded provenance for exactly p, matching
+// Merged.Provenance (primary class shadows secondary for a prefix present
+// in both).
+func (c *Compiled) Provenance(p netutil.Prefix) (*Provenance, bool) {
+	prov, ok := c.prov[p]
+	return prov, ok
+}
+
+// KindOf reports which source class prefix p was compiled from (primary
+// shadows secondary, as in Provenance).
+func (c *Compiled) KindOf(p netutil.Prefix) (SourceKind, bool) {
+	k, ok := c.kinds[p]
+	return k, ok
+}
+
+// Len returns the number of unique prefixes per class summed, mirroring
+// Merged.Len at compile time.
+func (c *Compiled) Len() int { return c.numPrimary + c.numSecondary }
+
+// NumPrimary returns the number of BGP-derived prefixes at compile time.
+func (c *Compiled) NumPrimary() int { return c.numPrimary }
+
+// NumSecondary returns the number of network-dump prefixes at compile time.
+func (c *Compiled) NumSecondary() int { return c.numSecondary }
+
+// NumNodes exposes the flattened node count, the compiled table's memory
+// footprint knob (each node is 2 KiB of slot arrays).
+func (c *Compiled) NumNodes() int { return c.frozen.NumNodes() }

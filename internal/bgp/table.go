@@ -26,6 +26,13 @@ type Provenance struct {
 type Merged struct {
 	primary   *radix.Tree[*Provenance]
 	secondary *radix.Tree[*Provenance]
+	// mergedNames tracks which snapshot names have already been merged per
+	// class. Because snapshot names within a class are normally distinct,
+	// source dedup in Add then reduces to an O(1) check of the most recent
+	// source — the full scan is needed only when the same snapshot name is
+	// merged twice, instead of on every entry (which made Add quadratic in
+	// the number of sources per prefix across a 14-snapshot collection).
+	mergedNames [2]map[string]struct{}
 }
 
 // NewMerged returns an empty merged table.
@@ -39,13 +46,28 @@ func NewMerged() *Merged {
 // Add merges every entry of snapshot s into the table, deduplicating
 // prefixes and accumulating provenance.
 func (m *Merged) Add(s *Snapshot) {
-	tree := m.primary
+	tree, class := m.primary, 0
 	if s.Kind == SourceNetworkDump {
-		tree = m.secondary
+		tree, class = m.secondary, 1
 	}
+	names := m.mergedNames[class]
+	if names == nil {
+		names = make(map[string]struct{})
+		m.mergedNames[class] = names
+	}
+	_, nameSeen := names[s.Name]
+	names[s.Name] = struct{}{}
 	for _, e := range s.Entries {
 		if prov, ok := tree.Get(e.Prefix); ok {
-			if !containsString(prov.Sources, s.Name) {
+			// A duplicate prefix within this snapshot has just put s.Name at
+			// the tail of Sources; an earlier snapshot can only have added
+			// it when the name was merged before.
+			n := len(prov.Sources)
+			dup := n > 0 && prov.Sources[n-1] == s.Name
+			if !dup && nameSeen {
+				dup = containsString(prov.Sources, s.Name)
+			}
+			if !dup {
 				prov.Sources = append(prov.Sources, s.Name)
 			}
 			if prov.OriginAS == 0 {

@@ -26,14 +26,29 @@ type Clusterer interface {
 	Name() string
 }
 
-// NetworkAware clusters through a merged routing table.
+// NetworkAware clusters through a merged routing table. When Compiled is
+// set it is used transparently for every lookup — same matches, same
+// source-class accounting, one flat-array walk instead of two tree walks,
+// and safe for the parallel clustering engines' concurrent readers.
 type NetworkAware struct {
-	Table *bgp.Merged
+	Table    *bgp.Merged
+	Compiled *bgp.Compiled
+}
+
+// Compile returns a copy of n backed by a freshly compiled snapshot of its
+// table, the read-optimized form for clustering large logs.
+func (n NetworkAware) Compile() NetworkAware {
+	n.Compiled = n.Table.Compile()
+	return n
 }
 
 // Cluster performs the longest-prefix match, preferring BGP-derived
 // prefixes over registry dumps (see bgp.Merged.Lookup).
 func (n NetworkAware) Cluster(addr netutil.Addr) (netutil.Prefix, bool) {
+	if n.Compiled != nil {
+		m, ok := n.Compiled.Lookup(addr)
+		return m.Prefix, ok
+	}
 	m, ok := n.Table.Lookup(addr)
 	return m.Prefix, ok
 }
@@ -44,6 +59,10 @@ func (NetworkAware) Name() string { return "network-aware" }
 // SourceOf reports which source class supplied the cluster prefix for
 // addr, for the "<1% via network dumps" accounting.
 func (n NetworkAware) SourceOf(addr netutil.Addr) (bgp.SourceKind, bool) {
+	if n.Compiled != nil {
+		m, ok := n.Compiled.Lookup(addr)
+		return m.Kind, ok
+	}
 	m, ok := n.Table.Lookup(addr)
 	return m.Kind, ok
 }

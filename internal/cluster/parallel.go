@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+// Parallel clustering engines. ClusterLog and ClusterStream remain the
+// reference implementations; the parallel variants partition the work
+// across workers that accumulate into private shards keyed by a hash of
+// the client address, then merge deterministically. The merged Result is
+// identical to the sequential one — same cluster set in the same canonical
+// ordering, same per-cluster metrics, same Coverage(), same Unclustered
+// order — so callers can switch freely between the two paths.
+//
+// The Clusterer must be safe for concurrent use: NetworkAware is (both the
+// tree and the compiled table support lock-free concurrent readers), as
+// are Simple and Classful; a Func closure must synchronize any mutable
+// state it captures.
+
+// ParallelOptions tunes the parallel clustering engines. The zero value
+// uses GOMAXPROCS workers.
+type ParallelOptions struct {
+	// Workers is the number of concurrent accumulators; 0 or negative
+	// means GOMAXPROCS. One worker falls back to the sequential path.
+	Workers int
+	// Shards is the number of client-hash shards the accumulation is
+	// split into, rounded up to a power of two; 0 means 4× Workers.
+	// More shards reduce merge contention at slightly higher constant
+	// cost. The clustering outcome never depends on the shard count.
+	Shards int
+}
+
+func (o ParallelOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o ParallelOptions) shards() int {
+	s := o.Shards
+	if s <= 0 {
+		s = 4 * o.workers()
+	}
+	n := 1
+	for n < s {
+		n <<= 1
+	}
+	return n
+}
+
+// shardOf hashes a client address into a shard. The multiply-xorshift
+// finalizer spreads the sequential address blocks real clusters produce,
+// so adversarially adjacent clients still distribute across shards.
+func shardOf(a netutil.Addr, mask uint32) uint32 {
+	x := uint32(a)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x & mask
+}
+
+// pclient is one client's accumulation inside a worker shard.
+type pclient struct {
+	prefix netutil.Prefix
+	count  int
+	first  int // global index of the client's first request
+	ok     bool
+}
+
+// pcluster is one cluster's per-worker partial accumulation.
+type pcluster struct {
+	requests int
+	bytes    int64
+	urls     map[int32]struct{}
+}
+
+// ClusterLogParallel is ClusterLog distributed across opts.Workers
+// goroutines. Requests are split into contiguous ranges, each worker
+// accumulates per-client tallies into private hash shards and per-cluster
+// partials, and the shards are merged deterministically. The returned
+// Result is identical to ClusterLog's.
+func ClusterLogParallel(l *weblog.Log, c Clusterer, opts ParallelOptions) *Result {
+	workers := opts.workers()
+	if workers > len(l.Requests)/minRequestsPerWorker {
+		workers = len(l.Requests) / minRequestsPerWorker
+	}
+	if workers <= 1 {
+		return ClusterLog(l, c)
+	}
+	shards := opts.shards()
+	mask := uint32(shards - 1)
+
+	// Phase 1: each worker scans a contiguous request range, resolving
+	// cluster membership per distinct client and accumulating privately.
+	perWorker := make([][]map[netutil.Addr]*pclient, workers)
+	clustersBy := make([]map[netutil.Prefix]*pcluster, workers)
+	totals := make([]int, workers)
+	chunk := (len(l.Requests) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(l.Requests) {
+			hi = len(l.Requests)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make([]map[netutil.Addr]*pclient, shards)
+			parts := make(map[netutil.Prefix]*pcluster)
+			total := 0
+			for i := lo; i < hi; i++ {
+				r := &l.Requests[i]
+				if r.Client.IsUnspecified() {
+					continue
+				}
+				total++
+				s := shardOf(r.Client, mask)
+				m := local[s]
+				if m == nil {
+					m = make(map[netutil.Addr]*pclient)
+					local[s] = m
+				}
+				pc := m[r.Client]
+				if pc == nil {
+					p, ok := c.Cluster(r.Client)
+					pc = &pclient{prefix: p, ok: ok, first: i}
+					m[r.Client] = pc
+				}
+				if !pc.ok {
+					continue
+				}
+				pc.count++
+				part := parts[pc.prefix]
+				if part == nil {
+					part = &pcluster{urls: make(map[int32]struct{})}
+					parts[pc.prefix] = part
+				}
+				part.requests++
+				part.bytes += int64(l.Resources[r.URL].Size)
+				part.urls[r.URL] = struct{}{}
+			}
+			perWorker[w] = local
+			clustersBy[w] = parts
+			totals[w] = total
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Phase 2: merge client shards — clients partition across shards, so
+	// each shard merges independently and in parallel. A client seen by
+	// several workers keeps its earliest first-request index, which is
+	// what makes the Unclustered ordering reproduce the sequential pass.
+	merged := make([]map[netutil.Addr]*pclient, shards)
+	var mg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		mg.Add(1)
+		go func(s int) {
+			defer mg.Done()
+			var dst map[netutil.Addr]*pclient
+			for w := 0; w < workers; w++ {
+				if perWorker[w] == nil {
+					continue
+				}
+				src := perWorker[w][s]
+				if src == nil {
+					continue
+				}
+				if dst == nil {
+					dst = src
+					continue
+				}
+				for a, pc := range src {
+					d := dst[a]
+					if d == nil {
+						dst[a] = pc
+						continue
+					}
+					if pc.first < d.first {
+						d.first = pc.first
+					}
+					d.count += pc.count
+				}
+			}
+			merged[s] = dst
+		}(s)
+	}
+	mg.Wait()
+
+	// Phase 3: assemble the Result. Iteration order over maps is
+	// irrelevant — clusters are sorted into the canonical prefix order and
+	// the unclustered list by first occurrence, exactly as ClusterLog.
+	res := &Result{
+		Method:   c.Name(),
+		Log:      l,
+		byPrefix: make(map[netutil.Prefix]*Cluster),
+		byClient: make(map[netutil.Addr]*Cluster),
+	}
+	for _, t := range totals {
+		res.TotalRequests += t
+	}
+	for _, parts := range clustersBy {
+		for p, part := range parts {
+			cl := res.byPrefix[p]
+			if cl == nil {
+				cl = &Cluster{
+					Prefix:  p,
+					Clients: make(map[netutil.Addr]int),
+					urls:    make(map[int32]struct{}),
+				}
+				res.byPrefix[p] = cl
+				res.Clusters = append(res.Clusters, cl)
+			}
+			cl.Requests += part.requests
+			cl.Bytes += part.bytes
+			for u := range part.urls {
+				cl.urls[u] = struct{}{}
+			}
+		}
+	}
+	type uncEntry struct {
+		addr  netutil.Addr
+		first int
+	}
+	var uncs []uncEntry
+	for _, m := range merged {
+		for a, pc := range m {
+			if !pc.ok {
+				uncs = append(uncs, uncEntry{a, pc.first})
+				continue
+			}
+			cl := res.byPrefix[pc.prefix]
+			cl.Clients[a] = pc.count
+			res.byClient[a] = cl
+		}
+	}
+	sort.Slice(uncs, func(i, j int) bool { return uncs[i].first < uncs[j].first })
+	for _, u := range uncs {
+		res.Unclustered = append(res.Unclustered, u.addr)
+	}
+	sort.Slice(res.Clusters, func(i, j int) bool {
+		return netutil.ComparePrefix(res.Clusters[i].Prefix, res.Clusters[j].Prefix) < 0
+	})
+	return res
+}
+
+// minRequestsPerWorker keeps tiny logs on the sequential path, where
+// goroutine startup and merge overhead would dominate.
+const minRequestsPerWorker = 1024
+
+// streamRec is the per-line payload the stream dispatcher hands a shard
+// worker: everything clustering needs, nothing it does not.
+type streamRec struct {
+	client netutil.Addr
+	url    int32
+	size   int32
+}
+
+const streamBatchLen = 512
+
+// ClusterStreamParallel is ClusterStream with the accumulation sharded
+// across opts.Workers goroutines: one reader parses the CLF stream (the
+// zero-allocation fast path in internal/weblog) and dispatches batched
+// records by client-address hash, so each worker owns a disjoint client
+// population and no cluster map needs a lock. The merged StreamResult is
+// identical to the sequential one.
+func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*StreamResult, error) {
+	workers := opts.workers()
+	if workers <= 1 {
+		return ClusterStream(r, c)
+	}
+	res := &StreamResult{
+		Method:      c.Name(),
+		Clusters:    make(map[netutil.Prefix]*StreamCluster),
+		Unclustered: make(map[netutil.Addr]struct{}),
+	}
+
+	type workerState struct {
+		byClient    map[netutil.Addr]*StreamCluster // nil value: unclusterable
+		clusters    map[netutil.Prefix]*StreamCluster
+		unclustered map[netutil.Addr]struct{}
+	}
+	states := make([]*workerState, workers)
+	chans := make([]chan []streamRec, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		states[w] = &workerState{
+			byClient:    make(map[netutil.Addr]*StreamCluster),
+			clusters:    make(map[netutil.Prefix]*StreamCluster),
+			unclustered: make(map[netutil.Addr]struct{}),
+		}
+		chans[w] = make(chan []streamRec, 4)
+		wg.Add(1)
+		go func(st *workerState, ch <-chan []streamRec) {
+			defer wg.Done()
+			for batch := range ch {
+				for _, rec := range batch {
+					cl, seen := st.byClient[rec.client]
+					if !seen {
+						p, ok := c.Cluster(rec.client)
+						if !ok {
+							st.unclustered[rec.client] = struct{}{}
+							st.byClient[rec.client] = nil
+							continue
+						}
+						cl = st.clusters[p]
+						if cl == nil {
+							cl = &StreamCluster{
+								Prefix:  p,
+								Clients: make(map[netutil.Addr]int),
+								urls:    make(map[int32]struct{}),
+							}
+							st.clusters[p] = cl
+						}
+						st.byClient[rec.client] = cl
+					} else if cl == nil {
+						continue
+					}
+					cl.Clients[rec.client]++
+					cl.Requests++
+					cl.Bytes += int64(rec.size)
+					cl.urls[rec.url] = struct{}{}
+				}
+			}
+		}(states[w], chans[w])
+	}
+
+	// The reader thread owns parsing and batching; everything past the
+	// hash is off the critical path.
+	batches := make([][]streamRec, workers)
+	stats, err := weblog.StreamCLF(r, func(rec weblog.StreamRecord) bool {
+		res.TotalRequests++
+		w := int(shardOf(rec.Request.Client, ^uint32(0)) % uint32(workers))
+		b := batches[w]
+		if b == nil {
+			b = make([]streamRec, 0, streamBatchLen)
+		}
+		b = append(b, streamRec{client: rec.Request.Client, url: rec.Request.URL, size: rec.Size})
+		if len(b) == streamBatchLen {
+			chans[w] <- b
+			b = nil
+		}
+		batches[w] = b
+		return true
+	})
+	for w := 0; w < workers; w++ {
+		if len(batches[w]) > 0 {
+			chans[w] <- batches[w]
+		}
+		close(chans[w])
+	}
+	wg.Wait()
+	res.Stats = stats
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: client sets are disjoint across workers, so
+	// cluster partials combine by plain summation and set union.
+	for _, st := range states {
+		for p, wcl := range st.clusters {
+			dst := res.Clusters[p]
+			if dst == nil {
+				res.Clusters[p] = wcl
+				continue
+			}
+			for a, n := range wcl.Clients {
+				dst.Clients[a] = n
+			}
+			dst.Requests += wcl.Requests
+			dst.Bytes += wcl.Bytes
+			for u := range wcl.urls {
+				dst.urls[u] = struct{}{}
+			}
+		}
+		for a := range st.unclustered {
+			res.Unclustered[a] = struct{}{}
+		}
+	}
+	return res, nil
+}

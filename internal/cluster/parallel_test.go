@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/netaware/netcluster/internal/bgpsim"
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+// Equivalence fixture: one synthetic world, its merged table, and the four
+// paper trace profiles at test scale, shared across the parallel tests.
+var parFixture struct {
+	once  sync.Once
+	table NetworkAware
+	logs  []*weblog.Log
+	err   error
+}
+
+func parSetup(t *testing.T) (NetworkAware, []*weblog.Log) {
+	t.Helper()
+	parFixture.once.Do(func() {
+		cfg := inet.DefaultConfig()
+		cfg.NumASes = 250
+		cfg.NumTierOne = 8
+		w, err := inet.Generate(cfg)
+		if err != nil {
+			parFixture.err = err
+			return
+		}
+		sim := bgpsim.New(w, bgpsim.DefaultConfig())
+		parFixture.table = NetworkAware{Table: bgpsim.Merge(sim.Collect())}
+		for _, gc := range weblog.Profiles(0.002) {
+			l, err := weblog.Generate(w, gc)
+			if err != nil {
+				parFixture.err = err
+				return
+			}
+			parFixture.logs = append(parFixture.logs, l)
+		}
+	})
+	if parFixture.err != nil {
+		t.Fatal(parFixture.err)
+	}
+	return parFixture.table, parFixture.logs
+}
+
+// requireSameResult asserts the parallel Result is indistinguishable from
+// the sequential reference: same clusters in the same canonical order,
+// same per-cluster metrics and client tallies, same unclustered sequence,
+// same coverage and client→cluster mapping.
+func requireSameResult(t *testing.T, want, got *Result) {
+	t.Helper()
+	if want.Method != got.Method {
+		t.Fatalf("Method: %q vs %q", want.Method, got.Method)
+	}
+	if want.TotalRequests != got.TotalRequests {
+		t.Fatalf("TotalRequests: %d vs %d", want.TotalRequests, got.TotalRequests)
+	}
+	if len(want.Clusters) != len(got.Clusters) {
+		t.Fatalf("cluster count: %d vs %d", len(want.Clusters), len(got.Clusters))
+	}
+	for i := range want.Clusters {
+		w, g := want.Clusters[i], got.Clusters[i]
+		if w.Prefix != g.Prefix {
+			t.Fatalf("cluster %d prefix: %v vs %v", i, w.Prefix, g.Prefix)
+		}
+		if w.Requests != g.Requests || w.Bytes != g.Bytes {
+			t.Fatalf("cluster %v: requests/bytes %d/%d vs %d/%d",
+				w.Prefix, w.Requests, w.Bytes, g.Requests, g.Bytes)
+		}
+		if w.NumURLs() != g.NumURLs() {
+			t.Fatalf("cluster %v: URLs %d vs %d", w.Prefix, w.NumURLs(), g.NumURLs())
+		}
+		if len(w.Clients) != len(g.Clients) {
+			t.Fatalf("cluster %v: clients %d vs %d", w.Prefix, len(w.Clients), len(g.Clients))
+		}
+		for a, n := range w.Clients {
+			if g.Clients[a] != n {
+				t.Fatalf("cluster %v client %v: %d vs %d", w.Prefix, a, n, g.Clients[a])
+			}
+		}
+	}
+	if len(want.Unclustered) != len(got.Unclustered) {
+		t.Fatalf("unclustered count: %d vs %d", len(want.Unclustered), len(got.Unclustered))
+	}
+	for i := range want.Unclustered {
+		if want.Unclustered[i] != got.Unclustered[i] {
+			t.Fatalf("unclustered[%d]: %v vs %v (order must match)",
+				i, want.Unclustered[i], got.Unclustered[i])
+		}
+	}
+	if want.Coverage() != got.Coverage() {
+		t.Fatalf("coverage: %g vs %g", want.Coverage(), got.Coverage())
+	}
+	for a, wc := range want.byClient {
+		gc, ok := got.byClient[a]
+		if !ok || gc.Prefix != wc.Prefix {
+			t.Fatalf("byClient[%v]: %v vs %v (ok=%v)", a, wc.Prefix, gc, ok)
+		}
+	}
+}
+
+func requireSameStreamResult(t *testing.T, want, got *StreamResult) {
+	t.Helper()
+	if want.Method != got.Method || want.TotalRequests != got.TotalRequests {
+		t.Fatalf("method/total: %q/%d vs %q/%d",
+			want.Method, want.TotalRequests, got.Method, got.TotalRequests)
+	}
+	if want.Stats.Lines != got.Stats.Lines || want.Stats.Records != got.Stats.Records ||
+		want.Stats.URLs != got.Stats.URLs || want.Stats.Agents != got.Stats.Agents ||
+		!want.Stats.Start.Equal(got.Stats.Start) || !want.Stats.End.Equal(got.Stats.End) {
+		t.Fatalf("Stats: %+v vs %+v", want.Stats, got.Stats)
+	}
+	if len(want.Clusters) != len(got.Clusters) {
+		t.Fatalf("cluster count: %d vs %d", len(want.Clusters), len(got.Clusters))
+	}
+	for p, w := range want.Clusters {
+		g := got.Clusters[p]
+		if g == nil {
+			t.Fatalf("cluster %v missing", p)
+		}
+		if w.Requests != g.Requests || w.Bytes != g.Bytes || w.NumURLs() != g.NumURLs() {
+			t.Fatalf("cluster %v: %d/%d/%d vs %d/%d/%d", p,
+				w.Requests, w.Bytes, w.NumURLs(), g.Requests, g.Bytes, g.NumURLs())
+		}
+		if len(w.Clients) != len(g.Clients) {
+			t.Fatalf("cluster %v: clients %d vs %d", p, len(w.Clients), len(g.Clients))
+		}
+		for a, n := range w.Clients {
+			if g.Clients[a] != n {
+				t.Fatalf("cluster %v client %v: %d vs %d", p, a, n, g.Clients[a])
+			}
+		}
+	}
+	if len(want.Unclustered) != len(got.Unclustered) {
+		t.Fatalf("unclustered: %d vs %d", len(want.Unclustered), len(got.Unclustered))
+	}
+	for a := range want.Unclustered {
+		if _, ok := got.Unclustered[a]; !ok {
+			t.Fatalf("unclustered client %v missing", a)
+		}
+	}
+	if want.Coverage() != got.Coverage() {
+		t.Fatalf("coverage: %g vs %g", want.Coverage(), got.Coverage())
+	}
+}
+
+func TestParallelMatchesSequentialOnPaperProfiles(t *testing.T) {
+	na, logs := parSetup(t)
+	nac := na.Compile()
+	for _, l := range logs {
+		l := l
+		t.Run(l.Name, func(t *testing.T) {
+			want := ClusterLog(l, na)
+			for _, workers := range []int{2, 3, 4, 8} {
+				got := ClusterLogParallel(l, nac, ParallelOptions{Workers: workers})
+				requireSameResult(t, want, got)
+			}
+			// Shard count must never change the outcome.
+			got := ClusterLogParallel(l, nac, ParallelOptions{Workers: 4, Shards: 1})
+			requireSameResult(t, want, got)
+		})
+	}
+}
+
+func TestParallelMatchesSequentialBaselines(t *testing.T) {
+	_, logs := parSetup(t)
+	for _, c := range []Clusterer{Simple{}, Classful{}} {
+		want := ClusterLog(logs[0], c)
+		got := ClusterLogParallel(logs[0], c, ParallelOptions{Workers: 4})
+		requireSameResult(t, want, got)
+	}
+}
+
+func TestParallelAdversarialLogs(t *testing.T) {
+	m := mergedTable("12.65.128.0/19", "24.48.2.0/23")
+	na := NetworkAware{Table: m}.Compile()
+
+	// All requests from one client: every worker tallies the same address,
+	// and the merge must fold the partial counts into one client entry.
+	var one [][2]string
+	for i := 0; i < 3000; i++ {
+		one = append(one, [2]string{"12.65.147.94", "/a"})
+	}
+	// All-unclusterable: the merge path that never touches a cluster.
+	var unc [][2]string
+	for i := 0; i < 3000; i++ {
+		unc = append(unc, [2]string{"99.1.2.3", "/a"}, [2]string{"88.1.2.3", "/b"})
+	}
+	// Interleaved clusterable/unclusterable clients with Shards:1 forcing
+	// every client into one shard — the worst collision case.
+	var mix [][2]string
+	for i := 0; i < 2000; i++ {
+		mix = append(mix,
+			[2]string{"12.65.147.94", "/a"},
+			[2]string{"99.1.2.3", "/a"},
+			[2]string{"24.48.3.87", "/b"},
+			[2]string{"88.1.2.3", "/b"},
+		)
+	}
+	cases := []struct {
+		name  string
+		pairs [][2]string
+		opts  ParallelOptions
+	}{
+		{"all-one-client", one, ParallelOptions{Workers: 4}},
+		{"all-unclusterable", unc, ParallelOptions{Workers: 4}},
+		{"interleaved-one-shard", mix, ParallelOptions{Workers: 4, Shards: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := logOf(tc.pairs...)
+			requireSameResult(t, ClusterLog(l, na), ClusterLogParallel(l, na, tc.opts))
+		})
+	}
+}
+
+func TestParallelTinyLogFallsBackSequential(t *testing.T) {
+	// Below minRequestsPerWorker per worker the parallel entry point must
+	// still produce the reference result (it runs the sequential path).
+	l := logOf([2]string{"12.65.147.94", "/a"}, [2]string{"99.1.2.3", "/b"})
+	na := NetworkAware{Table: mergedTable("12.65.128.0/19")}
+	requireSameResult(t, ClusterLog(l, na), ClusterLogParallel(l, na, ParallelOptions{Workers: 8}))
+}
+
+func TestClusterStreamParallelMatchesSequential(t *testing.T) {
+	na, logs := parSetup(t)
+	nac := na.Compile()
+	for _, l := range logs {
+		var buf bytes.Buffer
+		if err := weblog.WriteCLF(&buf, l); err != nil {
+			t.Fatal(err)
+		}
+		want, err := ClusterStream(bytes.NewReader(buf.Bytes()), na)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			got, err := ClusterStreamParallel(bytes.NewReader(buf.Bytes()), nac, ParallelOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameStreamResult(t, want, got)
+		}
+	}
+}
+
+func TestClusterStreamParallelError(t *testing.T) {
+	na := NetworkAware{Table: mergedTable("12.65.128.0/19")}
+	bad := "12.65.147.94 - - [13/Feb/1998:06:15:04 +0000] \"GET /a HTTP/1.0\" 200 100 \"-\" \"UA\"\nnot a log line\n"
+	if _, err := ClusterStreamParallel(bytes.NewReader([]byte(bad)), na, ParallelOptions{Workers: 4}); err == nil {
+		t.Fatal("malformed stream must error")
+	}
+}
+
+func TestShardOfDistributes(t *testing.T) {
+	// Sequentially numbered clients (the adversarial real-world shape: one
+	// /24 full of hosts) must spread across shards, not pile into one.
+	counts := make(map[uint32]int)
+	base := uint32(netutil.MustParseAddr("12.65.147.0"))
+	for i := uint32(0); i < 256; i++ {
+		counts[shardOf(netutil.Addr(base+i), 7)]++
+	}
+	for s, n := range counts {
+		if n > 256/2 {
+			t.Fatalf("shard %d received %d of 256 sequential clients", s, n)
+		}
+	}
+	if len(counts) < 4 {
+		t.Fatalf("only %d of 8 shards used", len(counts))
+	}
+}

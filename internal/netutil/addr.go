@@ -28,18 +28,21 @@ func (a Addr) Octets() [4]byte {
 
 // String renders a in dotted-quad form.
 func (a Addr) String() string {
-	o := a.Octets()
-	// Hand-rolled to avoid fmt overhead on hot reporting paths.
 	var b [15]byte
-	n := 0
+	return string(a.Append(b[:0]))
+}
+
+// Append appends the dotted-quad form of a to b and returns the extended
+// slice, for zero-allocation serialization on hot paths (CLF writing).
+func (a Addr) Append(b []byte) []byte {
+	o := a.Octets()
 	for i, oct := range o {
 		if i > 0 {
-			b[n] = '.'
-			n++
+			b = append(b, '.')
 		}
-		n += copy(b[n:], strconv.AppendUint(b[n:n], uint64(oct), 10))
+		b = strconv.AppendUint(b, uint64(oct), 10)
 	}
-	return string(b[:n])
+	return b
 }
 
 // IsUnspecified reports whether a is 0.0.0.0.
@@ -119,6 +122,37 @@ func ParseAddr(s string) (Addr, error) {
 		v = v<<8 | oct
 	}
 	return Addr(v), nil
+}
+
+// ParseAddrBytes is ParseAddr over a byte slice without allocating,
+// reporting ok instead of a descriptive error. It accepts and rejects
+// exactly the same inputs as ParseAddr — the CLF fast path depends on the
+// two parsers agreeing, so any relaxation here must be mirrored there.
+func ParseAddrBytes(s []byte) (Addr, bool) {
+	var v uint32
+	i := 0
+	for c := 0; c < 4; c++ {
+		if c > 0 {
+			if i >= len(s) || s[i] != '.' {
+				return 0, false
+			}
+			i++
+		}
+		start := i
+		var oct uint32
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			oct = oct*10 + uint32(s[i]-'0')
+			i++
+		}
+		if i == start || i-start > 3 || oct > 255 {
+			return 0, false
+		}
+		v = v<<8 | oct
+	}
+	if i != len(s) {
+		return 0, false
+	}
+	return Addr(v), true
 }
 
 // MustParseAddr is ParseAddr for trusted constants; it panics on error.

@@ -26,6 +26,7 @@ type Multibit[V any] struct {
 type mbEntry[V any] struct {
 	prefix netutil.Prefix
 	value  V
+	rank   int16
 }
 
 type mbNode[V any] struct {
@@ -46,12 +47,26 @@ func (m *Multibit[V]) Len() int { return m.size }
 // Insert adds or replaces the value for prefix p. It reports whether the
 // prefix was newly inserted.
 func (m *Multibit[V]) Insert(p netutil.Prefix, v V) bool {
+	return m.InsertRanked(p, v, p.Bits())
+}
+
+// InsertRanked is Insert with an explicit slot precedence: where expansions
+// of two prefixes cover the same slot, the higher rank wins, ties by
+// later insertion. Plain Insert uses rank = p.Bits(), which yields ordinary
+// longest-prefix-match semantics; a caller that must fold several match
+// classes into one table (see bgp.Compiled) encodes class precedence into
+// the high bits of the rank so that a single walk resolves both the class
+// and the length. rank must be in [0, 1<<14].
+func (m *Multibit[V]) InsertRanked(p netutil.Prefix, v V, rank int) bool {
+	if rank < 0 || rank > 1<<14 {
+		panic("radix: InsertRanked rank out of range")
+	}
 	_, existed := m.keys[p]
 	if !existed {
 		m.keys[p] = struct{}{}
 		m.size++
 	}
-	e := &mbEntry[V]{prefix: p, value: v}
+	e := &mbEntry[V]{prefix: p, value: v, rank: int16(rank)}
 	octets := p.Addr().Octets()
 	bits := p.Bits()
 
@@ -81,24 +96,25 @@ func (m *Multibit[V]) Insert(p netutil.Prefix, v V) bool {
 	for s := 0; s < span; s++ {
 		slot := base + s
 		cur := n.entries[slot]
-		if cur == nil || cur.prefix.Bits() <= p.Bits() {
-			// Longer (or equal: replacement) prefixes win the slot.
-			if cur == nil || cur.prefix.Bits() < p.Bits() || cur.prefix == p {
-				n.entries[slot] = e
-			}
+		// Higher ranks win the slot; an equal rank within one node slot can
+		// only be the same prefix again (the path plus the slot determine
+		// every prefix bit), so <= implements replacement.
+		if cur == nil || cur.rank <= e.rank {
+			n.entries[slot] = e
 		}
 	}
 	return !existed
 }
 
-// Lookup returns the longest stored prefix containing addr.
+// Lookup returns the highest-ranked stored prefix containing addr. With
+// Insert's rank = bits convention that is the longest match.
 func (m *Multibit[V]) Lookup(addr netutil.Addr) (netutil.Prefix, V, bool) {
 	octets := addr.Octets()
 	var best *mbEntry[V]
 	n := &m.root
 	for level := 0; level < 4; level++ {
 		b := octets[level]
-		if e := n.entries[b]; e != nil {
+		if e := n.entries[b]; e != nil && (best == nil || best.rank <= e.rank) {
 			best = e
 		}
 		next := n.children[b]

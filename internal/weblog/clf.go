@@ -2,6 +2,7 @@ package weblog
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"fmt"
 	"io"
@@ -25,9 +26,19 @@ import (
 
 const clfTimeLayout = "02/Jan/2006:15:04:05 -0700"
 
-// WriteCLF serializes the log in combined log format.
+// WriteCLF serializes the log in combined log format. Lines are assembled
+// into a reused byte buffer with append-style formatting, and the
+// timestamp — the one expensive field — is re-rendered only when the
+// request's second offset changes, which in a time-sorted log means one
+// time.AppendFormat per distinct second rather than per line.
 func WriteCLF(w io.Writer, l *Log) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
+	var (
+		buf    []byte
+		tsBuf  []byte
+		lastT  uint32
+		haveTS bool
+	)
 	for i := range l.Requests {
 		r := &l.Requests[i]
 		res := l.Resources[r.URL]
@@ -35,9 +46,22 @@ func WriteCLF(w io.Writer, l *Log) error {
 		if int(r.Agent) < len(l.Agents) {
 			agent = l.Agents[r.Agent]
 		}
-		ts := l.Start.Add(time.Duration(r.Time) * time.Second).Format(clfTimeLayout)
-		if _, err := fmt.Fprintf(bw, "%s - - [%s] \"GET %s HTTP/1.0\" 200 %d \"-\" \"%s\"\n",
-			r.Client, ts, res.Path, res.Size, agent); err != nil {
+		if !haveTS || r.Time != lastT {
+			ts := l.Start.Add(time.Duration(r.Time) * time.Second)
+			tsBuf = ts.AppendFormat(tsBuf[:0], clfTimeLayout)
+			lastT, haveTS = r.Time, true
+		}
+		buf = r.Client.Append(buf[:0])
+		buf = append(buf, " - - ["...)
+		buf = append(buf, tsBuf...)
+		buf = append(buf, `] "GET `...)
+		buf = append(buf, res.Path...)
+		buf = append(buf, ` HTTP/1.0" 200 `...)
+		buf = strconv.AppendInt(buf, int64(res.Size), 10)
+		buf = append(buf, ` "-" "`...)
+		buf = append(buf, agent...)
+		buf = append(buf, '"', '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return fmt.Errorf("weblog: writing CLF: %w", err)
 		}
 	}
@@ -77,23 +101,36 @@ func ReadCLF(r io.Reader, name string) (*Log, error) {
 	urlIndex := make(map[string]int32)
 	agentIndex := make(map[string]uint16)
 	var times []time.Time
+	var tc timeCache
 	lineno := 0
 	for sc.Scan() {
 		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
 			continue
 		}
-		req, ts, path, size, agent, err := parseCLFLine(line)
-		if err != nil {
-			return nil, fmt.Errorf("weblog: line %d: %w", lineno, err)
+		var req Request
+		var ts time.Time
+		var size int32
+		client, fts, pathb, agentb, fsize, fastOK := parseCLFLineFast(line, &tc)
+		if fastOK {
+			req.Client, ts, size = client, fts, fsize
+		} else {
+			var path, agent string
+			var err error
+			req, ts, path, size, agent, err = parseCLFLine(string(line))
+			if err != nil {
+				return nil, fmt.Errorf("weblog: line %d: %w", lineno, err)
+			}
+			pathb, agentb = []byte(path), []byte(agent)
 		}
 		if req.Client.IsUnspecified() {
 			continue
 		}
-		id, ok := urlIndex[path]
+		id, ok := urlIndex[string(pathb)]
 		if !ok {
 			id = int32(len(l.Resources))
+			path := string(pathb)
 			urlIndex[path] = id
 			l.Resources = append(l.Resources, Resource{Path: path, Size: size})
 		} else if l.Resources[id].Size < size {
@@ -101,12 +138,13 @@ func ReadCLF(r io.Reader, name string) (*Log, error) {
 			// so byte-hit accounting is stable.
 			l.Resources[id].Size = size
 		}
-		aid, ok := agentIndex[agent]
+		aid, ok := agentIndex[string(agentb)]
 		if !ok {
 			if len(l.Agents) >= 1<<16-1 {
 				return nil, fmt.Errorf("weblog: line %d: more than %d distinct user agents", lineno, 1<<16-1)
 			}
 			aid = uint16(len(l.Agents))
+			agent := string(agentb)
 			agentIndex[agent] = aid
 			l.Agents = append(l.Agents, agent)
 		}

@@ -1,0 +1,164 @@
+package weblog
+
+import (
+	"bytes"
+	"time"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// Zero-allocation Common Log Format scanning. parseCLFLineFast dissects
+// the canonical layout the generator and real Apache produce — single
+// spaces, bracketed timestamp, quoted request — directly from the
+// scanner's byte buffer: manual IP and size scanning, a cached timestamp
+// parse (log lines are second-granular, so runs of identical timestamp
+// text are the common case), and byte-slice results the caller interns.
+// Anything the fast scan is not certain about (tabs, collapsed runs of
+// whitespace, malformed fields) returns ok=false and the caller re-parses
+// the line with the strict string parser, which either handles the
+// exotic-but-valid layout or produces the proper positioned error. The
+// two parsers must agree on every line the fast path accepts; the
+// equivalence tests in fastparse_test.go hold them to that.
+
+// timeCache memoizes the most recent timestamp parse. CLF timestamps have
+// one-second resolution and logs are near-chronological, so consecutive
+// lines overwhelmingly carry byte-identical timestamp text.
+type timeCache struct {
+	raw []byte
+	t   time.Time
+}
+
+var dashBytes = []byte("-")
+
+// parseCLFLineFast is the byte-slice fast path of parseCLFLine. path and
+// agent alias line (or dashBytes) and must be interned before the next
+// scanner advance.
+func parseCLFLineFast(line []byte, tc *timeCache) (client netutil.Addr, ts time.Time, path, agent []byte, size int32, ok bool) {
+	// Client address up to the first space.
+	sp := bytes.IndexByte(line, ' ')
+	if sp <= 0 {
+		return
+	}
+	client, addrOK := netutil.ParseAddrBytes(line[:sp])
+	if !addrOK {
+		return
+	}
+	// [timestamp] — same first-'['/first-']' selection as the strict
+	// parser (the client field cannot contain brackets).
+	lb := bytes.IndexByte(line, '[')
+	rb := bytes.IndexByte(line, ']')
+	if lb < 0 || rb < lb {
+		return
+	}
+	tsb := line[lb+1 : rb]
+	if tc != nil && bytes.Equal(tsb, tc.raw) {
+		ts = tc.t
+	} else {
+		t, err := time.Parse(clfTimeLayout, string(tsb))
+		if err != nil {
+			return
+		}
+		ts = t
+		if tc != nil {
+			tc.raw = append(tc.raw[:0], tsb...)
+			tc.t = t
+		}
+	}
+	// "METHOD path proto" between the first quote pair after ']'.
+	q1 := bytes.IndexByte(line[rb:], '"')
+	if q1 < 0 {
+		return
+	}
+	q1 += rb
+	q2 := bytes.IndexByte(line[q1+1:], '"')
+	if q2 < 0 {
+		return
+	}
+	q2 += q1 + 1
+	reqb := line[q1+1 : q2]
+	// The strict parser splits the request on any whitespace run; the fast
+	// path handles only single spaces and defers anything else.
+	for _, ch := range reqb {
+		if ch == '\t' || ch == '\n' || ch == '\v' || ch == '\f' || ch == '\r' {
+			return
+		}
+	}
+	s1 := bytes.IndexByte(reqb, ' ')
+	if s1 <= 0 || s1 == len(reqb)-1 {
+		return
+	}
+	rest := reqb[s1+1:]
+	if rest[0] == ' ' {
+		return // collapsed double space: let strings.Fields decide
+	}
+	if s2 := bytes.IndexByte(rest, ' '); s2 >= 0 {
+		path = rest[:s2]
+	} else {
+		path = rest
+	}
+	if len(path) == 0 {
+		return
+	}
+	// Status and size: the second whitespace-delimited token after the
+	// request quotes (the strict parser ignores the status value).
+	i := q2 + 1
+	i = skipSpaces(line, i)
+	statusEnd := tokenEnd(line, i)
+	if statusEnd < 0 || statusEnd == i {
+		return
+	}
+	i = skipSpaces(line, statusEnd)
+	sizeEnd := tokenEnd(line, i)
+	if sizeEnd < 0 || sizeEnd == i {
+		return
+	}
+	sizeTok := line[i:sizeEnd]
+	if len(sizeTok) == 1 && sizeTok[0] == '-' {
+		size = 0
+	} else {
+		v := int64(0)
+		for _, ch := range sizeTok {
+			if ch < '0' || ch > '9' {
+				return // signs, stray quotes: strict parser decides
+			}
+			v = v*10 + int64(ch-'0')
+			if v > 1<<31-1 {
+				return
+			}
+		}
+		size = int32(v)
+	}
+	// Optional trailing "referer" "agent": identical last-quote selection
+	// to the strict parser.
+	agent = dashBytes
+	if last := bytes.LastIndexByte(line, '"'); last > q2 {
+		if j := bytes.LastIndexByte(line[:last], '"'); j > q2 {
+			agent = line[j+1 : last]
+		}
+	}
+	ok = true
+	return
+}
+
+// skipSpaces advances past ' ' runs; tabs and other whitespace are left in
+// place so tokenEnd rejects them into the strict path.
+func skipSpaces(b []byte, i int) int {
+	for i < len(b) && b[i] == ' ' {
+		i++
+	}
+	return i
+}
+
+// tokenEnd returns the index one past a run of non-space, non-tab bytes
+// starting at i, or -1 when the token contains whitespace the strict
+// parser would split differently.
+func tokenEnd(b []byte, i int) int {
+	j := i
+	for j < len(b) && b[j] != ' ' {
+		if b[j] == '\t' || b[j] == '\n' || b[j] == '\v' || b[j] == '\f' || b[j] == '\r' {
+			return -1
+		}
+		j++
+	}
+	return j
+}

@@ -1,0 +1,141 @@
+package weblog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// corpus of valid CLF lines: canonical layouts the fast path must accept
+// plus exotic-but-valid layouts it must hand to the strict parser.
+var clfCorpus = []string{
+	`12.65.147.94 - - [13/Feb/1998:06:15:04 +0000] "GET /index.html HTTP/1.0" 200 4521 "-" "Mozilla/4.0"`,
+	`24.48.3.87 - - [13/Feb/1998:06:15:05 +0000] "GET /x.gif HTTP/1.0" 304 -`,
+	`1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "GET /a HTTP/1.0" 200 0 "-" "-"`,
+	`1.2.3.4 frank frank [13/Feb/1998:23:59:59 -0500] "GET /cgi?q=1&r=2 HTTP/1.1" 200 2147483647 "http://ref/" "Agent with spaces/1.0"`,
+	`255.255.255.254 - - [01/Jan/1999:00:00:00 +0900] "GET / HTTP/1.0" 200 1`,
+	`1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "GET /a" 200 10`,
+	// Fallback layouts: double space in request, tab separators, plus sign.
+	`1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "GET  /double  HTTP/1.0" 200 10`,
+	"1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] \"GET /a HTTP/1.0\" 200\t10",
+	`1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "GET /a HTTP/1.0" 200 +10`,
+}
+
+// the corpus split: the first fastPathLines are canonical fast-path
+// layouts, the rest must defer to the strict parser.
+const fastPathLines = 6
+
+// TestFastParseAgreesWithStrict is the contract of the fast path: on every
+// line it accepts, its result is byte-identical to the strict parser's.
+func TestFastParseAgreesWithStrict(t *testing.T) {
+	var tc timeCache
+	for _, line := range clfCorpus {
+		client, ts, path, agent, size, ok := parseCLFLineFast([]byte(line), &tc)
+		req, wantTS, wantPath, wantSize, wantAgent, err := parseCLFLine(line)
+		if !ok {
+			if err != nil {
+				t.Errorf("%q: fast path deferred a line the strict parser rejects: %v", line, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: fast path accepted a line the strict parser rejects: %v", line, err)
+			continue
+		}
+		if client != req.Client || !ts.Equal(wantTS) || string(path) != wantPath ||
+			string(agent) != wantAgent || size != wantSize {
+			t.Errorf("%q:\nfast   (%v, %v, %q, %q, %d)\nstrict (%v, %v, %q, %q, %d)",
+				line, client, ts, path, agent, size,
+				req.Client, wantTS, wantPath, wantAgent, wantSize)
+		}
+	}
+}
+
+func TestFastParseAcceptsCanonicalLayouts(t *testing.T) {
+	// The generator's own output must stay on the fast path — otherwise the
+	// zero-allocation claim silently degrades to the fallback.
+	var tc timeCache
+	for _, line := range clfCorpus[:fastPathLines] {
+		if _, _, _, _, _, ok := parseCLFLineFast([]byte(line), &tc); !ok {
+			t.Errorf("canonical line fell off the fast path: %q", line)
+		}
+	}
+}
+
+func TestFastParseDefersAmbiguity(t *testing.T) {
+	var tc timeCache
+	for _, line := range clfCorpus[fastPathLines:] {
+		if _, _, _, _, _, ok := parseCLFLineFast([]byte(line), &tc); ok {
+			t.Errorf("ambiguous layout must fall back to the strict parser: %q", line)
+		}
+	}
+}
+
+func TestFastParseRejectsWhatStrictRejects(t *testing.T) {
+	// Malformed lines must never be accepted by the fast path (they fall
+	// through to the strict parser, which produces the error).
+	bad := []string{
+		`not-an-ip - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 10`,
+		`1.2.3.4 - - 13/Feb/1998 "GET /a HTTP/1.0" 200 10`,
+		`1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 notasize`,
+		`1.2.3.4 - - [garbage] "GET /a HTTP/1.0" 200 10`,
+		`1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] "GETNOPATH" 200 10`,
+		`1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 99999999999`,
+		`1.2.3.4`,
+	}
+	var tc timeCache
+	for _, line := range bad {
+		if _, _, _, _, _, ok := parseCLFLineFast([]byte(line), &tc); ok {
+			t.Errorf("fast path accepted a malformed line: %q", line)
+		}
+		if _, err := ReadCLF(strings.NewReader(line+"\n"), "bad"); err == nil {
+			t.Errorf("ReadCLF(%q) should fail", line)
+		}
+	}
+}
+
+func TestTimeCacheHitAndMiss(t *testing.T) {
+	var tc timeCache
+	l1 := []byte(`1.2.3.4 - - [13/Feb/1998:06:15:04 +0000] "GET /a HTTP/1.0" 200 10`)
+	l2 := []byte(`1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "GET /a HTTP/1.0" 200 10`)
+	_, t1, _, _, _, ok := parseCLFLineFast(l1, &tc)
+	if !ok {
+		t.Fatal("fast path rejected canonical line")
+	}
+	_, t1b, _, _, _, _ := parseCLFLineFast(l1, &tc) // cache hit
+	_, t2, _, _, _, _ := parseCLFLineFast(l2, &tc)  // cache miss, new second
+	if !t1.Equal(t1b) {
+		t.Fatalf("cache hit changed the timestamp: %v vs %v", t1, t1b)
+	}
+	if got := t2.Sub(t1); got != time.Second {
+		t.Fatalf("cache miss parsed wrong: delta = %v", got)
+	}
+}
+
+func TestStreamCLFZeroAllocSteadyState(t *testing.T) {
+	// After the intern tables are warm, streaming canonical lines must not
+	// allocate per record.
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString(`12.65.147.94 - - [13/Feb/1998:06:15:04 +0000] "GET /index.html HTTP/1.0" 200 4521 "-" "Mozilla/4.0"` + "\n")
+	}
+	in := sb.String()
+	n := 0
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := StreamCLF(strings.NewReader(in), func(StreamRecord) bool {
+			n++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n == 0 {
+		t.Fatal("no records streamed")
+	}
+	// Fixed per-call setup (scanner buffer, interner, gzip peek) amortizes
+	// to well under one allocation per line; a regression to per-line
+	// allocation would push this past 200.
+	if allocs > 40 {
+		t.Errorf("StreamCLF allocations per 200-line pass = %v, want fixed setup only", allocs)
+	}
+}

@@ -2,9 +2,9 @@ package weblog
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strings"
 	"time"
 )
 
@@ -13,7 +13,8 @@ import (
 // in memory, but the raw CLF text does not always, and clustering —
 // which needs only (client, URL id, size, time) per line — can run in one
 // pass. StreamCLF parses incrementally and hands each record to a
-// callback; cluster.ClusterStream builds on it.
+// callback; cluster.ClusterStream and cluster.ClusterStreamParallel build
+// on it.
 
 // StreamRecord is one parsed log line plus the interned metadata a
 // consumer needs without retaining the line.
@@ -45,6 +46,12 @@ type StreamStats struct {
 // timestamp; CLF files are chronological in practice, and records arriving
 // out of order carry a clamped offset rather than an error. fn returning
 // false stops the stream early without error.
+//
+// Parsing runs on the zero-allocation byte fast path (see fastparse.go):
+// steady-state lines cost no allocations — the timestamp parse is cached
+// across same-second runs and URL/agent strings are interned once — with
+// the strict string parser as the fallback for unusual layouts and for
+// error reporting.
 func StreamCLF(r io.Reader, fn func(StreamRecord) bool) (StreamStats, error) {
 	src, err := maybeGzip(r)
 	if err != nil {
@@ -53,20 +60,26 @@ func StreamCLF(r io.Reader, fn func(StreamRecord) bool) (StreamStats, error) {
 	sc := bufio.NewScanner(src)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	var st StreamStats
-	urlIndex := make(map[string]int32)
-	agentIndex := make(map[string]uint16)
-	var paths []string
-	var agents []string
+	in := newInterner()
+	var tc timeCache
 	var started bool
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
 			continue
 		}
 		st.Lines++
-		req, ts, path, size, agent, err := parseCLFLine(line)
-		if err != nil {
-			return st, fmt.Errorf("weblog: line %d: %w", st.Lines, err)
+		var req Request
+		client, ts, pathb, agentb, size, ok := parseCLFLineFast(line, &tc)
+		if ok {
+			req.Client = client
+		} else {
+			var path, agent string
+			req, ts, path, size, agent, err = parseCLFLine(string(line))
+			if err != nil {
+				return st, fmt.Errorf("weblog: line %d: %w", st.Lines, err)
+			}
+			pathb, agentb = []byte(path), []byte(agent)
 		}
 		if req.Client.IsUnspecified() {
 			continue
@@ -84,28 +97,11 @@ func StreamCLF(r io.Reader, fn func(StreamRecord) bool) (StreamStats, error) {
 		}
 		req.Time = uint32(ts.Sub(st.Start) / time.Second)
 
-		id, ok := urlIndex[path]
-		if !ok {
-			id = int32(len(urlIndex))
-			// Intern the path once so records never alias scanner memory.
-			path = strings.Clone(path)
-			urlIndex[path] = id
-			paths = append(paths, path)
-		} else {
-			path = paths[id]
-		}
+		id, path := in.url(pathb)
 		req.URL = id
-		aid, ok := agentIndex[agent]
-		if !ok {
-			if len(agentIndex) >= 1<<16-1 {
-				return st, fmt.Errorf("weblog: line %d: more than %d distinct user agents", st.Lines, 1<<16-1)
-			}
-			aid = uint16(len(agentIndex))
-			agent = strings.Clone(agent)
-			agentIndex[agent] = aid
-			agents = append(agents, agent)
-		} else {
-			agent = agents[aid]
+		aid, agent, aerr := in.agent(agentb)
+		if aerr != nil {
+			return st, fmt.Errorf("weblog: line %d: %w", st.Lines, aerr)
 		}
 		req.Agent = aid
 
@@ -114,10 +110,55 @@ func StreamCLF(r io.Reader, fn func(StreamRecord) bool) (StreamStats, error) {
 			break
 		}
 	}
-	st.URLs = len(urlIndex)
-	st.Agents = len(agentIndex)
+	st.URLs = in.numURLs()
+	st.Agents = in.numAgents()
 	if err := sc.Err(); err != nil {
 		return st, fmt.Errorf("weblog: streaming CLF: %w", err)
 	}
 	return st, nil
 }
+
+// interner maps URL and agent byte slices to dense ids and stable interned
+// strings. Lookups on the hit path do not allocate (the compiler elides
+// the string conversion inside a map index).
+type interner struct {
+	urlIndex   map[string]int32
+	agentIndex map[string]uint16
+	paths      []string
+	agents     []string
+}
+
+func newInterner() *interner {
+	return &interner{
+		urlIndex:   make(map[string]int32),
+		agentIndex: make(map[string]uint16),
+	}
+}
+
+func (in *interner) url(b []byte) (int32, string) {
+	if id, ok := in.urlIndex[string(b)]; ok {
+		return id, in.paths[id]
+	}
+	p := string(b) // the one allocation per distinct URL
+	id := int32(len(in.paths))
+	in.urlIndex[p] = id
+	in.paths = append(in.paths, p)
+	return id, p
+}
+
+func (in *interner) agent(b []byte) (uint16, string, error) {
+	if id, ok := in.agentIndex[string(b)]; ok {
+		return id, in.agents[id], nil
+	}
+	if len(in.agents) >= 1<<16-1 {
+		return 0, "", fmt.Errorf("more than %d distinct user agents", 1<<16-1)
+	}
+	a := string(b)
+	id := uint16(len(in.agents))
+	in.agentIndex[a] = id
+	in.agents = append(in.agents, a)
+	return id, a, nil
+}
+
+func (in *interner) numURLs() int   { return len(in.paths) }
+func (in *interner) numAgents() int { return len(in.agents) }

@@ -91,6 +91,14 @@ const (
 // NewTable returns an empty merged prefix table; Add snapshots to it.
 func NewTable() *Table { return bgp.NewMerged() }
 
+// CompiledTable is an immutable, read-optimized snapshot of a Table: the
+// primary/secondary precedence is folded into a single flat-array
+// stride-8 structure, so one lookup replaces two tree walks and any
+// number of goroutines can read it without locks. Build one with
+// Table.Compile (or NetworkAware.Compile) after the table is fully
+// populated.
+type CompiledTable = bgp.Compiled
+
 // ReadSnapshot parses a snapshot dump (see internal/bgp for the format;
 // prefix fields accept CIDR, dotted-netmask, and classful notations).
 func ReadSnapshot(r io.Reader) (*Snapshot, error) { return bgp.ReadSnapshot(r) }
@@ -145,6 +153,26 @@ type StreamResult = cluster.StreamResult
 // real-time clustering of very recent log data.
 func ClusterStream(r io.Reader, c Clusterer) (*StreamResult, error) {
 	return cluster.ClusterStream(r, c)
+}
+
+// ParallelOptions tunes the parallel clustering engines; the zero value
+// uses GOMAXPROCS workers.
+type ParallelOptions = cluster.ParallelOptions
+
+// ClusterLogParallel is ClusterLog distributed across multiple workers
+// with a deterministic merge: the Result is identical to ClusterLog's.
+// The Clusterer must be safe for concurrent use (NetworkAware, Simple and
+// Classful all are; compile a NetworkAware table first for the fastest
+// lock-free lookups).
+func ClusterLogParallel(l *Log, c Clusterer, opts ParallelOptions) *Result {
+	return cluster.ClusterLogParallel(l, c, opts)
+}
+
+// ClusterStreamParallel is ClusterStream with parsing on one goroutine
+// and cluster accumulation sharded across workers by client-address
+// hash. The StreamResult is identical to ClusterStream's.
+func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*StreamResult, error) {
+	return cluster.ClusterStreamParallel(r, c, opts)
 }
 
 // Validation.
