@@ -11,7 +11,7 @@ GO ?= go
 # CLF fast path; bench-json freezes their numbers into BENCH_clustering.json.
 PERF_BENCH = LongestPrefixMatch|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF
 
-.PHONY: all build test test-short race vet chaos bench-json bench-smoke check clean
+.PHONY: all build test test-short race vet fmt fmt-check chaos bench-json bench-gate bench-smoke check clean
 
 all: build
 
@@ -31,21 +31,45 @@ race:
 vet:
 	$(GO) vet ./...
 
+fmt:
+	gofmt -l -w .
+
+# CI form of fmt: fails (listing the offenders) instead of rewriting.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt drift in:"; echo "$$out"; exit 1; fi
+
 # Just the fault-injection acceptance tests, verbosely.
 chaos:
 	$(GO) test -count=1 -race -run 'TestChaos' -v .
 
-# Record lookup/cluster/parse benchmark results machine-readably.
+# Record lookup/cluster/parse benchmark results machine-readably. The
+# bench run and the JSON conversion are separate steps on an intermediate
+# file so a benchmark failure stops make before BENCH_clustering.json is
+# touched (benchjson additionally writes atomically).
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -run '^$$' -bench '$(PERF_BENCH)' -benchmem . | ./bin/benchjson -out BENCH_clustering.json
+	$(GO) test -run '^$$' -bench '$(PERF_BENCH)' -benchmem . > bin/bench.out
+	./bin/benchjson -out BENCH_clustering.json < bin/bench.out
+
+# Compare a fresh benchmark run against the committed recording and fail
+# on >25% ns/op or allocs/op regression in the gated rows (compiled
+# lookup, CLF fast path). The fresh recording is left in bin/ for CI to
+# archive as an artifact.
+bench-gate:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) build -o bin/benchdiff ./cmd/benchdiff
+	$(GO) test -run '^$$' -bench '$(PERF_BENCH)' -benchmem . > bin/bench-gate.out
+	./bin/benchjson -out bin/BENCH_fresh.json < bin/bench-gate.out
+	@./bin/benchdiff -old BENCH_clustering.json -new bin/BENCH_fresh.json > bin/bench-diff.txt; \
+		st=$$?; cat bin/bench-diff.txt; exit $$st
 
 # One-iteration-class smoke of the same benchmarks: catches bit-rot in
 # bench code without paying for stable timings.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(PERF_BENCH)' -benchtime 10x . > /dev/null
 
-check: vet race bench-smoke
+check: vet fmt-check race bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -89,7 +89,7 @@ var (
 	apacheCLF []byte
 )
 
-func perfSetup(b *testing.B) *fixture {
+func perfSetup(b testing.TB) *fixture {
 	f := setup(b)
 	perfOnce.Do(func() {
 		l, err := netcluster.GenerateLog(f.world, netcluster.ApacheProfile(0.01))

@@ -1,0 +1,109 @@
+// Command benchdiff compares a fresh benchmark recording against a
+// committed baseline and fails when gated rows regress:
+//
+//	benchdiff -old BENCH_clustering.json -new bench-fresh.json
+//
+// Every benchmark present in both recordings is reported with its ns/op
+// and allocs/op deltas. Rows matching -gate (default: the compiled
+// lookup table and the CLF ingestion fast path, the two hot paths the
+// observability layer must not tax) additionally enforce -threshold: a
+// gated row whose ns/op or allocs/op grew by more than the threshold
+// fraction exits nonzero. `make bench-gate` wires this up; CI runs it as
+// a non-blocking job because single-run timings on shared runners are
+// noisy — the committed-machine numbers in BENCH_clustering.json remain
+// the authoritative record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"github.com/netaware/netcluster/internal/benchfmt"
+)
+
+func main() {
+	oldPath := flag.String("old", "BENCH_clustering.json", "baseline recording")
+	newPath := flag.String("new", "", "fresh recording to compare (required)")
+	threshold := flag.Float64("threshold", 0.25, "max allowed fractional regression on gated rows")
+	gate := flag.String("gate", "^Benchmark(LongestPrefixMatchCompiled|CLFParseStream)$",
+		"regexp of benchmark names whose regressions fail the gate")
+	flag.Parse()
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fatal(fmt.Errorf("bad -gate pattern: %w", err))
+	}
+	oldRec, err := benchfmt.ReadFile(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRec, err := benchfmt.ReadFile(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	if oldRec.CPU != "" && newRec.CPU != "" && oldRec.CPU != newRec.CPU {
+		fmt.Printf("note: comparing across CPUs (%q vs %q); timing deltas reflect hardware too\n\n",
+			oldRec.CPU, newRec.CPU)
+	}
+
+	fmt.Printf("%-44s %14s %14s %8s %8s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "Δallocs", "gate")
+	failed := 0
+	compared := 0
+	for _, nb := range newRec.Benchmarks {
+		ob, ok := oldRec.Find(nb.Name)
+		if !ok {
+			fmt.Printf("%-44s %14s %14.4g %8s %8s  new row\n", nb.Name, "-", nb.NsPerOp, "-", "-")
+			continue
+		}
+		compared++
+		gated := gateRe.MatchString(nb.Name)
+		dns := frac(ob.NsPerOp, nb.NsPerOp)
+		dallocs := 0.0
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
+			dallocs = frac(*ob.AllocsPerOp, *nb.AllocsPerOp)
+		}
+		verdict := ""
+		if gated {
+			verdict = "ok"
+			if dns > *threshold || dallocs > *threshold {
+				verdict = "FAIL"
+				failed++
+			}
+		}
+		fmt.Printf("%-44s %14.4g %14.4g %7.1f%% %7.1f%%  %s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, 100*dns, 100*dallocs, verdict)
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no benchmarks in common between %s and %s", *oldPath, *newPath))
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d gated benchmark(s) regressed beyond %.0f%%", failed, *threshold*100))
+	}
+	fmt.Printf("\nbenchdiff: %d benchmarks compared, gated rows within %.0f%%\n", compared, *threshold*100)
+}
+
+// frac returns the fractional growth from old to new (positive = slower
+// or more allocations). A zero baseline only regresses if the new value
+// is nonzero.
+func frac(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (new - old) / old
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

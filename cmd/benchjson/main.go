@@ -7,57 +7,30 @@
 // Standard metrics (ns/op, B/op, allocs/op, MB/s) get dedicated fields;
 // any custom b.ReportMetric unit lands in the metrics map. Non-benchmark
 // lines are echoed to stderr so the usual progress output stays visible
-// when the command runs in a pipe.
+// when the command runs in a pipe. The output file is written atomically,
+// so an interrupted run never leaves a truncated recording.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"github.com/netaware/netcluster/internal/benchfmt"
 )
-
-type benchmark struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
-	MBPerSec    *float64           `json:"mb_per_s,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-type output struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	Benchmarks []benchmark `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("out", "BENCH_clustering.json", "output JSON path")
 	flag.Parse()
 
-	var o output
+	var o benchfmt.Output
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			o.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			o.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "cpu: "):
-			o.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "pkg: "):
-			o.Pkg = strings.TrimPrefix(line, "pkg: ")
-		}
-		if b, ok := parseBenchLine(line); ok {
+		o.ContextLine(line)
+		if b, ok := benchfmt.ParseLine(line); ok {
 			o.Benchmarks = append(o.Benchmarks, b)
 			continue
 		}
@@ -69,56 +42,10 @@ func main() {
 	if len(o.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found on stdin"))
 	}
-	data, err := json.MarshalIndent(&o, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := o.WriteFile(*out); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(o.Benchmarks), *out)
-}
-
-// parseBenchLine dissects one result line:
-//
-//	BenchmarkName[-P]  N  v1 unit1  v2 unit2 ...
-func parseBenchLine(line string) (benchmark, bool) {
-	if !strings.HasPrefix(line, "Benchmark") {
-		return benchmark{}, false
-	}
-	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		return benchmark{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return benchmark{}, false
-	}
-	b := benchmark{Name: fields[0], Iterations: iters}
-	seenNs := false
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return benchmark{}, false
-		}
-		switch fields[i+1] {
-		case "ns/op":
-			b.NsPerOp, seenNs = v, true
-		case "B/op":
-			b.BytesPerOp = &v
-		case "allocs/op":
-			b.AllocsPerOp = &v
-		case "MB/s":
-			b.MBPerSec = &v
-		default:
-			if b.Metrics == nil {
-				b.Metrics = make(map[string]float64)
-			}
-			b.Metrics[fields[i+1]] = v
-		}
-	}
-	return b, seenNs
 }
 
 func fatal(err error) {

@@ -19,6 +19,7 @@ import (
 	"github.com/netaware/netcluster/internal/bgp"
 	"github.com/netaware/netcluster/internal/cluster"
 	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/report"
 	"github.com/netaware/netcluster/internal/weblog"
 )
@@ -35,6 +36,7 @@ func main() {
 	top := flag.Int("top", 20, "clusters to print, busiest first")
 	threshold := flag.Float64("threshold", 0, "if > 0, report busy clusters covering this fraction of requests")
 	stream := flag.Bool("stream", false, "single-pass streaming mode for logs too large to load")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
 	flag.Var(&tables, "table", "routing-table snapshot file (repeatable; required for network-aware)")
 	flag.Parse()
 
@@ -85,6 +87,7 @@ func main() {
 
 	if *stream {
 		runStreaming(f, method_, *top)
+		writeMetrics(*metricsOut)
 		return
 	}
 
@@ -120,6 +123,18 @@ func main() {
 			report.FmtInt(c.Requests), report.FmtInt(c.NumURLs()), report.FmtInt(int(c.Bytes)))
 	}
 	fmt.Println(t)
+	writeMetrics(*metricsOut)
+}
+
+// writeMetrics dumps the process metric registry as JSON, for runs whose
+// parse/lookup accounting should be archived next to their output.
+func writeMetrics(path string) {
+	if path == "" {
+		return
+	}
+	if err := obsv.WriteFile(path); err != nil {
+		fatal(err)
+	}
 }
 
 // runStreaming clusters the log in one pass without loading it.

@@ -130,4 +130,28 @@ func runPerf(e *env) {
 		})
 	}
 	fmt.Println(t3)
+
+	// Fallback demonstration: the generated log is all-canonical CLF, so
+	// everything above rides the byte fast path. Real logs are messier —
+	// re-stream a small slice with tabs instead of single spaces, which the
+	// fast parser rejects and the strict whitespace-splitting parser
+	// accepts, to show the fallback (and its counters) working.
+	const fallbackLines = 64
+	sample := buf.Bytes()
+	for i, n := 0, 0; i < len(sample); i++ {
+		if sample[i] == '\n' {
+			if n++; n == fallbackLines {
+				sample = sample[:i+1]
+				break
+			}
+		}
+	}
+	mangled := bytes.ReplaceAll(sample, []byte(`" 200 `), []byte("\"\t200\t"))
+	st, err := weblog.StreamCLF(bytes.NewReader(mangled), func(weblog.StreamRecord) bool { return true })
+	if err != nil {
+		e.fail(err)
+	}
+	fmt.Printf("strict-parser fallback: %d tab-separated lines parsed via the fallback path "+
+		"(fast path handled %d of %d total)\n",
+		st.Lines, l.Stats().Requests, l.Stats().Requests+st.Lines)
 }

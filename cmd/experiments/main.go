@@ -16,6 +16,8 @@ import (
 	"os"
 	"sort"
 	"time"
+
+	"github.com/netaware/netcluster/internal/obsv"
 )
 
 type experiment struct {
@@ -34,6 +36,7 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "log population scale (1.0 = paper scale)")
 	seed := flag.Int64("seed", 1, "world generation seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file after the experiments run")
 	flag.Parse()
 
 	if *list {
@@ -69,5 +72,12 @@ func main() {
 		fmt.Printf("\n######## %s — %s\n\n", exp.id, exp.title)
 		exp.run(e)
 		fmt.Printf("\n[%s completed in %v]\n", exp.id, time.Since(start).Round(time.Millisecond))
+	}
+	if *metricsOut != "" {
+		if err := obsv.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nmetrics snapshot written to %s\n", *metricsOut)
 	}
 }

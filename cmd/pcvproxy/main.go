@@ -5,18 +5,22 @@
 //	pcvproxy -origin http://origin.example:8080 -listen :3128 -ttl 1h -capacity 64
 //
 // Stats are served at /-/stats on the same listener (a path real origins
-// will not use).
+// will not use). With -metrics-addr a second, private listener serves
+// /debug/vars (expvar JSON including the process metric registry) and
+// /debug/pprof — keep it off the client-facing interface.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"time"
 
 	"github.com/netaware/netcluster/internal/httpproxy"
+	"github.com/netaware/netcluster/internal/obsv"
 )
 
 func main() {
@@ -26,6 +30,7 @@ func main() {
 	capacity := flag.Int64("capacity", 64, "cache capacity in MB; 0 = unbounded")
 	pcv := flag.Bool("pcv", true, "piggyback validation of expired entries on origin contacts")
 	sweep := flag.Duration("sweep", time.Minute, "interval between expiry sweeps")
+	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars and /debug/pprof on this private address (empty = disabled)")
 	flag.Parse()
 
 	if *origin == "" {
@@ -49,6 +54,21 @@ func main() {
 			proxy.Sweep()
 		}
 	}()
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcvproxy: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		// Print the resolved address so ':0' users (and tests) can find it.
+		fmt.Fprintf(os.Stderr, "pcvproxy: metrics on http://%s/debug/vars\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obsv.DebugHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "pcvproxy: metrics server: %v\n", err)
+			}
+		}()
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/-/stats", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,146 @@
+// Package benchfmt is the shared model for committed benchmark numbers:
+// the JSON schema of BENCH_clustering.json, the parser for `go test
+// -bench` text output, and atomic file IO. cmd/benchjson records results
+// with it; cmd/benchdiff compares two recordings to gate performance
+// regressions in CI.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one recorded `go test -bench` result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64           `json:"mb_per_s,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is a full benchmark recording with its machine context.
+type Output struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Find returns the recorded benchmark with exactly this name.
+func (o *Output) Find(name string) (Benchmark, bool) {
+	for _, b := range o.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// ParseLine dissects one result line:
+//
+//	BenchmarkName[-P]  N  v1 unit1  v2 unit2 ...
+func ParseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp, seenNs = v, true
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		case "MB/s":
+			b.MBPerSec = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+	}
+	return b, seenNs
+}
+
+// ContextLine absorbs a goos/goarch/cpu/pkg header line into o, reporting
+// whether the line was one.
+func (o *Output) ContextLine(line string) bool {
+	switch {
+	case strings.HasPrefix(line, "goos: "):
+		o.Goos = strings.TrimPrefix(line, "goos: ")
+	case strings.HasPrefix(line, "goarch: "):
+		o.Goarch = strings.TrimPrefix(line, "goarch: ")
+	case strings.HasPrefix(line, "cpu: "):
+		o.CPU = strings.TrimPrefix(line, "cpu: ")
+	case strings.HasPrefix(line, "pkg: "):
+		o.Pkg = strings.TrimPrefix(line, "pkg: ")
+	default:
+		return false
+	}
+	return true
+}
+
+// ReadFile loads a recording written by WriteFile.
+func ReadFile(path string) (*Output, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	var o Output
+	if err := json.Unmarshal(data, &o); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	return &o, nil
+}
+
+// WriteFile writes the recording as indented JSON, atomically (temp file
+// + rename): a crash or a failed benchmark run mid-write can never leave
+// a truncated recording behind.
+func (o *Output) WriteFile(path string) error {
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*")
+	if err != nil {
+		return fmt.Errorf("benchfmt: writing %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchfmt: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchfmt: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchfmt: writing %s: %w", path, err)
+	}
+	return nil
+}

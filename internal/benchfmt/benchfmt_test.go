@@ -1,0 +1,89 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := ParseLine("BenchmarkLongestPrefixMatchCompiled \t 9185babc\t")
+	if ok {
+		t.Fatalf("garbage accepted: %+v", b)
+	}
+	b, ok = ParseLine("BenchmarkClusterLogParallel/workers-4-8 \t 50\t 22915486 ns/op\t 14400 requests/op\t 9472109 B/op\t 11288 allocs/op")
+	if !ok {
+		t.Fatal("valid line rejected")
+	}
+	if b.Name != "BenchmarkClusterLogParallel/workers-4-8" || b.Iterations != 50 {
+		t.Fatalf("name/iters: %+v", b)
+	}
+	if b.NsPerOp != 22915486 {
+		t.Fatalf("ns/op = %v", b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 9472109 || b.AllocsPerOp == nil || *b.AllocsPerOp != 11288 {
+		t.Fatalf("benchmem fields: %+v", b)
+	}
+	if b.Metrics["requests/op"] != 14400 {
+		t.Fatalf("custom metric: %+v", b.Metrics)
+	}
+	if _, ok := ParseLine("ok  \tgithub.com/netaware/netcluster\t0.4s"); ok {
+		t.Fatal("non-benchmark line accepted")
+	}
+	if _, ok := ParseLine("BenchmarkNoResult"); ok {
+		t.Fatal("name-only line accepted")
+	}
+	// A line without ns/op (pure custom metrics) is not a result line the
+	// file format can anchor on.
+	if _, ok := ParseLine("BenchmarkX 10 5.0 widgets/op"); ok {
+		t.Fatal("line without ns/op accepted")
+	}
+}
+
+func TestContextLine(t *testing.T) {
+	var o Output
+	for _, l := range []string{"goos: linux", "goarch: amd64", "cpu: Xeon", "pkg: example/p"} {
+		if !o.ContextLine(l) {
+			t.Errorf("context line %q rejected", l)
+		}
+	}
+	if o.ContextLine("BenchmarkFoo 1 5 ns/op") {
+		t.Error("benchmark line absorbed as context")
+	}
+	if o.Goos != "linux" || o.Goarch != "amd64" || o.CPU != "Xeon" || o.Pkg != "example/p" {
+		t.Errorf("context = %+v", o)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	allocs := 12.0
+	o := &Output{
+		Goos: "linux",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", Iterations: 100, NsPerOp: 42.5, AllocsPerOp: &allocs},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := o.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := got.Find("BenchmarkA")
+	if !ok || b.NsPerOp != 42.5 || b.AllocsPerOp == nil || *b.AllocsPerOp != 12 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, ok := got.Find("BenchmarkMissing"); ok {
+		t.Fatal("Find invented a benchmark")
+	}
+	// Atomicity: no temp droppings next to the output.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only the output file, found %d entries", len(entries))
+	}
+}

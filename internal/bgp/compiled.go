@@ -2,7 +2,20 @@ package bgp
 
 import (
 	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/radix"
+)
+
+// Compile-time observability: building the FIB-style snapshot is the
+// operation a production deployment repeats on every table refresh, so
+// its wall time, allocation volume and resulting footprint are tracked.
+// The per-lookup hot path (Compiled.Lookup) carries no instrumentation —
+// counting and depth sampling happen one layer up in internal/cluster,
+// where the cost amortizes per distinct client (see obsv's overhead
+// budget).
+var (
+	compiledPrefixes = obsv.G("bgp.compiled.prefixes")
+	compiledNodes    = obsv.G("bgp.compiled.nodes")
 )
 
 // Compiled is an immutable, read-optimized snapshot of a Merged table. The
@@ -38,6 +51,7 @@ const compiledPrimaryBias = 64
 // 0/0 is excluded from the match structure — Merged.Lookup already treats
 // it as unclusterable in either class — but retains its provenance entry.
 func (m *Merged) Compile() *Compiled {
+	sp := obsv.StartSpan("bgp.compile")
 	c := &Compiled{
 		prov:         make(map[netutil.Prefix]*Provenance, m.Len()),
 		kinds:        make(map[netutil.Prefix]SourceKind, m.Len()),
@@ -64,6 +78,9 @@ func (m *Merged) Compile() *Compiled {
 		return true
 	})
 	c.frozen = mb.Freeze()
+	sp.End()
+	compiledPrefixes.Set(int64(c.Len()))
+	compiledNodes.Set(int64(c.frozen.NumNodes()))
 	return c
 }
 
@@ -76,6 +93,17 @@ func (c *Compiled) Lookup(addr netutil.Addr) (Match, bool) {
 		return Match{}, false
 	}
 	return Match{Prefix: p, Kind: v.kind}, true
+}
+
+// LookupDepth is Lookup plus the number of stride-8 levels the walk
+// descended (1–4). The clustering layer samples it to feed the
+// "bgp.lookup.depth" histogram; Lookup itself stays uninstrumented.
+func (c *Compiled) LookupDepth(addr netutil.Addr) (Match, int, bool) {
+	p, v, depth, ok := c.frozen.LookupDepth(addr)
+	if !ok {
+		return Match{}, depth, false
+	}
+	return Match{Prefix: p, Kind: v.kind}, depth, true
 }
 
 // Provenance returns the recorded provenance for exactly p, matching

@@ -12,8 +12,42 @@ import (
 	"container/list"
 	"fmt"
 
+	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/weblog"
 )
+
+// Cache observability: Proxy keeps its per-instance Stats struct (a
+// simulation can run thousands of per-cluster proxies, each reporting its
+// own ratios) and PublishMetrics folds a finished proxy's totals into the
+// process-wide registry in one batch — no atomics inside the simulation
+// loop.
+var (
+	cacheRequests    = obsv.C("cache.requests")
+	cacheHits        = obsv.C("cache.hits")
+	cacheBytes       = obsv.C("cache.bytes")
+	cacheByteHits    = obsv.C("cache.byte_hits")
+	cacheFullFetches = obsv.C("cache.full_fetches")
+	cacheValidations = obsv.C("cache.validations")
+	cacheSyncValid   = obsv.C("cache.validations.sync")
+	cacheStaleServes = obsv.C("cache.stale_serves")
+	cacheEvictions   = obsv.C("cache.evictions")
+)
+
+// PublishMetrics adds the proxy's accumulated Stats to the process-wide
+// obsv registry. Call it once per proxy when a simulation (or serving
+// window) completes; calling it repeatedly double-counts.
+func (p *Proxy) PublishMetrics() {
+	s := p.Stats
+	cacheRequests.Add(uint64(s.Requests))
+	cacheHits.Add(uint64(s.Hits))
+	cacheBytes.Add(uint64(s.Bytes))
+	cacheByteHits.Add(uint64(s.ByteHits))
+	cacheFullFetches.Add(uint64(s.FullFetches))
+	cacheValidations.Add(uint64(s.Validations))
+	cacheSyncValid.Add(uint64(s.SyncValidations))
+	cacheStaleServes.Add(uint64(s.StaleServes))
+	cacheEvictions.Add(uint64(s.Evictions))
+}
 
 // Stats aggregates the simulation metrics at one proxy. Hit accounting
 // follows the paper: a request counts as a hit when the proxy serves the
@@ -29,6 +63,7 @@ type Stats struct {
 	FullFetches     int // bodies transferred from the server
 	Validations     int // If-Modified-Since checks, sync + piggybacked
 	SyncValidations int
+	StaleServes     int // hits that needed a 304 revalidation round first
 	ServerContacts  int // messages to the server (fetches + sync validations)
 	Evictions       int
 }
@@ -150,6 +185,7 @@ func (p *Proxy) Request(resources []weblog.Resource, url int32, t uint32) {
 	e.validatedAt = t
 	delete(p.expired, url)
 	p.Stats.Hits++
+	p.Stats.StaleServes++
 	p.Stats.ByteHits += int64(res.Size)
 }
 

@@ -43,13 +43,32 @@ func (n NetworkAware) Compile() NetworkAware {
 }
 
 // Cluster performs the longest-prefix match, preferring BGP-derived
-// prefixes over registry dumps (see bgp.Merged.Lookup).
+// prefixes over registry dumps (see bgp.Merged.Lookup). Each call counts
+// toward "bgp.lookup.count" — one atomic add, amortized per distinct
+// client because the clustering engines memoize per-client results —
+// and every 64th call runs the depth-reporting walk to feed the
+// "bgp.lookup.depth" histogram.
 func (n NetworkAware) Cluster(addr netutil.Addr) (netutil.Prefix, bool) {
 	if n.Compiled != nil {
+		if lookupCount.Inc()&depthSampleMask == 0 {
+			m, depth, ok := n.Compiled.LookupDepth(addr)
+			lookupDepth.Observe(int64(depth))
+			if !ok {
+				lookupMiss.Inc()
+			}
+			return m.Prefix, ok
+		}
 		m, ok := n.Compiled.Lookup(addr)
+		if !ok {
+			lookupMiss.Inc()
+		}
 		return m.Prefix, ok
 	}
+	lookupCount.Inc()
 	m, ok := n.Table.Lookup(addr)
+	if !ok {
+		lookupMiss.Inc()
+	}
 	return m.Prefix, ok
 }
 

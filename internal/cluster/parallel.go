@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/weblog"
 )
 
@@ -96,6 +97,8 @@ func ClusterLogParallel(l *weblog.Log, c Clusterer, opts ParallelOptions) *Resul
 	if workers <= 1 {
 		return ClusterLog(l, c)
 	}
+	sp := obsv.StartSpan("cluster.parallel")
+	parWorkers.Set(int64(workers))
 	shards := opts.shards()
 	mask := uint32(shards - 1)
 
@@ -164,6 +167,7 @@ func ClusterLogParallel(l *weblog.Log, c Clusterer, opts ParallelOptions) *Resul
 	// several workers keeps its earliest first-request index, which is
 	// what makes the Unclustered ordering reproduce the sequential pass.
 	merged := make([]map[netutil.Addr]*pclient, shards)
+	msp := obsv.StartSpan("cluster.parallel.merge")
 	var mg sync.WaitGroup
 	for s := 0; s < shards; s++ {
 		mg.Add(1)
@@ -198,6 +202,12 @@ func ClusterLogParallel(l *weblog.Log, c Clusterer, opts ParallelOptions) *Resul
 		}(s)
 	}
 	mg.Wait()
+	msp.End()
+	shardSizes := make([]int, 0, shards)
+	for _, m := range merged {
+		shardSizes = append(shardSizes, len(m))
+	}
+	shardBalance(shardSizes)
 
 	// Phase 3: assemble the Result. Iteration order over maps is
 	// irrelevant — clusters are sorted into the canonical prefix order and
@@ -253,6 +263,9 @@ func ClusterLogParallel(l *weblog.Log, c Clusterer, opts ParallelOptions) *Resul
 	sort.Slice(res.Clusters, func(i, j int) bool {
 		return netutil.ComparePrefix(res.Clusters[i].Prefix, res.Clusters[j].Prefix) < 0
 	})
+	dur := sp.End()
+	parRecords.Add(uint64(res.TotalRequests))
+	parRate.Set(recordsPerSecond(res.TotalRequests, int64(dur)))
 	return res
 }
 
@@ -338,8 +351,10 @@ func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*Str
 	}
 
 	// The reader thread owns parsing and batching; everything past the
-	// hash is off the critical path.
+	// hash is off the critical path. Batch dispatches are tallied in a
+	// plain local and flushed once — never per record.
 	batches := make([][]streamRec, workers)
+	nbatches := 0
 	stats, err := weblog.StreamCLF(r, func(rec weblog.StreamRecord) bool {
 		res.TotalRequests++
 		w := int(shardOf(rec.Request.Client, ^uint32(0)) % uint32(workers))
@@ -350,6 +365,7 @@ func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*Str
 		b = append(b, streamRec{client: rec.Request.Client, url: rec.Request.URL, size: rec.Size})
 		if len(b) == streamBatchLen {
 			chans[w] <- b
+			nbatches++
 			b = nil
 		}
 		batches[w] = b
@@ -358,11 +374,14 @@ func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*Str
 	for w := 0; w < workers; w++ {
 		if len(batches[w]) > 0 {
 			chans[w] <- batches[w]
+			nbatches++
 		}
 		close(chans[w])
 	}
 	wg.Wait()
 	res.Stats = stats
+	streamBatches.Add(uint64(nbatches))
+	streamParRecords.Add(uint64(res.TotalRequests))
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/weblog"
 )
 
@@ -45,6 +46,7 @@ type Result struct {
 // requests excluded from cluster metrics, mirroring the paper's coverage
 // accounting.
 func ClusterLog(l *weblog.Log, c Clusterer) *Result {
+	sp := obsv.StartSpan("cluster.log")
 	res := &Result{
 		Method:   c.Name(),
 		Log:      l,
@@ -93,6 +95,11 @@ func ClusterLog(l *weblog.Log, c Clusterer) *Result {
 	sort.Slice(res.Clusters, func(i, j int) bool {
 		return netutil.ComparePrefix(res.Clusters[i].Prefix, res.Clusters[j].Prefix) < 0
 	})
+	sp.End()
+	// Flush run totals once; nothing is counted per record.
+	logRecords.Add(uint64(res.TotalRequests))
+	logClustered.Add(uint64(len(res.byClient)))
+	logUnclustered.Add(uint64(len(res.Unclustered)))
 	return res
 }
 

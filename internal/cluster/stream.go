@@ -93,6 +93,7 @@ func ClusterStream(r io.Reader, c Clusterer) (*StreamResult, error) {
 		return true
 	})
 	res.Stats = stats
+	streamRecords.Add(uint64(res.TotalRequests))
 	if err != nil {
 		return nil, err
 	}

@@ -136,11 +136,13 @@ func (c *Client) QueryContext(ctx context.Context, name string, qtype uint16) ([
 	c.counters.Queries++
 	c.Queries = c.counters.Queries
 	c.mu.Unlock()
+	dnsQueries.Inc()
 
 	if c.Breaker != nil && !c.Breaker.Allow() {
 		c.mu.Lock()
 		c.counters.FastFails++
 		c.mu.Unlock()
+		dnsFastFails.Inc()
 		return nil, fmt.Errorf("dnswire: query %q: %w", name, retry.ErrOpen)
 	}
 
@@ -201,12 +203,14 @@ func (c *Client) countTimeout() {
 	c.mu.Lock()
 	c.counters.Timeouts++
 	c.mu.Unlock()
+	dnsTimeouts.Inc()
 }
 
 func (c *Client) countMalformed() {
 	c.mu.Lock()
 	c.counters.Malformed++
 	c.mu.Unlock()
+	dnsMalformed.Inc()
 }
 
 // exchange performs one attempt: fresh ID, fresh socket, read until a

@@ -1,0 +1,13 @@
+package dnswire
+
+import "github.com/netaware/netcluster/internal/obsv"
+
+// Wire-client observability: process-wide totals across every Client,
+// complementing the per-client counters (which validation reports read).
+// All sites sit on network round trips, so inline atomics are free.
+var (
+	dnsQueries   = obsv.C("dnswire.queries")
+	dnsTimeouts  = obsv.C("dnswire.timeouts")
+	dnsMalformed = obsv.C("dnswire.malformed")
+	dnsFastFails = obsv.C("dnswire.fast_fails")
+)

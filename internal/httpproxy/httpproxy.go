@@ -21,6 +21,24 @@ import (
 	"net/url"
 	"sync"
 	"time"
+
+	"github.com/netaware/netcluster/internal/obsv"
+)
+
+// Live-proxy observability: unlike the simulation caches, a deployed
+// Handler updates the process-wide registry inline — every counter here
+// sits next to an origin round trip or a mutex section, so one atomic
+// add is noise. The per-instance Stats struct stays authoritative for
+// the /stats endpoint; these mirror it for /debug/vars.
+var (
+	hpRequests    = obsv.C("httpproxy.requests")
+	hpHits        = obsv.C("httpproxy.hits")
+	hpMisses      = obsv.C("httpproxy.misses")
+	hpValidations = obsv.C("httpproxy.validations")
+	hpSyncValid   = obsv.C("httpproxy.validations.sync")
+	hpStaleServes = obsv.C("httpproxy.stale_serves")
+	hpEvictions   = obsv.C("httpproxy.evictions")
+	hpErrors      = obsv.C("httpproxy.errors")
 )
 
 // Stats counts proxy activity; the fields mirror the simulation's
@@ -130,6 +148,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	p.mu.Lock()
 	p.stats.Requests++
+	hpRequests.Inc()
 	el, cached := p.items[key]
 	if cached {
 		e := el.Value.(*entry)
@@ -152,6 +171,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // serveLocked writes a cached entry and releases the lock.
 func (p *Proxy) serveLocked(w http.ResponseWriter, e *entry) {
 	p.stats.Hits++
+	hpHits.Inc()
 	p.stats.Bytes += int64(len(e.body))
 	p.stats.ByteHits += int64(len(e.body))
 	body := e.body
@@ -188,6 +208,7 @@ func (p *Proxy) fetchAndServe(ctx context.Context, w http.ResponseWriter, key st
 	}
 	p.mu.Lock()
 	p.stats.FullFetches++
+	hpMisses.Inc()
 	p.stats.Bytes += int64(len(body))
 	p.insertLocked(e)
 	p.mu.Unlock()
@@ -208,6 +229,7 @@ func (p *Proxy) revalidateAndServe(ctx context.Context, w http.ResponseWriter, k
 		if p.ServeStale {
 			p.mu.Lock()
 			p.stats.StaleServes++
+			hpStaleServes.Inc()
 			p.stats.Bytes += int64(len(stale.body))
 			p.stats.ByteHits += int64(len(stale.body))
 			p.expired[key] = struct{}{}
@@ -401,6 +423,7 @@ func (p *Proxy) evictLocked() {
 		}
 		p.removeLocked(el.Value.(*entry).key)
 		p.stats.Evictions++
+		hpEvictions.Inc()
 	}
 }
 
@@ -420,6 +443,7 @@ func (p *Proxy) countError() {
 	p.mu.Lock()
 	p.stats.Errors++
 	p.mu.Unlock()
+	hpErrors.Inc()
 }
 
 func copyHeader(dst, src http.Header) {

@@ -1,0 +1,69 @@
+package obsv
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+)
+
+// Operational export: the Default registry publishes itself under the
+// expvar key "netcluster", so any /debug/vars endpoint (including the
+// one DebugHandler serves) carries a full snapshot; WriteFile dumps the
+// same snapshot as a JSON file for batch tools (-metrics-out flags).
+
+func init() {
+	expvar.Publish("netcluster", expvar.Func(func() any { return TakeSnapshot() }))
+}
+
+// DebugHandler returns the debug mux an operational listener serves:
+// /debug/vars (expvar JSON, including the "netcluster" snapshot) and the
+// /debug/pprof endpoints. cmd/pcvproxy mounts it on -metrics-addr; any
+// embedder can mount it on a private listener.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MarshalJSON renders a snapshot as indented, key-sorted JSON.
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// WriteFile atomically writes the Default registry's snapshot as JSON to
+// path (temp file + rename, so a crash mid-write never truncates an
+// existing snapshot).
+func WriteFile(path string) error {
+	data, err := TakeSnapshot().MarshalIndent()
+	if err != nil {
+		return fmt.Errorf("obsv: marshaling snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".obsv-*")
+	if err != nil {
+		return fmt.Errorf("obsv: writing snapshot: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("obsv: writing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("obsv: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("obsv: writing snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package obsv
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets covers the full uint64 range: bucket 0 holds observations
+// ≤ 0, bucket i (i ≥ 1) holds values v with bit length i, i.e. the
+// half-open range [2^(i-1), 2^i).
+const numBuckets = 65
+
+// Histogram is a log2-bucketed distribution of int64 observations —
+// latencies in nanoseconds, sizes in bytes, depths in levels. Exponential
+// buckets give ~2x relative resolution over the whole range with a fixed
+// 65-slot footprint and no configuration, the same trade routers make in
+// hardware counters. Observe is two uncontended atomic adds and never
+// allocates; the zero value is ready to use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     atomic.Int64
+	count   atomic.Uint64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLow returns the smallest value bucket i holds (0 for bucket 0).
+func BucketLow(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
+
+// BucketHigh returns the largest value bucket i holds.
+func BucketHigh(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.count.Store(0)
+}
+
+// HistogramBucket is one non-empty bucket in a snapshot: Count
+// observations fell in [Low, High].
+type HistogramBucket struct {
+	Low   uint64 `json:"low"`
+	High  uint64 `json:"high"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Quantiles
+// are bucket-resolution estimates (geometric bucket midpoint), good to
+// a factor of ~√2 — plenty to catch a regression that matters.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     int64             `json:"sum"`
+	Mean    float64           `json:"mean"`
+	P50     float64           `json:"p50"`
+	P99     float64           `json:"p99"`
+	Max     uint64            `json:"max"` // upper bound of the highest non-empty bucket
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram. Buckets are read individually with
+// atomic loads; a snapshot racing writers may be off by in-flight
+// observations, never torn.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [numBuckets]uint64
+	var s HistogramSnapshot
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		s.Count += c
+		if c > 0 {
+			s.Max = BucketHigh(i)
+			s.Buckets = append(s.Buckets, HistogramBucket{Low: BucketLow(i), High: BucketHigh(i), Count: c})
+		}
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+		s.P50 = quantile(&counts, s.Count, 0.50)
+		s.P99 = quantile(&counts, s.Count, 0.99)
+	}
+	return s
+}
+
+// quantile estimates the q-quantile as the geometric midpoint of the
+// bucket holding the q·count-th observation.
+func quantile(counts *[numBuckets]uint64, total uint64, q float64) float64 {
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += counts[i]
+		if seen > rank {
+			lo, hi := BucketLow(i), BucketHigh(i)
+			if lo == 0 {
+				return 0
+			}
+			return math.Sqrt(float64(lo) * float64(hi))
+		}
+	}
+	return 0
+}

@@ -1,0 +1,63 @@
+package obsv
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// Spans time named coarse-grained operations — a table compile, a
+// parallel merge phase, a full clustering run — and record wall time and
+// the process-wide allocation delta across the operation. A finished
+// span feeds three metrics in its registry:
+//
+//	<name>.count  counter   completed spans
+//	<name>.ns     histogram wall time per span, nanoseconds
+//	<name>.allocs histogram heap objects allocated during the span
+//
+// The allocation figure is read from runtime/metrics (no stop-the-world,
+// unlike runtime.ReadMemStats) and counts every goroutine's allocations
+// while the span was open; it is exact for single-threaded operations
+// and an honest upper bound for concurrent ones. Starting and ending a
+// span costs two runtime metric reads and two small allocations, which
+// is why spans wrap operations, never per-record work.
+
+var allocsSampleName = "/gc/heap/allocs:objects"
+
+func heapAllocObjects() uint64 {
+	sample := []metrics.Sample{{Name: allocsSampleName}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}
+
+// ASpan is an open span; End completes it. The zero value is inert.
+type ASpan struct {
+	name        string
+	reg         *Registry
+	start       time.Time
+	startAllocs uint64
+}
+
+// StartSpan opens a span named name in the registry.
+func (r *Registry) StartSpan(name string) ASpan {
+	return ASpan{name: name, reg: r, start: time.Now(), startAllocs: heapAllocObjects()}
+}
+
+// StartSpan opens a span on the Default registry.
+func StartSpan(name string) ASpan { return Default.StartSpan(name) }
+
+// End completes the span, records its metrics, and returns the wall
+// time for callers that also want to print it.
+func (s ASpan) End() time.Duration {
+	if s.reg == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	allocs := heapAllocObjects() - s.startAllocs
+	s.reg.Counter(s.name + ".count").Inc()
+	s.reg.Histogram(s.name + ".ns").Observe(d.Nanoseconds())
+	s.reg.Histogram(s.name + ".allocs").Observe(int64(allocs))
+	return d
+}

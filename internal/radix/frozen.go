@@ -91,3 +91,31 @@ func (f *Frozen[V]) Lookup(addr netutil.Addr) (netutil.Prefix, V, bool) {
 	}
 	return f.prefixes[best], f.values[best], true
 }
+
+// LookupDepth is Lookup instrumented: it additionally reports how many
+// stride-8 levels the walk descended (1–4). The clustering engines
+// sample it to populate the lookup-depth histogram without taxing the
+// plain Lookup hot path.
+func (f *Frozen[V]) LookupDepth(addr netutil.Addr) (netutil.Prefix, V, int, bool) {
+	a := uint32(addr)
+	best := int32(-1)
+	bestRank := int16(-1)
+	node := int32(0)
+	depth := 0
+	for shift := 24; ; shift -= 8 {
+		depth++
+		i := int(node)<<8 + int(a>>uint(shift))&0xFF
+		if e := f.slots[i]; e >= 0 && f.ranks[e] >= bestRank {
+			best, bestRank = e, f.ranks[e]
+		}
+		node = f.children[i]
+		if node == 0 || shift == 0 {
+			break
+		}
+	}
+	if best < 0 {
+		var zero V
+		return netutil.Prefix{}, zero, depth, false
+	}
+	return f.prefixes[best], f.values[best], depth, true
+}

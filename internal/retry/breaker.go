@@ -4,6 +4,16 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"github.com/netaware/netcluster/internal/obsv"
+)
+
+// Breaker state observability. The open-breaker gauge counts breakers
+// currently open across the process; opens and fast-fails accumulate.
+var (
+	breakerOpens     = obsv.C("retry.breaker.opens")
+	breakerFastFails = obsv.C("retry.breaker.fast_fails")
+	breakersOpen     = obsv.G("retry.breaker.open")
 )
 
 // ErrOpen is returned (wrapped) by clients whose circuit breaker is open:
@@ -77,16 +87,23 @@ func (b *Breaker) Record(err error) {
 	defer b.mu.Unlock()
 	if err == nil {
 		b.failures = 0
+		if b.open {
+			breakersOpen.Add(-1)
+		}
 		b.open = false
 		b.halfOpen = false
 		return
 	}
 	b.failures++
 	if b.halfOpen || (!b.open && b.failures >= b.Threshold) {
+		if !b.open {
+			breakersOpen.Add(1)
+		}
 		b.open = true
 		b.halfOpen = false
 		b.openedAt = b.now()
 		b.opens++
+		breakerOpens.Inc()
 	}
 }
 

@@ -18,6 +18,21 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"github.com/netaware/netcluster/internal/obsv"
+)
+
+// Resilience observability: every Policy.Do loop in the process feeds
+// the same counters, so "retry.retries" climbing against "retry.attempts"
+// is the first sign the live pipeline's peers are degrading. The counters
+// sit next to network waits, never in CPU-bound paths.
+var (
+	retryAttempts  = obsv.C("retry.attempts")
+	retryRetries   = obsv.C("retry.retries")
+	retrySuccesses = obsv.C("retry.successes")
+	retryFatal     = obsv.C("retry.fatal")
+	retryExhausted = obsv.C("retry.exhausted")
+	retryBackoffNs = obsv.H("retry.backoff.ns")
 )
 
 // Class buckets an attempt error for the retry loop.
@@ -118,25 +133,32 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) (att
 	var lastErr error
 	for attempt := 0; attempt < max; attempt++ {
 		if attempt > 0 {
-			if err := p.sleep(ctx, p.Backoff(attempt)); err != nil {
+			d := p.Backoff(attempt)
+			retryRetries.Inc()
+			retryBackoffNs.Observe(int64(d))
+			if err := p.sleep(ctx, d); err != nil {
 				return attempts, err
 			}
 		}
 		attempts++
+		retryAttempts.Inc()
 		attemptCtx, cancel := p.attemptContext(ctx)
 		err := op(attemptCtx)
 		cancel()
 		if err == nil {
+			retrySuccesses.Inc()
 			return attempts, nil
 		}
 		lastErr = err
 		if p.classify(err) == Fatal {
+			retryFatal.Inc()
 			return attempts, err
 		}
 		if ctx.Err() != nil {
 			return attempts, lastErr
 		}
 	}
+	retryExhausted.Inc()
 	return attempts, lastErr
 }
 

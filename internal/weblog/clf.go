@@ -65,6 +65,7 @@ func WriteCLF(w io.Writer, l *Log) error {
 			return fmt.Errorf("weblog: writing CLF: %w", err)
 		}
 	}
+	writeLines.Add(uint64(len(l.Requests)))
 	return bw.Flush()
 }
 
@@ -103,19 +104,24 @@ func ReadCLF(r io.Reader, name string) (*Log, error) {
 	var times []time.Time
 	var tc timeCache
 	lineno := 0
+	var tally parseTally
+	defer tally.flush()
 	for sc.Scan() {
 		lineno++
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
+		tally.bytes += int64(len(line))
 		var req Request
 		var ts time.Time
 		var size int32
 		client, fts, pathb, agentb, fsize, fastOK := parseCLFLineFast(line, &tc)
 		if fastOK {
+			tally.fast++
 			req.Client, ts, size = client, fts, fsize
 		} else {
+			tally.strict++
 			var path, agent string
 			var err error
 			req, ts, path, size, agent, err = parseCLFLine(string(line))

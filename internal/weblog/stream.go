@@ -63,17 +63,22 @@ func StreamCLF(r io.Reader, fn func(StreamRecord) bool) (StreamStats, error) {
 	in := newInterner()
 	var tc timeCache
 	var started bool
+	var tally parseTally
+	defer tally.flush()
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
 		st.Lines++
+		tally.bytes += int64(len(line))
 		var req Request
 		client, ts, pathb, agentb, size, ok := parseCLFLineFast(line, &tc)
 		if ok {
+			tally.fast++
 			req.Client = client
 		} else {
+			tally.strict++
 			var path, agent string
 			req, ts, path, size, agent, err = parseCLFLine(string(line))
 			if err != nil {

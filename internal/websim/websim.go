@@ -122,6 +122,7 @@ func Simulate(res *cluster.Result, cfg Config) Outcome {
 	out.Requests = totalReqs
 
 	for p, px := range proxies {
+		px.PublishMetrics()
 		cl, _ := res.Find(p)
 		clients := 0
 		if cl != nil {

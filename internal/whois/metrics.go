@@ -1,0 +1,11 @@
+package whois
+
+import "github.com/netaware/netcluster/internal/obsv"
+
+// Process-wide whois client totals; cache hits vs queries show how much
+// the AS-record cache shields the registry.
+var (
+	whoisQueries   = obsv.C("whois.queries")
+	whoisCacheHits = obsv.C("whois.cache_hits")
+	whoisFastFails = obsv.C("whois.fast_fails")
+)

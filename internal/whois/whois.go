@@ -266,6 +266,7 @@ func (c *Client) LookupContext(ctx context.Context, asn uint32) (Record, bool, e
 	c.mu.Lock()
 	if rec, hit := c.cache[asn]; hit {
 		c.mu.Unlock()
+		whoisCacheHits.Inc()
 		if rec == nil {
 			return Record{}, false, nil
 		}
@@ -274,6 +275,7 @@ func (c *Client) LookupContext(ctx context.Context, asn uint32) (Record, bool, e
 	c.mu.Unlock()
 
 	if c.Breaker != nil && !c.Breaker.Allow() {
+		whoisFastFails.Inc()
 		return Record{}, false, fmt.Errorf("whois: AS%d: %w", asn, retry.ErrOpen)
 	}
 
@@ -315,6 +317,7 @@ func (c *Client) LookupContext(ctx context.Context, asn uint32) (Record, bool, e
 var errEmptyResponse = errors.New("whois: empty response")
 
 func (c *Client) fetch(ctx context.Context, asn uint32) (Record, bool, error) {
+	whoisQueries.Inc()
 	c.mu.Lock()
 	c.count++
 	c.mu.Unlock()

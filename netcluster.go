@@ -33,6 +33,7 @@ package netcluster
 
 import (
 	"io"
+	"net/http"
 
 	"github.com/netaware/netcluster/internal/bgp"
 	"github.com/netaware/netcluster/internal/bgpsim"
@@ -42,6 +43,7 @@ import (
 	"github.com/netaware/netcluster/internal/httpproxy"
 	"github.com/netaware/netcluster/internal/inet"
 	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/placement"
 	"github.com/netaware/netcluster/internal/selfcorrect"
 	"github.com/netaware/netcluster/internal/tracesim"
@@ -304,6 +306,24 @@ type HTTPProxyStats = httpproxy.Stats
 // NewHTTPProxy returns a caching proxy for the origin base URL with the
 // paper's defaults (1 h TTL, PCV on).
 func NewHTTPProxy(origin string) (*HTTPProxy, error) { return httpproxy.New(origin) }
+
+// MetricsSnapshot is a point-in-time copy of the library's process-wide
+// metric registry: counters, gauges and log2-bucketed histograms from
+// every instrumented subsystem (table compilation, lookups, clustering
+// engines, CLF parsing, caches, wire clients). It marshals to
+// deterministic, key-sorted JSON.
+type MetricsSnapshot = obsv.Snapshot
+
+// Metrics returns a snapshot of the library's internal metrics. The
+// registry is cumulative for the process lifetime; diff two snapshots to
+// meter one workload. The same data is exposed as the expvar variable
+// "netcluster" on any /debug/vars endpoint the embedding process serves.
+func Metrics() MetricsSnapshot { return obsv.TakeSnapshot() }
+
+// MetricsHandler returns an http.Handler serving /debug/vars (expvar
+// JSON including the metric registry) and /debug/pprof, for mounting on
+// a private operational listener (see cmd/pcvproxy's -metrics-addr).
+func MetricsHandler() http.Handler { return obsv.DebugHandler() }
 
 // Synthetic world: the offline substitute for the paper's live data
 // sources. Generate a world once, derive BGP views, logs, DNS and

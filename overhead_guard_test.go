@@ -1,0 +1,122 @@
+package netcluster_test
+
+// TestInstrumentationOverheadBudget enforces the obsv design constraint:
+// instrumentation costs at most 1% of the committed BENCH_clustering.json
+// numbers on the hot paths. Rather than an A/B wall-clock comparison
+// (noisy, and there is no uninstrumented build to compare against), the
+// test is a cost model with measured unit prices:
+//
+//   - the unit costs of one atomic counter add, one histogram observe
+//     and one span start/end pair are measured in-process right now;
+//   - the number of such operations per benchmark op is derived from the
+//     instrumentation sites (counts are amortized: engines memoize
+//     lookups per distinct client, parsers tally in plain locals and
+//     flush once per stream, spans wrap whole runs);
+//   - modeled overhead is divided by the committed ns/op of the row the
+//     ops ride on.
+//
+// The committed numbers come from the recording machine while unit costs
+// come from this one, but both scale together within a small factor and
+// the margin below the 1% budget is an order of magnitude.
+//
+// Per-line tallies in the CLF parser are plain register increments
+// already included in the committed measurement; only the atomic flushes
+// appear in the model. Compiled.Lookup carries zero instrumentation ops
+// by design — one atomic per lookup would be ~40% of its ~11 ns/op,
+// which is exactly why counting is hoisted to the memoized cluster
+// layer. Its row is asserted at zero modeled overhead.
+
+import (
+	"testing"
+
+	"github.com/netaware/netcluster/internal/benchfmt"
+	"github.com/netaware/netcluster/internal/obsv"
+)
+
+func TestInstrumentationOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the Apache bench fixture and runs micro-benchmarks")
+	}
+	if raceEnabled {
+		// The race detector instruments every atomic op (~15x), so unit
+		// prices measured here cannot be compared against the committed
+		// non-race timings. The budget is a claim about production builds.
+		t.Skip("unit costs are not comparable under the race detector")
+	}
+	rec, err := benchfmt.ReadFile("BENCH_clustering.json")
+	if err != nil {
+		t.Fatalf("reading committed benchmark recording: %v", err)
+	}
+
+	// Unit prices, measured now. The guard registry keeps the probe
+	// metrics out of the process-wide snapshot.
+	reg := obsv.NewRegistry()
+	probeC := reg.Counter("overhead.probe")
+	probeH := reg.Histogram("overhead.probe")
+	atomicNs := perOpNs(func(n int) {
+		for i := 0; i < n; i++ {
+			probeC.Add(1)
+		}
+	})
+	observeNs := perOpNs(func(n int) {
+		for i := 0; i < n; i++ {
+			probeH.Observe(int64(i))
+		}
+	})
+	spanNs := perOpNs(func(n int) {
+		for i := 0; i < n; i++ {
+			reg.StartSpan("overhead.probe").End()
+		}
+	})
+	t.Logf("unit costs: atomic add %.1f ns, observe %.1f ns, span %.0f ns",
+		atomicNs, observeNs, spanNs)
+
+	// Client populations behind the per-client amortized counters.
+	f := perfSetup(t)
+	naganoClients := float64(len(f.log.Clients()))
+	apacheClients := float64(len(apacheLog.Clients()))
+
+	rows := []struct {
+		name    string
+		atomics float64 // atomic counter/gauge ops per benchmark op
+		obs     float64 // histogram observes per benchmark op
+		spans   float64 // span start/end pairs per benchmark op
+	}{
+		// Compiled.Lookup itself: instrumented nowhere, on purpose.
+		{"BenchmarkLongestPrefixMatchCompiled", 0, 0, 0},
+		// StreamCLF: one parseTally flush (fast+strict+bytes counters).
+		{"BenchmarkCLFParseStream", 3, 0, 0},
+		// Sequential ClusterLog, plain table: one lookup counter per
+		// distinct client plus at most one no-match counter, then the
+		// three result flushes. One span wraps the run.
+		{"BenchmarkClusterLogNetworkAware", 2*naganoClients + 3, 0, 1},
+		// workers-1 falls back to the sequential path with the compiled
+		// engine: per distinct client one lookup counter, at most one
+		// no-match, and a 1-in-64 sampled depth observe; three flushes
+		// and a span per run.
+		{"BenchmarkClusterLogParallel/workers-1", 2*apacheClients + 3, apacheClients / 64, 1},
+	}
+
+	const budget = 0.01
+	for _, row := range rows {
+		committed, ok := rec.Find(row.name)
+		if !ok {
+			t.Errorf("committed recording lacks %s; rerun `make bench-json`", row.name)
+			continue
+		}
+		overhead := row.atomics*atomicNs + row.obs*observeNs + row.spans*spanNs
+		frac := overhead / committed.NsPerOp
+		t.Logf("%-42s modeled %8.0f ns of %12.0f ns/op = %.3f%%",
+			row.name, overhead, committed.NsPerOp, 100*frac)
+		if frac > budget {
+			t.Errorf("%s: modeled instrumentation overhead %.2f%% exceeds the %.0f%% budget",
+				row.name, 100*frac, 100*budget)
+		}
+	}
+}
+
+// perOpNs benchmarks f and returns the measured cost of one iteration.
+func perOpNs(f func(n int)) float64 {
+	r := testing.Benchmark(func(b *testing.B) { f(b.N) })
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
