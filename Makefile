@@ -11,7 +11,7 @@ GO ?= go
 # CLF fast path; bench-json freezes their numbers into BENCH_clustering.json.
 PERF_BENCH = LongestPrefixMatch|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF
 
-.PHONY: all build test test-short race vet fmt fmt-check chaos bench-json bench-gate bench-smoke check clean
+.PHONY: all build test test-short race vet fmt fmt-check chaos bench-json bench-gate bench-smoke trace-smoke check clean
 
 all: build
 
@@ -68,6 +68,16 @@ bench-gate:
 # bench code without paying for stable timings.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(PERF_BENCH)' -benchtime 10x . > /dev/null
+
+# End-to-end tracing smoke: run the perf experiment with the flight
+# recorder draining to a Chrome trace file, then validate the schema and
+# nesting invariants with the standalone checker. Catches trace-format
+# drift that unit tests on synthetic spans would miss.
+trace-smoke:
+	$(GO) build -o bin/experiments ./cmd/experiments
+	$(GO) build -o bin/tracecheck ./cmd/tracecheck
+	./bin/experiments -scale 0.02 -trace-out bin/trace.json perf
+	./bin/tracecheck bin/trace.json
 
 check: vet fmt-check race bench-smoke
 

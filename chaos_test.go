@@ -10,6 +10,7 @@ package netcluster_test
 
 import (
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,10 +19,50 @@ import (
 	"github.com/netaware/netcluster/internal/dnswire"
 	"github.com/netaware/netcluster/internal/faultnet"
 	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/retry"
 	"github.com/netaware/netcluster/internal/validate"
 	"github.com/netaware/netcluster/internal/weblog"
 )
+
+// dumpFlightRecorder logs the tail of the process flight recorder when
+// the test fails: for a chaos failure the recent dnswire.query /
+// dnswire.attempt spans (attempt counts, backoffs, breaker states,
+// errors) are usually the whole diagnosis. Registered via t.Cleanup so it
+// fires after the failing assertion.
+func dumpFlightRecorder(t *testing.T) {
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		spans := obsv.DefaultRing.Snapshot()
+		const tail = 80
+		if len(spans) > tail {
+			spans = spans[len(spans)-tail:]
+		}
+		t.Logf("flight recorder: %d spans recorded, %d dropped; last %d:",
+			obsv.DefaultRing.Recorded(), obsv.DefaultRing.Dropped(), len(spans))
+		if len(spans) == 0 {
+			return
+		}
+		base := spans[0].Start
+		for _, s := range spans {
+			var b strings.Builder
+			for _, a := range s.Attrs {
+				b.WriteString(" ")
+				b.WriteString(a.Key)
+				b.WriteString("=")
+				b.WriteString(a.Value)
+			}
+			if s.Err != "" {
+				b.WriteString(" err=")
+				b.WriteString(s.Err)
+			}
+			t.Logf("  +%-12v %-10v trace=%d span=%d parent=%d %s%s",
+				s.Start.Sub(base), s.Duration, s.TraceID, s.SpanID, s.ParentID, s.Name, b.String())
+		}
+	})
+}
 
 // chaosWorld builds a small but realistic pipeline input: world, merged
 // routing table, Nagano-profile log, and its network-aware clustering.
@@ -87,6 +128,7 @@ func TestChaosValidationPipeline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos suite skipped in -short mode")
 	}
+	dumpFlightRecorder(t)
 	world, sampled := chaosWorld(t)
 
 	// Fault-free baseline over the live wire.
@@ -139,6 +181,7 @@ func TestChaosDeadResolverDegradesGracefully(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos suite skipped in -short mode")
 	}
+	dumpFlightRecorder(t)
 	world, sampled := chaosWorld(t)
 
 	// Grab a loopback UDP port and release it: queries go nowhere.

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"sort"
 
@@ -36,7 +38,9 @@ func main() {
 	top := flag.Int("top", 20, "clusters to print, busiest first")
 	threshold := flag.Float64("threshold", 0, "if > 0, report busy clusters covering this fraction of requests")
 	stream := flag.Bool("stream", false, "single-pass streaming mode for logs too large to load")
+	workers := flag.Int("workers", 0, "parallel clustering workers: 0 or 1 sequential, -1 GOMAXPROCS")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
+	traceOut := flag.String("trace-out", "", "write the flight-recorder trace (Chrome trace_event JSON) to this file on exit")
 	flag.Var(&tables, "table", "routing-table snapshot file (repeatable; required for network-aware)")
 	flag.Parse()
 
@@ -45,6 +49,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	nWorkers := *workers
+	if nWorkers < 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+
+	// One root span covers the run; everything below (table compile,
+	// parse, clustering fan-out) nests under it in the trace.
+	ctx, root := obsv.StartTraceSpan(context.Background(), "clusterctl.run")
+	root.SetAttr("method", *method)
+	root.SetAttrInt("workers", int64(nWorkers))
+	defer func() {
+		root.End()
+		writeTrace(*traceOut)
+	}()
 
 	var method_ cluster.Clusterer
 	switch *method {
@@ -70,7 +88,13 @@ func main() {
 		}
 		fmt.Printf("merged table: %s BGP + %s registry prefixes\n",
 			report.FmtInt(merged.NumPrimary()), report.FmtInt(merged.NumSecondary()))
-		method_ = cluster.NetworkAware{Table: merged}
+		na := cluster.NetworkAware{Table: merged}
+		if nWorkers > 1 {
+			// The compiled table is what makes the parallel engines'
+			// lock-free concurrent lookups safe.
+			na.Compiled = merged.CompileCtx(ctx)
+		}
+		method_ = na
 	case "simple":
 		method_ = cluster.Simple{}
 	case "classful":
@@ -86,7 +110,7 @@ func main() {
 	defer f.Close()
 
 	if *stream {
-		runStreaming(f, method_, *top)
+		runStreaming(ctx, f, method_, *top, nWorkers)
 		writeMetrics(*metricsOut)
 		return
 	}
@@ -95,7 +119,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res := cluster.ClusterLog(l, method_)
+	var res *cluster.Result
+	if nWorkers > 1 {
+		res = cluster.ClusterLogParallelCtx(ctx, l, method_, cluster.ParallelOptions{Workers: nWorkers})
+	} else {
+		res = cluster.ClusterLogCtx(ctx, l, method_)
+	}
 
 	st := l.Stats()
 	fmt.Printf("log: %s requests, %s clients, %s URLs\n",
@@ -137,9 +166,26 @@ func writeMetrics(path string) {
 	}
 }
 
+// writeTrace dumps the flight-recorder ring as a Chrome trace_event file
+// that chrome://tracing (or Perfetto) opens directly.
+func writeTrace(path string) {
+	if path == "" {
+		return
+	}
+	if err := obsv.WriteTraceFile(path); err != nil {
+		fatal(err)
+	}
+}
+
 // runStreaming clusters the log in one pass without loading it.
-func runStreaming(f *os.File, method cluster.Clusterer, top int) {
-	res, err := cluster.ClusterStream(f, method)
+func runStreaming(ctx context.Context, f *os.File, method cluster.Clusterer, top, workers int) {
+	var res *cluster.StreamResult
+	var err error
+	if workers > 1 {
+		res, err = cluster.ClusterStreamParallelCtx(ctx, f, method, cluster.ParallelOptions{Workers: workers})
+	} else {
+		res, err = cluster.ClusterStreamCtx(ctx, f, method)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -19,6 +20,10 @@ import (
 type env struct {
 	scale float64
 	seed  int64
+	// ctx carries the running experiment's trace span so the library
+	// calls below nest their spans under it; main swaps it per
+	// experiment.
+	ctx context.Context
 
 	world  *inet.Internet
 	sim    *bgpsim.Sim
@@ -33,11 +38,15 @@ func newEnv(scale float64, seed int64) *env {
 	return &env{
 		scale: scale,
 		seed:  seed,
+		ctx:   context.Background(),
 		logs:  map[string]*weblog.Log{},
 		naRes: map[string]*cluster.Result{},
 		siRes: map[string]*cluster.Result{},
 	}
 }
+
+// Ctx returns the trace context of the experiment currently running.
+func (e *env) Ctx() context.Context { return e.ctx }
 
 func (e *env) fail(err error) {
 	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -128,7 +137,7 @@ func (e *env) NetworkAware(name string) *cluster.Result {
 	if r, ok := e.naRes[name]; ok {
 		return r
 	}
-	r := cluster.ClusterLog(e.Log(name), cluster.NetworkAware{Table: e.Merged()})
+	r := cluster.ClusterLogCtx(e.Ctx(), e.Log(name), cluster.NetworkAware{Table: e.Merged()})
 	e.naRes[name] = r
 	return r
 }
@@ -138,7 +147,7 @@ func (e *env) SimpleResult(name string) *cluster.Result {
 	if r, ok := e.siRes[name]; ok {
 		return r
 	}
-	r := cluster.ClusterLog(e.Log(name), cluster.Simple{})
+	r := cluster.ClusterLogCtx(e.Ctx(), e.Log(name), cluster.Simple{})
 	e.siRes[name] = r
 	return r
 }

@@ -22,7 +22,7 @@ func init() {
 // reading with the same inputs the other experiments use.
 func runPerf(e *env) {
 	merged := e.Merged()
-	compiled := merged.Compile()
+	compiled := merged.CompileCtx(e.Ctx())
 	l := e.Log("Nagano")
 	clients := l.Clients()
 	na := cluster.NetworkAware{Table: merged}
@@ -86,12 +86,12 @@ func runPerf(e *env) {
 		t2.AddRow(label, report.FmtInt(workers), report.FmtInt(len(res.Clusters)),
 			report.FmtPct(res.Coverage()), d.Round(time.Millisecond))
 	}
-	addRun("sequential", 1, func() *cluster.Result { return cluster.ClusterLog(l, na) })
-	addRun("sequential+compiled", 1, func() *cluster.Result { return cluster.ClusterLog(l, nac) })
+	addRun("sequential", 1, func() *cluster.Result { return cluster.ClusterLogCtx(e.Ctx(), l, na) })
+	addRun("sequential+compiled", 1, func() *cluster.Result { return cluster.ClusterLogCtx(e.Ctx(), l, nac) })
 	for _, w := range []int{2, 4, 8} {
 		w := w
 		addRun("parallel+compiled", w, func() *cluster.Result {
-			return cluster.ClusterLogParallel(l, nac, cluster.ParallelOptions{Workers: w})
+			return cluster.ClusterLogParallelCtx(e.Ctx(), l, nac, cluster.ParallelOptions{Workers: w})
 		})
 	}
 	fmt.Println(t2)
@@ -121,12 +121,12 @@ func runPerf(e *env) {
 			d.Round(time.Millisecond), report.FmtFloat(mb/d.Seconds()))
 	}
 	addStream("stream", 1, func() (*cluster.StreamResult, error) {
-		return cluster.ClusterStream(bytes.NewReader(buf.Bytes()), nac)
+		return cluster.ClusterStreamCtx(e.Ctx(), bytes.NewReader(buf.Bytes()), nac)
 	})
 	for _, w := range []int{2, 4} {
 		w := w
 		addStream("stream-parallel", w, func() (*cluster.StreamResult, error) {
-			return cluster.ClusterStreamParallel(bytes.NewReader(buf.Bytes()), nac, cluster.ParallelOptions{Workers: w})
+			return cluster.ClusterStreamParallelCtx(e.Ctx(), bytes.NewReader(buf.Bytes()), nac, cluster.ParallelOptions{Workers: w})
 		})
 	}
 	fmt.Println(t3)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "world generation seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file after the experiments run")
+	traceOut := flag.String("trace-out", "", "write the flight-recorder trace (Chrome trace_event JSON) to this file after the experiments run")
 	flag.Parse()
 
 	if *list {
@@ -70,7 +72,13 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Printf("\n######## %s — %s\n\n", exp.id, exp.title)
+		// Each experiment gets a root span; library calls made through
+		// e.Ctx() nest their spans under it in the flight recorder.
+		ctx, sp := obsv.StartTraceSpan(context.Background(), "experiments."+exp.id)
+		e.ctx = ctx
 		exp.run(e)
+		sp.End()
+		e.ctx = context.Background()
 		fmt.Printf("\n[%s completed in %v]\n", exp.id, time.Since(start).Round(time.Millisecond))
 	}
 	if *metricsOut != "" {
@@ -79,5 +87,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nmetrics snapshot written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := obsv.WriteTraceFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s\n", *traceOut)
 	}
 }

@@ -6,8 +6,11 @@
 //
 // Stats are served at /-/stats on the same listener (a path real origins
 // will not use). With -metrics-addr a second, private listener serves
-// /debug/vars (expvar JSON including the process metric registry) and
-// /debug/pprof — keep it off the client-facing interface.
+// /debug/vars (expvar JSON including the process metric registry),
+// /debug/pprof, /metrics (Prometheus text exposition) and /debug/trace
+// (the flight-recorder ring as Chrome trace_event JSON) — keep it off the
+// client-facing interface. With -metrics-out a JSON metrics snapshot is
+// written on SIGINT/SIGTERM shutdown.
 package main
 
 import (
@@ -17,6 +20,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/netaware/netcluster/internal/httpproxy"
@@ -31,6 +36,7 @@ func main() {
 	pcv := flag.Bool("pcv", true, "piggyback validation of expired entries on origin contacts")
 	sweep := flag.Duration("sweep", time.Minute, "interval between expiry sweeps")
 	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars and /debug/pprof on this private address (empty = disabled)")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on SIGINT/SIGTERM shutdown")
 	flag.Parse()
 
 	if *origin == "" {
@@ -63,6 +69,7 @@ func main() {
 		}
 		// Print the resolved address so ':0' users (and tests) can find it.
 		fmt.Fprintf(os.Stderr, "pcvproxy: metrics on http://%s/debug/vars\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "pcvproxy: debug routes: /debug/vars /debug/pprof /metrics /debug/trace\n")
 		go func() {
 			if err := http.Serve(ln, obsv.DebugHandler()); err != nil {
 				fmt.Fprintf(os.Stderr, "pcvproxy: metrics server: %v\n", err)
@@ -77,10 +84,33 @@ func main() {
 	})
 	mux.Handle("/", proxy)
 
-	fmt.Fprintf(os.Stderr, "pcvproxy: caching %s on %s (ttl %v, capacity %d MB, pcv %v)\n",
-		*origin, *listen, *ttl, *capacity, *pcv)
-	if err := http.ListenAndServe(*listen, mux); err != nil {
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcvproxy: %v\n", err)
 		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pcvproxy: caching %s on %s (ttl %v, capacity %d MB, pcv %v)\n",
+		*origin, ln.Addr(), *ttl, *capacity, *pcv)
+
+	// Serve in a goroutine so a signal can flush the metrics snapshot and
+	// exit cleanly — the shutdown path a deployment's collector relies on.
+	errc := make(chan error, 1)
+	go func() { errc <- http.Serve(ln, mux) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "pcvproxy: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "pcvproxy: %v, shutting down\n", sig)
+		if *metricsOut != "" {
+			if err := obsv.WriteFile(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "pcvproxy: metrics snapshot: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "pcvproxy: metrics snapshot written to %s\n", *metricsOut)
+		}
 	}
 }

@@ -1,0 +1,46 @@
+// Command tracecheck validates Chrome trace_event JSON files written by
+// clusterctl/experiments -trace-out or the /debug/trace endpoint:
+//
+//	tracecheck trace.json [more.json ...]
+//
+// For each file it checks the schema (pid/tid/ts/dur/ph on every complete
+// event) and the nesting invariant (events sharing a (pid,tid) lane are
+// properly nested or disjoint — what chrome://tracing assumes when it
+// draws stacks), then prints the event count. Any invalid file makes the
+// exit status nonzero, which is what the CI trace-smoke step keys off.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/netaware/netcluster/internal/obsv"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			bad = true
+			continue
+		}
+		n, err := obsv.ValidateChromeTrace(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok, %d events\n", path, n)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -32,7 +32,8 @@ func buildTools(t *testing.T) string {
 		}
 		cmd := exec.Command("go", "build", "-o", buildDir,
 			"./cmd/loggen", "./cmd/bgpgen", "./cmd/clusterctl", "./cmd/experiments",
-			"./cmd/worldgen", "./cmd/tabletool", "./cmd/pcvproxy", "./cmd/benchdiff")
+			"./cmd/worldgen", "./cmd/tabletool", "./cmd/pcvproxy", "./cmd/benchdiff",
+			"./cmd/tracecheck")
 		out, err := cmd.CombinedOutput()
 		if err != nil {
 			buildErr = err

@@ -1,6 +1,8 @@
 package bgp
 
 import (
+	"context"
+
 	"github.com/netaware/netcluster/internal/netutil"
 	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/radix"
@@ -51,7 +53,14 @@ const compiledPrimaryBias = 64
 // 0/0 is excluded from the match structure — Merged.Lookup already treats
 // it as unclusterable in either class — but retains its provenance entry.
 func (m *Merged) Compile() *Compiled {
-	sp := obsv.StartSpan("bgp.compile")
+	return m.CompileCtx(context.Background())
+}
+
+// CompileCtx is Compile under a trace context: the compile records a
+// "bgp.compile" span (with prefix and node counts as attributes) into
+// the flight recorder, parented to whatever span ctx carries.
+func (m *Merged) CompileCtx(ctx context.Context) *Compiled {
+	_, sp := obsv.StartTraceSpan(ctx, "bgp.compile")
 	c := &Compiled{
 		prov:         make(map[netutil.Prefix]*Provenance, m.Len()),
 		kinds:        make(map[netutil.Prefix]SourceKind, m.Len()),
@@ -78,6 +87,8 @@ func (m *Merged) Compile() *Compiled {
 		return true
 	})
 	c.frozen = mb.Freeze()
+	sp.SetAttrInt("prefixes", int64(c.Len()))
+	sp.SetAttrInt("nodes", int64(c.frozen.NumNodes()))
 	sp.End()
 	compiledPrefixes.Set(int64(c.Len()))
 	compiledNodes.Set(int64(c.frozen.NumNodes()))

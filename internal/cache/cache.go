@@ -10,6 +10,7 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 
 	"github.com/netaware/netcluster/internal/obsv"
@@ -126,7 +127,16 @@ type Proxy struct {
 	lru     *list.List // front = most recent
 	items   map[int32]*list.Element
 	expired map[int32]struct{} // stale entries awaiting piggybacked validation
+	seq     uint64             // request counter driving trace sampling
 }
+
+// traceSampleEvery sets the 1-in-N trace sampling rate for simulated
+// requests. The simulation loop runs millions of requests per proxy, so
+// unconditional per-request spans would swamp both the flight recorder
+// and the overhead budget; a sampled sliver keeps representative
+// cache.request spans in the ring at negligible cost. Plain (non-atomic)
+// counting suffices: a Proxy is single-goroutine by contract.
+const traceSampleEvery = 1024
 
 // NewProxy returns a proxy with the paper's defaults for unset fields:
 // TTL 1 hour, PCV on, piggyback batches of 10.
@@ -146,8 +156,25 @@ func NewProxy(capacity int64, ttl uint32, pcv bool) *Proxy {
 }
 
 // Request serves one client request for res (indexed by url) at time t
-// (seconds since log start) and updates the statistics.
+// (seconds since log start) and updates the statistics. One request in
+// traceSampleEvery records a "cache.request" span (url, outcome) into
+// the flight recorder.
 func (p *Proxy) Request(resources []weblog.Resource, url int32, t uint32) {
+	p.seq++
+	if p.seq%traceSampleEvery != 1 {
+		p.request(resources, url, t)
+		return
+	}
+	_, sp := obsv.StartTraceSpan(context.Background(), "cache.request")
+	status := p.request(resources, url, t)
+	sp.SetAttrInt("url", int64(url))
+	sp.SetAttr("status", status)
+	sp.End()
+}
+
+// request is the un-traced serving path; it returns the outcome label
+// ("miss", "hit", "refetch", "stale-hit") for sampled trace spans.
+func (p *Proxy) request(resources []weblog.Resource, url int32, t uint32) string {
 	if int(url) >= len(resources) {
 		panic(fmt.Sprintf("cache: url %d outside resource table of %d", url, len(resources)))
 	}
@@ -158,7 +185,7 @@ func (p *Proxy) Request(resources []weblog.Resource, url int32, t uint32) {
 	el, ok := p.items[url]
 	if !ok {
 		p.fetch(resources, url, t)
-		return
+		return "miss"
 	}
 	e := el.Value.(*entry)
 	p.lru.MoveToFront(el)
@@ -166,7 +193,7 @@ func (p *Proxy) Request(resources []weblog.Resource, url int32, t uint32) {
 		// Fresh: pure cache hit.
 		p.Stats.Hits++
 		p.Stats.ByteHits += int64(res.Size)
-		return
+		return "hit"
 	}
 	// Stale: synchronous If-Modified-Since.
 	p.Stats.Validations++
@@ -179,7 +206,7 @@ func (p *Proxy) Request(resources []weblog.Resource, url int32, t uint32) {
 		p.resize(el, res.Size)
 		p.Stats.FullFetches++
 		delete(p.expired, url)
-		return
+		return "refetch"
 	}
 	// 304 Not Modified: body served from cache.
 	e.validatedAt = t
@@ -187,6 +214,7 @@ func (p *Proxy) Request(resources []weblog.Resource, url int32, t uint32) {
 	p.Stats.Hits++
 	p.Stats.StaleServes++
 	p.Stats.ByteHits += int64(res.Size)
+	return "stale-hit"
 }
 
 // fetch brings a missing resource into the cache.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"sort"
@@ -90,14 +91,23 @@ type pcluster struct {
 // partials, and the shards are merged deterministically. The returned
 // Result is identical to ClusterLog's.
 func ClusterLogParallel(l *weblog.Log, c Clusterer, opts ParallelOptions) *Result {
+	return ClusterLogParallelCtx(context.Background(), l, c, opts)
+}
+
+// ClusterLogParallelCtx is ClusterLogParallel under a trace context. The
+// run records a "cluster.parallel" root span, one "cluster.parallel.shard"
+// child per worker (with worker index, request range and record count as
+// attributes) and a "cluster.parallel.merge" child, so the fan-out
+// renders as parallel tracks in chrome://tracing.
+func ClusterLogParallelCtx(ctx context.Context, l *weblog.Log, c Clusterer, opts ParallelOptions) *Result {
 	workers := opts.workers()
 	if workers > len(l.Requests)/minRequestsPerWorker {
 		workers = len(l.Requests) / minRequestsPerWorker
 	}
 	if workers <= 1 {
-		return ClusterLog(l, c)
+		return ClusterLogCtx(ctx, l, c)
 	}
-	sp := obsv.StartSpan("cluster.parallel")
+	pctx, sp := obsv.StartTraceSpan(ctx, "cluster.parallel")
 	parWorkers.Set(int64(workers))
 	shards := opts.shards()
 	mask := uint32(shards - 1)
@@ -121,6 +131,10 @@ func ClusterLogParallel(l *weblog.Log, c Clusterer, opts ParallelOptions) *Resul
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			_, wsp := obsv.StartTraceSpan(pctx, "cluster.parallel.shard")
+			wsp.SetAttrInt("worker", int64(w))
+			wsp.SetAttrInt("lo", int64(lo))
+			wsp.SetAttrInt("hi", int64(hi))
 			local := make([]map[netutil.Addr]*pclient, shards)
 			parts := make(map[netutil.Prefix]*pcluster)
 			total := 0
@@ -158,6 +172,8 @@ func ClusterLogParallel(l *weblog.Log, c Clusterer, opts ParallelOptions) *Resul
 			perWorker[w] = local
 			clustersBy[w] = parts
 			totals[w] = total
+			wsp.SetAttrInt("records", int64(total))
+			wsp.End()
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -167,7 +183,7 @@ func ClusterLogParallel(l *weblog.Log, c Clusterer, opts ParallelOptions) *Resul
 	// several workers keeps its earliest first-request index, which is
 	// what makes the Unclustered ordering reproduce the sequential pass.
 	merged := make([]map[netutil.Addr]*pclient, shards)
-	msp := obsv.StartSpan("cluster.parallel.merge")
+	_, msp := obsv.StartTraceSpan(pctx, "cluster.parallel.merge")
 	var mg sync.WaitGroup
 	for s := 0; s < shards; s++ {
 		mg.Add(1)
@@ -202,6 +218,7 @@ func ClusterLogParallel(l *weblog.Log, c Clusterer, opts ParallelOptions) *Resul
 		}(s)
 	}
 	mg.Wait()
+	msp.SetAttrInt("shards", int64(shards))
 	msp.End()
 	shardSizes := make([]int, 0, shards)
 	for _, m := range merged {
@@ -263,6 +280,9 @@ func ClusterLogParallel(l *weblog.Log, c Clusterer, opts ParallelOptions) *Resul
 	sort.Slice(res.Clusters, func(i, j int) bool {
 		return netutil.ComparePrefix(res.Clusters[i].Prefix, res.Clusters[j].Prefix) < 0
 	})
+	sp.SetAttrInt("workers", int64(workers))
+	sp.SetAttrInt("records", int64(res.TotalRequests))
+	sp.SetAttrInt("clusters", int64(len(res.Clusters)))
 	dur := sp.End()
 	parRecords.Add(uint64(res.TotalRequests))
 	parRate.Set(recordsPerSecond(res.TotalRequests, int64(dur)))
@@ -290,10 +310,20 @@ const streamBatchLen = 512
 // population and no cluster map needs a lock. The merged StreamResult is
 // identical to the sequential one.
 func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*StreamResult, error) {
+	return ClusterStreamParallelCtx(context.Background(), r, c, opts)
+}
+
+// ClusterStreamParallelCtx is ClusterStreamParallel under a trace
+// context: a "cluster.stream.parallel" root span with one
+// "cluster.stream.parallel.shard" child per worker (records and batches
+// consumed as attributes); the reader's parse work nests underneath as
+// the "weblog.stream" span.
+func ClusterStreamParallelCtx(ctx context.Context, r io.Reader, c Clusterer, opts ParallelOptions) (*StreamResult, error) {
 	workers := opts.workers()
 	if workers <= 1 {
-		return ClusterStream(r, c)
+		return ClusterStreamCtx(ctx, r, c)
 	}
+	pctx, sp := obsv.StartTraceSpan(ctx, "cluster.stream.parallel")
 	res := &StreamResult{
 		Method:      c.Name(),
 		Clusters:    make(map[netutil.Prefix]*StreamCluster),
@@ -316,9 +346,14 @@ func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*Str
 		}
 		chans[w] = make(chan []streamRec, 4)
 		wg.Add(1)
-		go func(st *workerState, ch <-chan []streamRec) {
+		go func(w int, st *workerState, ch <-chan []streamRec) {
 			defer wg.Done()
+			_, wsp := obsv.StartTraceSpan(pctx, "cluster.stream.parallel.shard")
+			wsp.SetAttrInt("worker", int64(w))
+			wrecords, wbatches := 0, 0
 			for batch := range ch {
+				wbatches++
+				wrecords += len(batch)
 				for _, rec := range batch {
 					cl, seen := st.byClient[rec.client]
 					if !seen {
@@ -347,7 +382,10 @@ func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*Str
 					cl.urls[rec.url] = struct{}{}
 				}
 			}
-		}(states[w], chans[w])
+			wsp.SetAttrInt("records", int64(wrecords))
+			wsp.SetAttrInt("batches", int64(wbatches))
+			wsp.End()
+		}(w, states[w], chans[w])
 	}
 
 	// The reader thread owns parsing and batching; everything past the
@@ -355,7 +393,7 @@ func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*Str
 	// plain local and flushed once — never per record.
 	batches := make([][]streamRec, workers)
 	nbatches := 0
-	stats, err := weblog.StreamCLF(r, func(rec weblog.StreamRecord) bool {
+	stats, err := weblog.StreamCLFCtx(pctx, r, func(rec weblog.StreamRecord) bool {
 		res.TotalRequests++
 		w := int(shardOf(rec.Request.Client, ^uint32(0)) % uint32(workers))
 		b := batches[w]
@@ -382,7 +420,12 @@ func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*Str
 	res.Stats = stats
 	streamBatches.Add(uint64(nbatches))
 	streamParRecords.Add(uint64(res.TotalRequests))
+	sp.SetAttrInt("workers", int64(workers))
+	sp.SetAttrInt("records", int64(res.TotalRequests))
+	sp.SetAttrInt("batches", int64(nbatches))
 	if err != nil {
+		sp.Fail(err)
+		sp.End()
 		return nil, err
 	}
 
@@ -408,5 +451,6 @@ func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*Str
 			res.Unclustered[a] = struct{}{}
 		}
 	}
+	sp.End()
 	return res, nil
 }

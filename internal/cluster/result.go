@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sort"
 
 	"github.com/netaware/netcluster/internal/netutil"
@@ -46,7 +47,14 @@ type Result struct {
 // requests excluded from cluster metrics, mirroring the paper's coverage
 // accounting.
 func ClusterLog(l *weblog.Log, c Clusterer) *Result {
-	sp := obsv.StartSpan("cluster.log")
+	return ClusterLogCtx(context.Background(), l, c)
+}
+
+// ClusterLogCtx is ClusterLog under a trace context: the run records a
+// "cluster.log" span (method, record and cluster counts as attributes)
+// into the flight recorder, parented to whatever span ctx carries.
+func ClusterLogCtx(ctx context.Context, l *weblog.Log, c Clusterer) *Result {
+	_, sp := obsv.StartTraceSpan(ctx, "cluster.log")
 	res := &Result{
 		Method:   c.Name(),
 		Log:      l,
@@ -95,6 +103,9 @@ func ClusterLog(l *weblog.Log, c Clusterer) *Result {
 	sort.Slice(res.Clusters, func(i, j int) bool {
 		return netutil.ComparePrefix(res.Clusters[i].Prefix, res.Clusters[j].Prefix) < 0
 	})
+	sp.SetAttr("method", res.Method)
+	sp.SetAttrInt("records", int64(res.TotalRequests))
+	sp.SetAttrInt("clusters", int64(len(res.Clusters)))
 	sp.End()
 	// Flush run totals once; nothing is counted per record.
 	logRecords.Add(uint64(res.TotalRequests))

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"io"
 
 	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/weblog"
 )
 
@@ -54,13 +56,21 @@ func (r *StreamResult) Coverage() float64 {
 // parser, unclusterable clients are tracked and their requests excluded
 // from cluster metrics.
 func ClusterStream(r io.Reader, c Clusterer) (*StreamResult, error) {
+	return ClusterStreamCtx(context.Background(), r, c)
+}
+
+// ClusterStreamCtx is ClusterStream under a trace context: the pass
+// records a "cluster.stream" span with the parse work ("weblog.stream")
+// nested underneath it.
+func ClusterStreamCtx(ctx context.Context, r io.Reader, c Clusterer) (*StreamResult, error) {
+	sctx, sp := obsv.StartTraceSpan(ctx, "cluster.stream")
 	res := &StreamResult{
 		Method:      c.Name(),
 		Clusters:    make(map[netutil.Prefix]*StreamCluster),
 		Unclustered: make(map[netutil.Addr]struct{}),
 	}
 	byClient := make(map[netutil.Addr]*StreamCluster)
-	stats, err := weblog.StreamCLF(r, func(rec weblog.StreamRecord) bool {
+	stats, err := weblog.StreamCLFCtx(sctx, r, func(rec weblog.StreamRecord) bool {
 		res.TotalRequests++
 		client := rec.Request.Client
 		cl, seen := byClient[client]
@@ -94,8 +104,14 @@ func ClusterStream(r io.Reader, c Clusterer) (*StreamResult, error) {
 	})
 	res.Stats = stats
 	streamRecords.Add(uint64(res.TotalRequests))
+	sp.SetAttr("method", res.Method)
+	sp.SetAttrInt("records", int64(res.TotalRequests))
+	sp.SetAttrInt("clusters", int64(len(res.Clusters)))
 	if err != nil {
+		sp.Fail(err)
+		sp.End()
 		return nil, err
 	}
+	sp.End()
 	return res, nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"github.com/netaware/netcluster/internal/inet"
 	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/retry"
 )
 
@@ -138,12 +139,19 @@ func (c *Client) QueryContext(ctx context.Context, name string, qtype uint16) ([
 	c.mu.Unlock()
 	dnsQueries.Inc()
 
+	qctx, sp := obsv.StartTraceSpan(ctx, "dnswire.query")
+	sp.SetAttr("name", name)
+
 	if c.Breaker != nil && !c.Breaker.Allow() {
 		c.mu.Lock()
 		c.counters.FastFails++
 		c.mu.Unlock()
 		dnsFastFails.Inc()
-		return nil, fmt.Errorf("dnswire: query %q: %w", name, retry.ErrOpen)
+		ferr := fmt.Errorf("dnswire: query %q: %w", name, retry.ErrOpen)
+		sp.SetAttr("breaker", "open")
+		sp.Fail(ferr)
+		sp.End()
+		return nil, ferr
 	}
 
 	policy := c.Backoff
@@ -151,9 +159,10 @@ func (c *Client) QueryContext(ctx context.Context, name string, qtype uint16) ([
 	policy.PerAttempt = c.Timeout
 	policy.Classify = classify
 	policy.Rand = c.randFloat
+	policy.SpanName = "dnswire.attempt"
 
 	var answers []RR
-	attempts, err := policy.Do(ctx, func(ctx context.Context) error {
+	attempts, err := policy.Do(qctx, func(ctx context.Context) error {
 		a, aerr := c.exchange(ctx, name, qtype)
 		if aerr == nil {
 			answers = a
@@ -176,12 +185,17 @@ func (c *Client) QueryContext(ctx context.Context, name string, qtype uint16) ([
 			c.Breaker.Record(err)
 		}
 	}
+	sp.SetAttrInt("attempts", int64(attempts))
+	sp.SetAttr("breaker", c.Breaker.State())
 	if err != nil {
+		sp.Fail(err)
+		sp.End()
 		if errors.Is(err, ErrNXDomain) {
 			return nil, err
 		}
 		return nil, fmt.Errorf("dnswire: query %q failed %s", name, retry.Attempts(attempts, err))
 	}
+	sp.End()
 	return answers, nil
 }
 

@@ -134,16 +134,28 @@ func (p *Proxy) SetTransport(rt http.RoundTripper) {
 }
 
 // ServeHTTP implements http.Handler. Non-GET requests pass through
-// uncached.
+// uncached. Every request records a "httpproxy.request" trace span into
+// the flight recorder, carrying the cache outcome (hit, miss,
+// revalidated, stale, passthrough, error) and the cache key — the
+// per-request causality the simulation's batched counters cannot give.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ctx, sp := obsv.StartTraceSpan(r.Context(), "httpproxy.request")
+	status := "error"
+	defer func() {
+		sp.SetAttr("status", status)
+		sp.End()
+	}()
 	if r.Method != http.MethodGet {
+		sp.SetAttr("method", r.Method)
 		p.passThrough(w, r)
+		status = "passthrough"
 		return
 	}
 	key := r.URL.Path
 	if r.URL.RawQuery != "" {
 		key += "?" + r.URL.RawQuery
 	}
+	sp.SetAttr("key", key)
 	now := p.Now()
 
 	p.mu.Lock()
@@ -155,17 +167,18 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.lru.MoveToFront(el)
 		if now.Sub(e.validatedAt) < p.TTL {
 			p.serveLocked(w, e)
+			status = "hit"
 			return // serveLocked unlocks
 		}
 		// Stale: synchronous If-Modified-Since revalidation.
 		p.stats.Validations++
 		p.stats.SyncValidations++
 		p.mu.Unlock()
-		p.revalidateAndServe(r.Context(), w, key, e, now)
+		status = p.revalidateAndServe(ctx, w, key, e, now)
 		return
 	}
 	p.mu.Unlock()
-	p.fetchAndServe(r.Context(), w, key, now)
+	status = p.fetchAndServe(ctx, w, key, now)
 }
 
 // serveLocked writes a cached entry and releases the lock.
@@ -183,20 +196,21 @@ func (p *Proxy) serveLocked(w http.ResponseWriter, e *entry) {
 	w.Write(body)
 }
 
-// fetchAndServe brings a missing resource in from the origin.
-func (p *Proxy) fetchAndServe(ctx context.Context, w http.ResponseWriter, key string, now time.Time) {
+// fetchAndServe brings a missing resource in from the origin. It
+// returns the outcome label for the request's trace span.
+func (p *Proxy) fetchAndServe(ctx context.Context, w http.ResponseWriter, key string, now time.Time) string {
 	resp, body, err := p.originGet(ctx, key, time.Time{}, now)
 	if err != nil {
 		p.countError()
 		http.Error(w, "origin unreachable: "+err.Error(), http.StatusBadGateway)
-		return
+		return "error"
 	}
 	if resp.StatusCode != http.StatusOK {
 		// Non-200s pass through uncached.
 		copyHeader(w.Header(), resp.Header)
 		w.WriteHeader(resp.StatusCode)
 		w.Write(body)
-		return
+		return "passthrough"
 	}
 	lm, _ := http.ParseTime(resp.Header.Get("Last-Modified"))
 	e := &entry{
@@ -216,13 +230,15 @@ func (p *Proxy) fetchAndServe(ctx context.Context, w http.ResponseWriter, key st
 	w.Header().Set("X-Cache", "MISS")
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
+	return "miss"
 }
 
 // revalidateAndServe refreshes a stale entry via If-Modified-Since.
 // When the origin is unreachable and ServeStale is set, the expired copy
 // is served (marked X-Cache: STALE) rather than failing the client; the
-// entry stays expired so a later origin contact revalidates it.
-func (p *Proxy) revalidateAndServe(ctx context.Context, w http.ResponseWriter, key string, stale *entry, now time.Time) {
+// entry stays expired so a later origin contact revalidates it. It
+// returns the outcome label for the request's trace span.
+func (p *Proxy) revalidateAndServe(ctx context.Context, w http.ResponseWriter, key string, stale *entry, now time.Time) string {
 	resp, body, err := p.originGet(ctx, key, stale.lastModified, now)
 	if err != nil {
 		p.countError()
@@ -240,10 +256,10 @@ func (p *Proxy) revalidateAndServe(ctx context.Context, w http.ResponseWriter, k
 			w.Header().Set("X-Cache", "STALE")
 			w.WriteHeader(http.StatusOK)
 			w.Write(staleBody)
-			return
+			return "stale"
 		}
 		http.Error(w, "origin unreachable: "+err.Error(), http.StatusBadGateway)
-		return
+		return "error"
 	}
 	p.mu.Lock()
 	switch resp.StatusCode {
@@ -251,7 +267,7 @@ func (p *Proxy) revalidateAndServe(ctx context.Context, w http.ResponseWriter, k
 		stale.validatedAt = now
 		delete(p.expired, key)
 		p.serveLocked(w, stale) // counts a hit; unlocks
-		return
+		return "hit"
 	case http.StatusOK:
 		lm, _ := http.ParseTime(resp.Header.Get("Last-Modified"))
 		p.used -= int64(len(stale.body))
@@ -269,12 +285,14 @@ func (p *Proxy) revalidateAndServe(ctx context.Context, w http.ResponseWriter, k
 		w.Header().Set("X-Cache", "REVALIDATED")
 		w.WriteHeader(http.StatusOK)
 		w.Write(body)
+		return "revalidated"
 	default:
 		p.removeLocked(key)
 		p.mu.Unlock()
 		copyHeader(w.Header(), resp.Header)
 		w.WriteHeader(resp.StatusCode)
 		w.Write(body)
+		return "passthrough"
 	}
 }
 

@@ -1,0 +1,272 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace_event export: the flight-recorder spans serialized in the
+// JSON object format chrome://tracing and Perfetto load directly. Every
+// span becomes one "X" (complete) event; timestamps are rebased to the
+// earliest span so microsecond floats keep full precision over runs that
+// started hours into an epoch.
+//
+// The format has no parent links — nesting is inferred per thread lane
+// (tid) from containment — so the writer assigns lanes such that events
+// sharing a tid are pairwise nested or disjoint: a child reuses its
+// parent's lane only when it both starts after the previous span placed
+// there and ends within the parent; otherwise it gets a fresh lane that
+// is never reused by another subtree. Concurrent shard spans therefore
+// render as parallel tracks under their root, which is exactly the
+// fan-out picture the tooling is for.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const chromePid = 1
+
+type chromeNode struct {
+	rec      *SpanRecord
+	startNs  int64
+	endNs    int64
+	children []*chromeNode
+	lane     int
+}
+
+// WriteChromeTrace serializes spans (typically a Ring.Snapshot) as a
+// Chrome trace_event JSON object. An empty span set writes a valid empty
+// trace.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	events := buildChromeEvents(spans)
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+func buildChromeEvents(spans []SpanRecord) []chromeEvent {
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: chromePid,
+		Args: map[string]any{"name": "netcluster"},
+	}}
+	if len(spans) == 0 {
+		return events
+	}
+
+	// Sort by start (longer first on ties, so parents precede children)
+	// and rebase timestamps to the earliest span.
+	nodes := make([]*chromeNode, len(spans))
+	for i := range spans {
+		rec := &spans[i]
+		nodes[i] = &chromeNode{
+			rec:     rec,
+			startNs: rec.Start.UnixNano(),
+			endNs:   rec.Start.UnixNano() + rec.Duration.Nanoseconds(),
+		}
+	}
+	sort.SliceStable(nodes, func(i, j int) bool {
+		if nodes[i].startNs != nodes[j].startNs {
+			return nodes[i].startNs < nodes[j].startNs
+		}
+		return nodes[i].endNs > nodes[j].endNs
+	})
+	baseNs := nodes[0].startNs
+
+	// Group into traces, link children, and collect roots (spans whose
+	// parent fell out of the ring count as roots).
+	byTrace := make(map[uint64][]*chromeNode)
+	var traceOrder []uint64
+	for _, n := range nodes {
+		if _, seen := byTrace[n.rec.TraceID]; !seen {
+			traceOrder = append(traceOrder, n.rec.TraceID)
+		}
+		byTrace[n.rec.TraceID] = append(byTrace[n.rec.TraceID], n)
+	}
+
+	var laneNames []string
+	allocLane := func(name string) int {
+		laneNames = append(laneNames, name)
+		return len(laneNames) - 1
+	}
+	var place func(n *chromeNode, lane int)
+	place = func(n *chromeNode, lane int) {
+		n.lane = lane
+		if laneNames[lane] == "" {
+			laneNames[lane] = n.rec.Name
+		}
+		prevEnd := int64(math.MinInt64)
+		for _, c := range n.children {
+			if c.startNs >= prevEnd && c.endNs <= n.endNs {
+				place(c, lane)
+				prevEnd = c.endNs
+			} else {
+				place(c, allocLane(""))
+			}
+		}
+	}
+
+	for _, tid := range traceOrder {
+		group := byTrace[tid]
+		byID := make(map[uint64]*chromeNode, len(group))
+		for _, n := range group {
+			byID[n.rec.SpanID] = n
+		}
+		var roots []*chromeNode
+		for _, n := range group {
+			if p := byID[n.rec.ParentID]; n.rec.ParentID != 0 && p != nil && p != n {
+				p.children = append(p.children, n)
+			} else {
+				roots = append(roots, n)
+			}
+		}
+		rootLane := -1
+		prevEnd := int64(math.MinInt64)
+		for _, rt := range roots {
+			if rootLane >= 0 && rt.startNs >= prevEnd {
+				place(rt, rootLane)
+				prevEnd = rt.endNs
+			} else if rootLane < 0 {
+				rootLane = allocLane("")
+				place(rt, rootLane)
+				prevEnd = rt.endNs
+			} else {
+				place(rt, allocLane(""))
+			}
+		}
+	}
+
+	for lane, name := range laneNames {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: lane,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, n := range nodes {
+		args := map[string]any{
+			"trace": strconv.FormatUint(n.rec.TraceID, 10),
+			"span":  strconv.FormatUint(n.rec.SpanID, 10),
+		}
+		if n.rec.ParentID != 0 {
+			args["parent"] = strconv.FormatUint(n.rec.ParentID, 10)
+		}
+		for _, a := range n.rec.Attrs {
+			args[a.Key] = a.Value
+		}
+		if n.rec.Err != "" {
+			args["error"] = n.rec.Err
+		}
+		events = append(events, chromeEvent{
+			Name: n.rec.Name,
+			Ph:   "X",
+			Ts:   float64(n.startNs-baseNs) / 1e3,
+			Dur:  float64(n.endNs-n.startNs) / 1e3,
+			Pid:  chromePid,
+			Tid:  n.lane,
+			Cat:  "netcluster",
+			Args: args,
+		})
+	}
+	return events
+}
+
+// ValidateChromeTrace checks that data is a structurally valid Chrome
+// trace: a traceEvents array (object or bare-array form) whose "X"
+// events all carry name/ph/ts/dur/pid/tid, with events on each (pid,
+// tid) lane pairwise nested or disjoint. It returns the number of "X"
+// events.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || doc.TraceEvents == nil {
+		// Bare-array form.
+		if aerr := json.Unmarshal(data, &doc.TraceEvents); aerr != nil {
+			if err == nil {
+				err = aerr
+			}
+			return 0, fmt.Errorf("obsv: not a chrome trace: %w", err)
+		}
+	}
+	type ev struct {
+		Name *string  `json:"name"`
+		Ph   *string  `json:"ph"`
+		Ts   *float64 `json:"ts"`
+		Dur  *float64 `json:"dur"`
+		Pid  *int     `json:"pid"`
+		Tid  *int     `json:"tid"`
+	}
+	type span struct{ start, end float64 }
+	lanes := make(map[[2]int][]span)
+	count := 0
+	for i, raw := range doc.TraceEvents {
+		var e ev
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return count, fmt.Errorf("obsv: trace event %d: %w", i, err)
+		}
+		if e.Ph == nil {
+			return count, fmt.Errorf("obsv: trace event %d: missing ph", i)
+		}
+		if *e.Ph != "X" {
+			continue
+		}
+		if e.Name == nil || *e.Name == "" {
+			return count, fmt.Errorf("obsv: trace event %d: missing name", i)
+		}
+		if e.Ts == nil || e.Dur == nil || e.Pid == nil || e.Tid == nil {
+			return count, fmt.Errorf("obsv: trace event %d (%s): missing ts/dur/pid/tid", i, *e.Name)
+		}
+		if *e.Dur < 0 {
+			return count, fmt.Errorf("obsv: trace event %d (%s): negative dur", i, *e.Name)
+		}
+		key := [2]int{*e.Pid, *e.Tid}
+		lanes[key] = append(lanes[key], span{start: *e.Ts, end: *e.Ts + *e.Dur})
+		count++
+	}
+	// Nesting: within a lane, sorted by start (longest first on ties),
+	// every event must nest inside or fall after the enclosing stack.
+	const eps = 1e-3 // 1 ns in µs: absorbs float rounding of ts+dur
+	for key, spans := range lanes {
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].start != spans[j].start {
+				return spans[i].start < spans[j].start
+			}
+			return spans[i].end > spans[j].end
+		})
+		var stack []span
+		for _, s := range spans {
+			for len(stack) > 0 && s.start >= stack[len(stack)-1].end-eps {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && s.end > stack[len(stack)-1].end+eps {
+				return count, fmt.Errorf(
+					"obsv: lane pid=%d tid=%d: event [%.3f,%.3f] partially overlaps enclosing [%.3f,%.3f]",
+					key[0], key[1], s.start, s.end, stack[len(stack)-1].start, stack[len(stack)-1].end)
+			}
+			stack = append(stack, s)
+		}
+	}
+	return count, nil
+}
+
+// WriteTraceFile atomically writes the Default flight recorder as a
+// Chrome trace JSON file — the implementation behind the commands'
+// -trace-out flags.
+func WriteTraceFile(path string) error {
+	return writeFileAtomic(path, func(w io.Writer) error {
+		return WriteChromeTrace(w, DefaultRing.Snapshot())
+	})
+}

@@ -1,9 +1,11 @@
 package obsv
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -20,18 +22,48 @@ func init() {
 }
 
 // DebugHandler returns the debug mux an operational listener serves:
-// /debug/vars (expvar JSON, including the "netcluster" snapshot) and the
-// /debug/pprof endpoints. cmd/pcvproxy mounts it on -metrics-addr; any
-// embedder can mount it on a private listener.
+// /debug/vars (expvar JSON, including the "netcluster" snapshot),
+// /metrics (Prometheus text exposition of the same registry, with
+// histogram buckets and derived quantiles), /debug/trace (the flight
+// recorder as Chrome trace_event JSON), and the /debug/pprof endpoints.
+// cmd/pcvproxy mounts it on -metrics-addr; any embedder can mount it on
+// a private listener.
 func DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/debug/trace", TraceHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// MetricsHandler serves the Default registry as a Prometheus text
+// exposition page.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		var buf bytes.Buffer
+		if err := WritePrometheusText(&buf, TakeSnapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(buf.Bytes())
+	})
+}
+
+// TraceHandler serves the Default flight recorder as a Chrome
+// trace_event JSON document, ready to save and load in chrome://tracing
+// or Perfetto.
+func TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="netcluster-trace.json"`)
+		WriteChromeTrace(w, DefaultRing.Snapshot())
+	})
 }
 
 // MarshalJSON renders a snapshot as indented, key-sorted JSON.
@@ -43,27 +75,36 @@ func (s Snapshot) MarshalIndent() ([]byte, error) {
 // path (temp file + rename, so a crash mid-write never truncates an
 // existing snapshot).
 func WriteFile(path string) error {
-	data, err := TakeSnapshot().MarshalIndent()
-	if err != nil {
-		return fmt.Errorf("obsv: marshaling snapshot: %w", err)
-	}
-	data = append(data, '\n')
+	return writeFileAtomic(path, func(w io.Writer) error {
+		data, err := TakeSnapshot().MarshalIndent()
+		if err != nil {
+			return fmt.Errorf("obsv: marshaling snapshot: %w", err)
+		}
+		data = append(data, '\n')
+		_, err = w.Write(data)
+		return err
+	})
+}
+
+// writeFileAtomic streams fill into a temp file in path's directory and
+// renames it into place, so readers never observe a partial file.
+func writeFileAtomic(path string, fill func(io.Writer) error) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".obsv-*")
 	if err != nil {
-		return fmt.Errorf("obsv: writing snapshot: %w", err)
+		return fmt.Errorf("obsv: writing %s: %w", path, err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if err := fill(tmp); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("obsv: writing snapshot: %w", err)
+		return fmt.Errorf("obsv: writing %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("obsv: writing snapshot: %w", err)
+		return fmt.Errorf("obsv: writing %s: %w", path, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("obsv: writing snapshot: %w", err)
+		return fmt.Errorf("obsv: writing %s: %w", path, err)
 	}
 	return nil
 }

@@ -80,13 +80,15 @@ type HistogramBucket struct {
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram. Quantiles
-// are bucket-resolution estimates (geometric bucket midpoint), good to
-// a factor of ~√2 — plenty to catch a regression that matters.
+// are linear interpolations within the log2 bucket holding the rank
+// (see Quantile) — exact for distributions uniform within a bucket and
+// never off by more than the bucket width.
 type HistogramSnapshot struct {
 	Count   uint64            `json:"count"`
 	Sum     int64             `json:"sum"`
 	Mean    float64           `json:"mean"`
 	P50     float64           `json:"p50"`
+	P95     float64           `json:"p95"`
 	P99     float64           `json:"p99"`
 	Max     uint64            `json:"max"` // upper bound of the highest non-empty bucket
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
@@ -111,28 +113,56 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if s.Count > 0 {
 		s.Mean = float64(s.Sum) / float64(s.Count)
 		s.P50 = quantile(&counts, s.Count, 0.50)
+		s.P95 = quantile(&counts, s.Count, 0.95)
 		s.P99 = quantile(&counts, s.Count, 0.99)
 	}
 	return s
 }
 
-// quantile estimates the q-quantile as the geometric midpoint of the
-// bucket holding the q·count-th observation.
-func quantile(counts *[numBuckets]uint64, total uint64, q float64) float64 {
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
+// Quantile estimates the q-quantile (q in [0,1]) of the recorded
+// distribution by locating the bucket holding the q·count-th observation
+// and interpolating linearly within it — exact when observations are
+// uniform inside the bucket, and always inside the bucket's bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
 	}
-	var seen uint64
+	return quantile(&counts, total, q)
+}
+
+// quantile interpolates the q-quantile from bucket counts. The rank is
+// the continuous position q·total, clamped into the observed range, so
+// q=1 lands at the top of the last occupied bucket.
+func quantile(counts *[numBuckets]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank >= float64(total) {
+		rank = float64(total) - 0.5
+	}
+	var seen float64
 	for i := 0; i < numBuckets; i++ {
-		seen += counts[i]
-		if seen > rank {
-			lo, hi := BucketLow(i), BucketHigh(i)
-			if lo == 0 {
+		c := float64(counts[i])
+		if c == 0 {
+			continue
+		}
+		if rank < seen+c {
+			if i == 0 {
 				return 0
 			}
-			return math.Sqrt(float64(lo) * float64(hi))
+			lo, hi := float64(BucketLow(i)), float64(BucketHigh(i))
+			return lo + (rank-seen)/c*(hi-lo)
 		}
+		seen += c
 	}
-	return 0
+	return float64(BucketHigh(numBuckets - 1))
 }

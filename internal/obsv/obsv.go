@@ -74,7 +74,18 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// ring, when set, receives every completed trace span started from
+	// this registry (the flight recorder). See ring.go and trace.go.
+	ring atomic.Pointer[Ring]
 }
+
+// SetRing wires a flight recorder into the registry; nil detaches it.
+// The Default registry is wired to DefaultRing at init.
+func (r *Registry) SetRing(ring *Ring) { r.ring.Store(ring) }
+
+// Ring returns the registry's flight recorder, or nil.
+func (r *Registry) Ring() *Ring { return r.ring.Load() }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {

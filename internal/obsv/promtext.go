@@ -1,0 +1,109 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4) of a registry
+// snapshot, served on /metrics next to /debug/vars. Dotted metric names
+// sanitize to underscore families under a netcluster_ prefix; counters
+// get the conventional _total suffix; histograms export their log2
+// buckets as cumulative le-labeled series plus _sum/_count, and the
+// derived p50/p95/p99 are emitted as separate gauge families so scrape
+// pipelines that cannot aggregate native histograms still get
+// quantiles.
+
+// PrometheusContentType is the Content-Type for /metrics responses.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a dotted metric name into a Prometheus family name.
+func promName(name string) string {
+	b := []byte("netcluster_" + name)
+	for i := range b {
+		c := b[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheusText renders s in the Prometheus text exposition
+// format. Families are emitted in sorted name order per kind, so two
+// identical snapshots produce byte-identical pages.
+func WritePrometheusText(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s netcluster counter %q\n# TYPE %s counter\n%s %d\n",
+			fam, name, fam, fam, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := promName(name)
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s netcluster gauge %q\n# TYPE %s gauge\n%s %d\n",
+			fam, name, fam, fam, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fam := promName(name)
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s netcluster histogram %q (log2 buckets)\n# TYPE %s histogram\n",
+			fam, name, fam); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", fam, b.High, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			fam, h.Count, fam, h.Sum, fam, h.Count); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			suffix string
+			v      float64
+		}{{"_p50", h.P50}, {"_p95", h.P95}, {"_p99", h.P99}} {
+			qfam := fam + q.suffix
+			if _, err := fmt.Fprintf(w,
+				"# HELP %s netcluster histogram %q interpolated quantile\n# TYPE %s gauge\n%s %s\n",
+				qfam, name, qfam, qfam, promFloat(q.v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -107,6 +107,26 @@ func (b *Breaker) Record(err error) {
 	}
 }
 
+// State reports the breaker's current position: "closed", "open", or
+// "half-open" (cooldown elapsed, one trial admitted). A nil or disabled
+// breaker is always "closed". Trace spans attach this so a dump shows
+// whether a fast-fail came from a tripped circuit.
+func (b *Breaker) State() string {
+	if b == nil || b.Threshold < 1 {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return "closed"
+	case b.halfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
 // Opens returns how many times the breaker has tripped open — a
 // degradation counter the validation report surfaces.
 func (b *Breaker) Opens() int {

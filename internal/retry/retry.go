@@ -78,6 +78,10 @@ type Policy struct {
 	// Sleep is the clock hook, overridable in tests; nil uses a real
 	// context-aware sleep.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// SpanName names the per-attempt trace span recorded into the flight
+	// recorder ("retry.attempt" when empty), so a client can label its
+	// attempts (e.g. "dnswire.attempt") without wrapping Do.
+	SpanName string
 }
 
 // DefaultPolicy is the live pipeline's stance: three attempts, 50 ms
@@ -122,6 +126,9 @@ func (p Policy) Backoff(attempt int) time.Duration {
 // Do runs op under the policy. It returns the number of attempts made and
 // the first nil or Fatal error, or the last Transient error once attempts
 // are exhausted. op receives a per-attempt context when PerAttempt is set.
+// Each attempt records a trace span (named by SpanName) carrying the
+// attempt number and, on retries, the backoff just slept — the per-attempt
+// causality a flight-recorder dump needs to explain a slow lookup.
 func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) (attempts int, err error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -130,21 +137,35 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) (att
 	if max < 1 {
 		max = 1
 	}
+	spanName := p.SpanName
+	if spanName == "" {
+		spanName = "retry.attempt"
+	}
 	var lastErr error
 	for attempt := 0; attempt < max; attempt++ {
+		var backoff time.Duration
 		if attempt > 0 {
-			d := p.Backoff(attempt)
+			backoff = p.Backoff(attempt)
 			retryRetries.Inc()
-			retryBackoffNs.Observe(int64(d))
-			if err := p.sleep(ctx, d); err != nil {
+			retryBackoffNs.Observe(int64(backoff))
+			if err := p.sleep(ctx, backoff); err != nil {
 				return attempts, err
 			}
 		}
 		attempts++
 		retryAttempts.Inc()
-		attemptCtx, cancel := p.attemptContext(ctx)
+		spanCtx, sp := obsv.StartTraceSpan(ctx, spanName)
+		sp.SetAttrInt("attempt", int64(attempts))
+		if attempt > 0 {
+			sp.SetAttrInt("backoff_ns", int64(backoff))
+		}
+		attemptCtx, cancel := p.attemptContext(spanCtx)
 		err := op(attemptCtx)
 		cancel()
+		if err != nil {
+			sp.Fail(err)
+		}
+		sp.End()
 		if err == nil {
 			retrySuccesses.Inc()
 			return attempts, nil

@@ -3,9 +3,12 @@ package weblog
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"time"
+
+	"github.com/netaware/netcluster/internal/obsv"
 )
 
 // Streaming access to Common Log Format data. The paper's largest trace
@@ -53,6 +56,23 @@ type StreamStats struct {
 // the strict string parser as the fallback for unusual layouts and for
 // error reporting.
 func StreamCLF(r io.Reader, fn func(StreamRecord) bool) (StreamStats, error) {
+	return StreamCLFCtx(context.Background(), r, fn)
+}
+
+// StreamCLFCtx is StreamCLF under a trace context: the whole pass
+// records one "weblog.stream" span (line/record/byte totals as
+// attributes) into the flight recorder. The per-line loop itself stays
+// uninstrumented — one span per stream, never per record.
+func StreamCLFCtx(ctx context.Context, r io.Reader, fn func(StreamRecord) bool) (stats StreamStats, err error) {
+	_, sp := obsv.StartTraceSpan(ctx, "weblog.stream")
+	defer func() {
+		sp.SetAttrInt("lines", int64(stats.Lines))
+		sp.SetAttrInt("records", int64(stats.Records))
+		if err != nil {
+			sp.Fail(err)
+		}
+		sp.End()
+	}()
 	src, err := maybeGzip(r)
 	if err != nil {
 		return StreamStats{}, err

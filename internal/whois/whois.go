@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/retry"
 )
 
@@ -274,18 +275,26 @@ func (c *Client) LookupContext(ctx context.Context, asn uint32) (Record, bool, e
 	}
 	c.mu.Unlock()
 
+	lctx, sp := obsv.StartTraceSpan(ctx, "whois.lookup")
+	sp.SetAttrInt("asn", int64(asn))
+
 	if c.Breaker != nil && !c.Breaker.Allow() {
 		whoisFastFails.Inc()
-		return Record{}, false, fmt.Errorf("whois: AS%d: %w", asn, retry.ErrOpen)
+		ferr := fmt.Errorf("whois: AS%d: %w", asn, retry.ErrOpen)
+		sp.SetAttr("breaker", "open")
+		sp.Fail(ferr)
+		sp.End()
+		return Record{}, false, ferr
 	}
 
 	policy := c.Backoff
 	policy.MaxAttempts = c.Retries + 1
 	policy.PerAttempt = c.Timeout
+	policy.SpanName = "whois.attempt"
 
 	var rec Record
 	var found bool
-	attempts, err := policy.Do(ctx, func(ctx context.Context) error {
+	attempts, err := policy.Do(lctx, func(ctx context.Context) error {
 		var ferr error
 		rec, found, ferr = c.fetch(ctx, asn)
 		return ferr
@@ -298,9 +307,14 @@ func (c *Client) LookupContext(ctx context.Context, asn uint32) (Record, bool, e
 	if c.Breaker != nil {
 		c.Breaker.Record(err)
 	}
+	sp.SetAttrInt("attempts", int64(attempts))
+	sp.SetAttr("breaker", c.Breaker.State())
 	if err != nil {
+		sp.Fail(err)
+		sp.End()
 		return Record{}, false, fmt.Errorf("whois: AS%d failed %s", asn, retry.Attempts(attempts, err))
 	}
+	sp.End()
 	c.mu.Lock()
 	if found {
 		cp := rec

@@ -321,9 +321,24 @@ type MetricsSnapshot = obsv.Snapshot
 func Metrics() MetricsSnapshot { return obsv.TakeSnapshot() }
 
 // MetricsHandler returns an http.Handler serving /debug/vars (expvar
-// JSON including the metric registry) and /debug/pprof, for mounting on
-// a private operational listener (see cmd/pcvproxy's -metrics-addr).
+// JSON including the metric registry), /debug/pprof, /metrics
+// (Prometheus text exposition with histogram buckets and derived
+// quantiles) and /debug/trace (the flight recorder as Chrome trace_event
+// JSON), for mounting on a private operational listener (see
+// cmd/pcvproxy's -metrics-addr).
 func MetricsHandler() http.Handler { return obsv.DebugHandler() }
+
+// TraceHandler returns an http.Handler that dumps the flight recorder —
+// the always-on, fixed-size ring of recently completed trace spans — as
+// Chrome trace_event JSON, openable directly in chrome://tracing or
+// Perfetto. MetricsHandler already mounts it at /debug/trace; use this to
+// mount the dump elsewhere.
+func TraceHandler() http.Handler { return obsv.TraceHandler() }
+
+// WriteTrace writes the flight recorder's current contents to path as
+// Chrome trace_event JSON (what clusterctl and experiments emit for
+// -trace-out).
+func WriteTrace(path string) error { return obsv.WriteTraceFile(path) }
 
 // Synthetic world: the offline substitute for the paper's live data
 // sources. Generate a world once, derive BGP views, logs, DNS and

@@ -27,6 +27,7 @@ package netcluster_test
 // layer. Its row is asserted at zero modeled overhead.
 
 import (
+	"context"
 	"testing"
 
 	"github.com/netaware/netcluster/internal/benchfmt"
@@ -68,8 +69,19 @@ func TestInstrumentationOverheadBudget(t *testing.T) {
 			reg.StartSpan("overhead.probe").End()
 		}
 	})
-	t.Logf("unit costs: atomic add %.1f ns, observe %.1f ns, span %.0f ns",
-		atomicNs, observeNs, spanNs)
+	// Trace spans additionally allocate a record and store it into the
+	// flight-recorder ring; priced with a private ring so the probes stay
+	// out of the Default recorder.
+	reg.SetRing(obsv.NewRing(1024))
+	tspanNs := perOpNs(func(n int) {
+		ctx := context.Background()
+		for i := 0; i < n; i++ {
+			_, sp := reg.StartTraceSpan(ctx, "overhead.probe")
+			sp.End()
+		}
+	})
+	t.Logf("unit costs: atomic add %.1f ns, observe %.1f ns, span %.0f ns, trace span %.0f ns",
+		atomicNs, observeNs, spanNs, tspanNs)
 
 	// Client populations behind the per-client amortized counters.
 	f := perfSetup(t)
@@ -80,21 +92,24 @@ func TestInstrumentationOverheadBudget(t *testing.T) {
 		name    string
 		atomics float64 // atomic counter/gauge ops per benchmark op
 		obs     float64 // histogram observes per benchmark op
-		spans   float64 // span start/end pairs per benchmark op
+		spans   float64 // ASpan start/end pairs per benchmark op
+		tspans  float64 // trace spans (start/attr/End + ring record) per op
 	}{
 		// Compiled.Lookup itself: instrumented nowhere, on purpose.
-		{"BenchmarkLongestPrefixMatchCompiled", 0, 0, 0},
-		// StreamCLF: one parseTally flush (fast+strict+bytes counters).
-		{"BenchmarkCLFParseStream", 3, 0, 0},
+		{"BenchmarkLongestPrefixMatchCompiled", 0, 0, 0, 0},
+		// StreamCLF: one parseTally flush (fast+strict+bytes counters)
+		// and one "weblog.stream" trace span wrapping the whole pass.
+		{"BenchmarkCLFParseStream", 3, 0, 0, 1},
 		// Sequential ClusterLog, plain table: one lookup counter per
 		// distinct client plus at most one no-match counter, then the
-		// three result flushes. One span wraps the run.
-		{"BenchmarkClusterLogNetworkAware", 2*naganoClients + 3, 0, 1},
+		// three result flushes. One "cluster.log" trace span wraps the
+		// run.
+		{"BenchmarkClusterLogNetworkAware", 2*naganoClients + 3, 0, 0, 1},
 		// workers-1 falls back to the sequential path with the compiled
 		// engine: per distinct client one lookup counter, at most one
 		// no-match, and a 1-in-64 sampled depth observe; three flushes
-		// and a span per run.
-		{"BenchmarkClusterLogParallel/workers-1", 2*apacheClients + 3, apacheClients / 64, 1},
+		// and the sequential trace span per run.
+		{"BenchmarkClusterLogParallel/workers-1", 2*apacheClients + 3, apacheClients / 64, 0, 1},
 	}
 
 	const budget = 0.01
@@ -104,7 +119,7 @@ func TestInstrumentationOverheadBudget(t *testing.T) {
 			t.Errorf("committed recording lacks %s; rerun `make bench-json`", row.name)
 			continue
 		}
-		overhead := row.atomics*atomicNs + row.obs*observeNs + row.spans*spanNs
+		overhead := row.atomics*atomicNs + row.obs*observeNs + row.spans*spanNs + row.tspans*tspanNs
 		frac := overhead / committed.NsPerOp
 		t.Logf("%-42s modeled %8.0f ns of %12.0f ns/op = %.3f%%",
 			row.name, overhead, committed.NsPerOp, 100*frac)
