@@ -9,9 +9,24 @@ GO ?= go
 
 # Benchmarks of the compiled lookup table, parallel clustering engines and
 # CLF fast path; bench-json freezes their numbers into BENCH_clustering.json.
-PERF_BENCH = LongestPrefixMatch|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF
+PERF_BENCH = LongestPrefixMatch|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF|Churn
 
-.PHONY: all build test test-short race vet fmt fmt-check chaos bench-json bench-gate bench-smoke trace-smoke check clean
+# Every fuzz target in the tree, as pkg-dir:FuzzName pairs. fuzz-smoke
+# runs each for FUZZTIME so corpus-breaking regressions (and fresh
+# crashes near the seeds) surface in CI without a long campaign.
+FUZZ_TARGETS = \
+	internal/weblog:FuzzReadCLF \
+	internal/weblog:FuzzStreamCLF \
+	internal/weblog:FuzzParseCLFLineFast \
+	internal/bgp:FuzzParsePrefixEntry \
+	internal/bgp:FuzzReadSnapshot \
+	internal/dnswire:FuzzDecode
+FUZZTIME ?= 20s
+
+# Advisory statement-coverage floor for the cover target.
+COVER_MIN ?= 70
+
+.PHONY: all build test test-short race vet fmt fmt-check chaos bench-json bench-gate bench-smoke trace-smoke fuzz-smoke cover check clean
 
 all: build
 
@@ -68,6 +83,30 @@ bench-gate:
 # bench code without paying for stable timings.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(PERF_BENCH)' -benchtime 10x . > /dev/null
+
+# Short differential-fuzz pass over every target. Each run still replays
+# the checked-in corpus first, so this also acts as a regression gate for
+# past crashers (e.g. the weblog empty-timestamp seed).
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "== fuzz $$pkg $$fn ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) ./$$pkg; \
+	done
+
+# Aggregate statement coverage with an advisory floor: the total is
+# written to bin/cover-summary.txt for CI to archive, and a shortfall
+# warns rather than fails (coverage gates invite test gaming; the trend
+# artifact is the useful signal).
+cover:
+	@mkdir -p bin
+	$(GO) test -short -coverprofile bin/cover.out -covermode atomic ./...
+	@$(GO) tool cover -func bin/cover.out | tee bin/cover-func.txt | tail -1
+	@total=$$($(GO) tool cover -func bin/cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	echo "total statement coverage: $$total% (advisory floor $(COVER_MIN)%)" > bin/cover-summary.txt; \
+	cat bin/cover-summary.txt; \
+	if [ "$$(printf '%s\n' "$$total" "$(COVER_MIN)" | sort -g | head -1)" != "$(COVER_MIN)" ]; then \
+		echo "WARNING: coverage $$total% below advisory floor $(COVER_MIN)%"; fi
 
 # End-to-end tracing smoke: run the perf experiment with the flight
 # recorder draining to a Chrome trace file, then validate the schema and

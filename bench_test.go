@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	netcluster "github.com/netaware/netcluster"
 	"github.com/netaware/netcluster/internal/bgp"
 	"github.com/netaware/netcluster/internal/bgpsim"
+	"github.com/netaware/netcluster/internal/churn"
 	"github.com/netaware/netcluster/internal/cluster"
 	"github.com/netaware/netcluster/internal/detect"
 	"github.com/netaware/netcluster/internal/netutil"
@@ -522,5 +525,133 @@ func BenchmarkWorldGeneration(b *testing.B) {
 		if _, err := netcluster.GenerateWorld(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- Churn / incremental recompilation (BENCH_clustering.json) -------------
+
+// The acceptance bar for the incremental delta compiler: applying a 1%
+// churn batch must beat recompiling the table from scratch by a wide
+// margin (the clusterd service applies deltas on a ticker while serving
+// lookups), and lookup latency through the RCU swap must be
+// indistinguishable from a quiet table.
+var (
+	churnOnce   sync.Once
+	churnMerged *bgp.Merged
+	churnFwd    bgp.Delta // withdraw 1% of the BGP universe
+	churnRev    bgp.Delta // re-announce the same entries
+	churnAddrs  []netutil.Addr
+)
+
+func churnSetup(b testing.TB) {
+	f := setup(b)
+	churnOnce.Do(func() {
+		sim := bgpsim.New(f.world, bgpsim.DefaultConfig())
+		coll := sim.Collect()
+		churnMerged = bgpsim.Merge(coll)
+		// Deduplicated union of every vantage's entries, mirroring the
+		// clusterd churn universe.
+		seen := make(map[netutil.Prefix]bool)
+		var entries []bgp.Entry
+		for _, v := range coll.Views {
+			for _, e := range v.Entries {
+				if !seen[e.Prefix] {
+					seen[e.Prefix] = true
+					entries = append(entries, e)
+				}
+			}
+		}
+		// Every 100th prefix: a 1% batch spread across the whole table.
+		n := len(entries) / 100
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			e := entries[i*100]
+			churnRev.Ops = append(churnRev.Ops, bgp.Op{Kind: bgp.SourceBGP, Entry: e})
+			churnFwd.Ops = append(churnFwd.Ops, bgp.Op{
+				Withdraw: true, Kind: bgp.SourceBGP, Entry: bgp.Entry{Prefix: e.Prefix},
+			})
+		}
+		rng := rand.New(rand.NewSource(77))
+		for i := 0; i < 4096; i++ {
+			churnAddrs = append(churnAddrs, netutil.AddrFrom4(
+				byte(rng.Intn(224)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))))
+		}
+	})
+}
+
+// BenchmarkChurnDeltaApply measures one incremental generation swap for a
+// 1% churn batch. Alternating the batch with its inverse keeps the table
+// in a two-state steady cycle, so every iteration does comparable work.
+func BenchmarkChurnDeltaApply(b *testing.B) {
+	churnSetup(b)
+	inc := bgp.NewIncremental(churnMerged)
+	b.ReportMetric(float64(len(churnFwd.Ops)), "ops/delta")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			inc.Apply(churnFwd)
+		} else {
+			inc.Apply(churnRev)
+		}
+	}
+}
+
+// BenchmarkChurnFullRecompile is the baseline the delta compiler replaces:
+// rebuilding the Compiled table from the merged tries on every change.
+func BenchmarkChurnFullRecompile(b *testing.B) {
+	churnSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churnMerged.Compile()
+	}
+}
+
+// BenchmarkChurnLookup compares lookup latency through a churn.Table at
+// rest against one swapping generations ~1000x/sec underneath the
+// readers. The p99-ns metric is the invariant: RCU publication must not
+// add tail latency. (Per-op time includes one time.Now/Since pair of
+// timer overhead; it is identical in both modes.)
+func BenchmarkChurnLookup(b *testing.B) {
+	churnSetup(b)
+	for _, mode := range []string{"steady", "swapping"} {
+		b.Run(mode, func(b *testing.B) {
+			tb := churn.New(churnMerged)
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			if mode == "swapping" {
+				go func() {
+					defer close(done)
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if i%2 == 0 {
+							tb.Apply(churnFwd)
+						} else {
+							tb.Apply(churnRev)
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}()
+			} else {
+				close(done)
+			}
+			lat := make([]int64, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				tb.Lookup(churnAddrs[i%len(churnAddrs)])
+				lat = append(lat, int64(time.Since(t0)))
+			}
+			b.StopTimer()
+			close(stop)
+			<-done
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
+		})
 	}
 }

@@ -1,0 +1,298 @@
+// Command clusterd is the long-running clustering service: it serves
+// longest-prefix-match lookups and batch clustering over HTTP while
+// absorbing BGP announce/withdraw deltas online. The prefix table is
+// published RCU-style (internal/churn), so lookups stay lock-free
+// through every hot swap and a generation counter in each response
+// records which table answered.
+//
+//	clusterd -addr 127.0.0.1:8349 -ases 300 -churn-every 2s
+//
+// Endpoints:
+//
+//	GET  /lookup?addr=12.65.147.94   one address → cluster prefix JSON
+//	POST /cluster                    newline-separated addresses → JSON
+//	GET  /healthz                    liveness + table generation
+//	GET  /metrics, /debug/...        obsv debug surface (Prometheus
+//	                                 text, expvar, pprof, flight trace)
+//
+// The batch endpoint is admission-controlled: at most -max-inflight
+// batches run concurrently; beyond that clusterd answers 503 with
+// Retry-After instead of queueing unboundedly (backpressure, not
+// collapse). SIGTERM/SIGINT drain gracefully: the listener stops
+// accepting, in-flight requests finish (bounded by -drain-timeout), the
+// churn loop stops, and -metrics-out receives a final snapshot.
+//
+// Churn is synthetic: the same bgpsim world that seeds the table also
+// drives a bursty announce/withdraw schedule (-churn-every, -mean-batch,
+// -burstiness), so a deployment-shaped soak run needs no external feed.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/bgpsim"
+	"github.com/netaware/netcluster/internal/churn"
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/obsv"
+	"github.com/netaware/netcluster/internal/report"
+)
+
+var (
+	lookupNS      = obsv.H("clusterd.lookup.ns")
+	lookupCount   = obsv.C("clusterd.lookups")
+	batchCount    = obsv.C("clusterd.batches")
+	batchAddrs    = obsv.C("clusterd.batch.addrs")
+	batchRejected = obsv.C("clusterd.batch.rejected")
+	inflightGauge = obsv.G("clusterd.batch.inflight")
+)
+
+type server struct {
+	table    *churn.Table
+	sem      chan struct{}
+	maxBody  int64
+	maxBatch int
+	started  time.Time
+}
+
+type lookupResult struct {
+	Addr       string `json:"addr"`
+	Clustered  bool   `json:"clustered"`
+	Prefix     string `json:"prefix,omitempty"`
+	Kind       string `json:"kind,omitempty"`
+	Generation uint64 `json:"generation"`
+}
+
+func (s *server) resolve(c *bgp.Compiled, gen uint64, addr netutil.Addr) lookupResult {
+	res := lookupResult{Addr: addr.String(), Generation: gen}
+	if m, ok := c.Lookup(addr); ok {
+		res.Clustered = true
+		res.Prefix = m.Prefix.String()
+		res.Kind = m.Kind.String()
+	}
+	return res
+}
+
+func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("addr")
+	addr, err := netutil.ParseAddr(q)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad addr %q: %v", q, err), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	res := s.resolve(s.table.Load(), s.table.Generation(), addr)
+	lookupNS.Observe(time.Since(start).Nanoseconds())
+	lookupCount.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// handleBatch clusters a newline-separated address list in one pass. One
+// table generation is pinned for the whole batch, so a swap mid-batch
+// cannot produce a mixed-generation answer set.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an address list", http.StatusMethodNotAllowed)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		inflightGauge.Add(1)
+		defer func() { <-s.sem; inflightGauge.Add(-1) }()
+	default:
+		batchRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "batch capacity exhausted, retry later", http.StatusServiceUnavailable)
+		return
+	}
+	batchCount.Inc()
+
+	// Pin one generation for the whole batch.
+	table := s.table.Load()
+	gen := s.table.Generation()
+
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.maxBody))
+	results := make([]lookupResult, 0, 256)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if n++; n > s.maxBatch {
+			http.Error(w, fmt.Sprintf("batch exceeds %d addresses", s.maxBatch), http.StatusRequestEntityTooLarge)
+			return
+		}
+		addr, err := netutil.ParseAddr(line)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("line %d: bad addr %q", n, line), http.StatusBadRequest)
+			return
+		}
+		results = append(results, s.resolve(table, gen, addr))
+	}
+	if err := sc.Err(); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	batchAddrs.Add(uint64(len(results)))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Generation uint64         `json:"generation"`
+		Results    []lookupResult `json:"results"`
+	}{gen, results})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c := s.table.Load()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Status     string  `json:"status"`
+		Generation uint64  `json:"generation"`
+		Prefixes   int     `json:"prefixes"`
+		UptimeSec  float64 `json:"uptime_sec"`
+	}{"ok", s.table.Generation(), c.Len(), time.Since(s.started).Seconds()})
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8349", "listen address (use :0 to pick a free port)")
+	ases := flag.Int("ases", 300, "synthetic world size (number of ASes)")
+	seed := flag.Int64("seed", 1, "world/churn seed")
+	churnEvery := flag.Duration("churn-every", 2*time.Second, "interval between churn deltas (0 disables churn)")
+	meanBatch := flag.Int("mean-batch", 32, "mean announce/withdraw ops per churn delta")
+	burstiness := flag.Float64("burstiness", 0.15, "probability a churn delta is a burst (8x mean)")
+	maxInflight := flag.Int("max-inflight", 8, "concurrent /cluster batches before 503 backpressure")
+	maxBatch := flag.Int("max-batch", 100000, "addresses per /cluster batch")
+	maxBody := flag.Int64("max-body", 8<<20, "request body cap in bytes for /cluster")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on shutdown")
+	flag.Parse()
+
+	wcfg := inet.DefaultConfig()
+	wcfg.NumASes = *ases
+	wcfg.Seed = *seed
+	world, err := inet.Generate(wcfg)
+	if err != nil {
+		fatal(err)
+	}
+	scfg := bgpsim.DefaultConfig()
+	scfg.Seed = *seed
+	sim := bgpsim.New(world, scfg)
+	coll := sim.Collect()
+	table := churn.New(bgpsim.Merge(coll))
+	c0 := table.Load()
+	fmt.Fprintf(os.Stderr, "clusterd: table generation 0: %s BGP + %s registry prefixes, %s nodes\n",
+		report.FmtInt(c0.NumPrimary()), report.FmtInt(c0.NumSecondary()), report.FmtInt(c0.NumNodes()))
+
+	// The churn universe is the union of every BGP vantage's entries; the
+	// registry (secondary) prefixes stay static, as the paper's network
+	// dumps did across its testing periods.
+	universe := &bgp.Snapshot{Name: "bgpsim-churn", Kind: bgp.SourceBGP}
+	for _, v := range coll.Views {
+		universe.Entries = append(universe.Entries, v.Entries...)
+	}
+	ccfg := bgpsim.DefaultChurnConfig()
+	ccfg.Seed = *seed
+	ccfg.MeanBatch = *meanBatch
+	ccfg.Burstiness = *burstiness
+	gen := bgpsim.NewChurnGen(universe, ccfg)
+
+	churnCtx, stopChurn := context.WithCancel(context.Background())
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		if *churnEvery <= 0 {
+			return
+		}
+		ticker := time.NewTicker(*churnEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-churnCtx.Done():
+				return
+			case <-ticker.C:
+				st := table.Apply(gen.Next())
+				fmt.Fprintf(os.Stderr,
+					"clusterd: swap gen %d: +%d -%d ops; stability: %d carryover %d splits %d merges %d moved %d gained %d lost\n",
+					st.Generation, st.Announced, st.Withdrawn,
+					st.Carryover, st.Splits, st.Merges, st.Moved, st.Gained, st.Lost)
+			}
+		}
+	}()
+
+	s := &server{
+		table:    table,
+		sem:      make(chan struct{}, *maxInflight),
+		maxBody:  *maxBody,
+		maxBatch: *maxBatch,
+		started:  time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lookup", s.handleLookup)
+	mux.HandleFunc("/cluster", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	debug := obsv.DebugHandler()
+	mux.Handle("/metrics", debug)
+	mux.Handle("/debug/", debug)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// Announce the resolved address so ':0' users (and tests) can find it.
+	fmt.Fprintf(os.Stderr, "clusterd: serving on http://%s (churn every %v, max-inflight %d)\n",
+		ln.Addr(), *churnEvery, *maxInflight)
+
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "clusterd: %v, draining\n", sig)
+	}
+
+	// Graceful drain: stop churn first (no point swapping tables for a
+	// dying process), then let in-flight requests finish.
+	stopChurn()
+	<-churnDone
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterd: drain: %v\n", err)
+	}
+	if *metricsOut != "" {
+		if err := obsv.WriteFile(*metricsOut); err != nil {
+			fatal(fmt.Errorf("metrics snapshot: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "clusterd: metrics snapshot written to %s\n", *metricsOut)
+	}
+	fmt.Fprintf(os.Stderr, "clusterd: drained at generation %d, bye\n", table.Generation())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "clusterd: %v\n", err)
+	os.Exit(1)
+}

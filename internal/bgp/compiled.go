@@ -30,9 +30,14 @@ var (
 // recompile after merging new snapshots (routers rebuild expanded FIBs on
 // change for the same reason).
 type Compiled struct {
-	frozen                   *radix.Frozen[compiledValue]
-	prov                     map[netutil.Prefix]*Provenance
-	kinds                    map[netutil.Prefix]SourceKind
+	frozen *radix.Frozen[compiledValue]
+	prov   map[netutil.Prefix]*Provenance
+	kinds  map[netutil.Prefix]SourceKind
+	// inc is set on generations published by an Incremental compiler;
+	// Provenance and KindOf then read the compiler's live store (under
+	// its RWMutex) instead of per-generation maps. The match structure
+	// (frozen) and the class counts are still immutable per generation.
+	inc                      *Incremental
 	numPrimary, numSecondary int
 }
 
@@ -121,6 +126,9 @@ func (c *Compiled) LookupDepth(addr netutil.Addr) (Match, int, bool) {
 // Merged.Provenance (primary class shadows secondary for a prefix present
 // in both).
 func (c *Compiled) Provenance(p netutil.Prefix) (*Provenance, bool) {
+	if c.inc != nil {
+		return c.inc.provenance(p)
+	}
 	prov, ok := c.prov[p]
 	return prov, ok
 }
@@ -128,6 +136,9 @@ func (c *Compiled) Provenance(p netutil.Prefix) (*Provenance, bool) {
 // KindOf reports which source class prefix p was compiled from (primary
 // shadows secondary, as in Provenance).
 func (c *Compiled) KindOf(p netutil.Prefix) (SourceKind, bool) {
+	if c.inc != nil {
+		return c.inc.kindOf(p)
+	}
 	k, ok := c.kinds[p]
 	return k, ok
 }

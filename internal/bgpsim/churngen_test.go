@@ -1,0 +1,158 @@
+package bgpsim
+
+import (
+	"testing"
+
+	"github.com/netaware/netcluster/internal/bgp"
+)
+
+func TestDiffRoundTrip(t *testing.T) {
+	// Applying Diff(old, new) to old's prefix set must yield new's set.
+	w := world(t, 150)
+	s := New(w, DefaultConfig())
+	vc := ViewConfig{Name: "AADS", Visibility: 0.4, Date: "d"}
+	old := s.View(vc, 0)
+	new_ := s.View(vc, 7)
+	d := Diff(old, new_)
+
+	set := old.PrefixSet()
+	for _, op := range d.Ops {
+		if op.Withdraw {
+			if _, present := set[op.Entry.Prefix]; !present {
+				t.Fatalf("withdraw of %v, which old does not contain", op.Entry.Prefix)
+			}
+			delete(set, op.Entry.Prefix)
+		} else {
+			if _, present := set[op.Entry.Prefix]; present {
+				t.Fatalf("announce of %v, which old already contains", op.Entry.Prefix)
+			}
+			set[op.Entry.Prefix] = struct{}{}
+		}
+	}
+	want := new_.PrefixSet()
+	if len(set) != len(want) {
+		t.Fatalf("after applying diff: %d prefixes, want %d", len(set), len(want))
+	}
+	for p := range want {
+		if _, present := set[p]; !present {
+			t.Fatalf("prefix %v missing after applying diff", p)
+		}
+	}
+}
+
+func TestDeltaSeriesReproducesViews(t *testing.T) {
+	// Seeding an incremental table from day 0 and applying the delta
+	// series must pass through exactly each day's snapshot — the
+	// operational claim behind serving the paper's 14-day dynamics from a
+	// live table instead of 14 recompiles.
+	w := world(t, 120)
+	s := New(w, DefaultConfig())
+	vc := ViewConfig{Name: "OREGON", Visibility: 0.85, Date: "d"}
+	const days = 5
+	series := s.DeltaSeries(vc, days)
+	if len(series) != days {
+		t.Fatalf("DeltaSeries returned %d deltas, want %d", len(series), days)
+	}
+
+	day0 := s.View(vc, 0)
+	m := bgp.NewMerged()
+	m.Add(day0)
+	inc := bgp.NewIncremental(m)
+	for day := 1; day <= days; day++ {
+		c := inc.Apply(series[day-1])
+		want := s.View(vc, day).PrefixSet()
+		for p := range want {
+			if _, ok := c.KindOf(p); !ok {
+				t.Fatalf("day %d: view prefix %v missing from incremental table", day, p)
+			}
+		}
+		// KindOf covered the ⊇ direction; the size closes ⊆.
+		if c.NumPrimary() != len(want) {
+			t.Fatalf("day %d: table has %d primary prefixes, view has %d", day, c.NumPrimary(), len(want))
+		}
+	}
+}
+
+func TestChurnGenInvariants(t *testing.T) {
+	w := world(t, 150)
+	s := New(w, DefaultConfig())
+	base := s.View(ViewConfig{Name: "AADS", Visibility: 0.5, Date: "d"}, 0)
+	uniq := len(base.PrefixSet())
+
+	cfg := DefaultChurnConfig()
+	cfg.Seed = 5
+	g := NewChurnGen(base, cfg)
+	if g.Live() != uniq {
+		t.Fatalf("fresh generator: Live = %d, want %d (universe size)", g.Live(), uniq)
+	}
+
+	live := base.PrefixSet()
+	for i := 0; i < 200; i++ {
+		d := g.Next()
+		if len(d.Ops) == 0 && g.Live() > 0 && g.Live() < uniq {
+			t.Fatalf("batch %d: empty delta with a mixed universe", i)
+		}
+		for _, op := range d.Ops {
+			if op.Withdraw {
+				if _, present := live[op.Entry.Prefix]; !present {
+					t.Fatalf("batch %d: withdrew %v, which is not live", i, op.Entry.Prefix)
+				}
+				delete(live, op.Entry.Prefix)
+			} else {
+				if _, present := live[op.Entry.Prefix]; present {
+					t.Fatalf("batch %d: announced %v, which is already live", i, op.Entry.Prefix)
+				}
+				live[op.Entry.Prefix] = struct{}{}
+			}
+		}
+		if g.Live() != len(live) {
+			t.Fatalf("batch %d: generator Live = %d, tracked %d", i, g.Live(), len(live))
+		}
+	}
+	// The schedule flaps the universe, never grows or leaks it.
+	if g.Live() > uniq {
+		t.Fatalf("Live = %d exceeds universe %d", g.Live(), uniq)
+	}
+}
+
+func TestChurnGenDeterministic(t *testing.T) {
+	w := world(t, 100)
+	s := New(w, DefaultConfig())
+	base := s.View(ViewConfig{Name: "X", Visibility: 0.5, Date: "d"}, 0)
+	cfg := DefaultChurnConfig()
+	cfg.Seed = 77
+	a, b := NewChurnGen(base, cfg), NewChurnGen(base, cfg)
+	for i := 0; i < 50; i++ {
+		da, db := a.Next(), b.Next()
+		if len(da.Ops) != len(db.Ops) {
+			t.Fatalf("batch %d: sizes differ, %d vs %d", i, len(da.Ops), len(db.Ops))
+		}
+		for j := range da.Ops {
+			if da.Ops[j].Withdraw != db.Ops[j].Withdraw || da.Ops[j].Entry.Prefix != db.Ops[j].Entry.Prefix {
+				t.Fatalf("batch %d op %d: %+v vs %+v", i, j, da.Ops[j], db.Ops[j])
+			}
+		}
+	}
+}
+
+func TestChurnGenBurstsHappen(t *testing.T) {
+	w := world(t, 150)
+	s := New(w, DefaultConfig())
+	base := s.View(ViewConfig{Name: "Y", Visibility: 0.6, Date: "d"}, 0)
+	cfg := DefaultChurnConfig()
+	cfg.Seed = 3
+	cfg.MeanBatch = 16
+	cfg.Burstiness = 0.2
+	g := NewChurnGen(base, cfg)
+	maxOps := 0
+	for i := 0; i < 100; i++ {
+		if n := len(g.Next().Ops); n > maxOps {
+			maxOps = n
+		}
+	}
+	// A burst is MeanBatch*BurstMul±50%; with 100 draws at p=0.2 the odds
+	// of seeing none are (0.8)^100 ≈ 2e-10.
+	if maxOps < cfg.MeanBatch*cfg.BurstMul/2 {
+		t.Fatalf("no burst in 100 batches: max ops = %d", maxOps)
+	}
+}

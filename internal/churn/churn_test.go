@@ -1,0 +1,145 @@
+package churn
+
+import (
+	"testing"
+
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+func snap(name string, kind bgp.SourceKind, prefixes ...string) *bgp.Snapshot {
+	s := &bgp.Snapshot{Name: name, Kind: kind}
+	for _, p := range prefixes {
+		s.Entries = append(s.Entries, bgp.Entry{Prefix: netutil.MustParsePrefix(p)})
+	}
+	return s
+}
+
+func seedTable(prefixes ...string) *Table {
+	m := bgp.NewMerged()
+	m.Add(snap("seed", bgp.SourceBGP, prefixes...))
+	return New(m)
+}
+
+func announce(p string) bgp.Op {
+	return bgp.Op{Kind: bgp.SourceBGP, Entry: bgp.Entry{Prefix: netutil.MustParsePrefix(p)}}
+}
+
+func withdraw(p string) bgp.Op {
+	return bgp.Op{Withdraw: true, Kind: bgp.SourceBGP, Entry: bgp.Entry{Prefix: netutil.MustParsePrefix(p)}}
+}
+
+func TestTableGenerationAdvances(t *testing.T) {
+	tb := seedTable("10.0.0.0/8")
+	if tb.Generation() != 0 {
+		t.Fatalf("fresh table generation = %d, want 0", tb.Generation())
+	}
+	st := tb.Apply(bgp.Delta{Ops: []bgp.Op{announce("10.1.0.0/16")}})
+	if st.Generation != 1 || tb.Generation() != 1 {
+		t.Fatalf("after one apply: stats gen %d, table gen %d, want 1", st.Generation, tb.Generation())
+	}
+	if st.Announced != 1 || st.Withdrawn != 0 {
+		t.Fatalf("op accounting = +%d -%d, want +1 -0", st.Announced, st.Withdrawn)
+	}
+	if m, ok := tb.Lookup(netutil.MustParseAddr("10.1.2.3")); !ok || m.Prefix.String() != "10.1.0.0/16" {
+		t.Fatalf("Lookup after apply = %+v %v", m, ok)
+	}
+}
+
+func TestTableOldGenerationSurvivesSwap(t *testing.T) {
+	tb := seedTable("10.0.0.0/8")
+	old := tb.Load()
+	tb.Apply(bgp.Delta{Ops: []bgp.Op{withdraw("10.0.0.0/8"), announce("20.0.0.0/8")}})
+
+	// The pre-swap generation still answers from its own snapshot.
+	if _, ok := old.Lookup(netutil.MustParseAddr("10.1.2.3")); !ok {
+		t.Fatal("old generation lost its prefix after the swap")
+	}
+	if _, ok := tb.Load().Lookup(netutil.MustParseAddr("10.1.2.3")); ok {
+		t.Fatal("new generation still matches the withdrawn prefix")
+	}
+	if _, ok := tb.Load().Lookup(netutil.MustParseAddr("20.1.2.3")); !ok {
+		t.Fatal("new generation misses the announced prefix")
+	}
+}
+
+func TestSwapStatsClassification(t *testing.T) {
+	cases := []struct {
+		name  string
+		seed  []string
+		delta []bgp.Op
+		check func(t *testing.T, st SwapStats)
+	}{
+		{
+			name:  "gained",
+			seed:  []string{"10.0.0.0/8"},
+			delta: []bgp.Op{announce("99.0.0.0/8")},
+			check: func(t *testing.T, st SwapStats) {
+				if st.Gained != 2 { // both boundary probes of 99/8 were uncovered before
+					t.Errorf("Gained = %d, want 2 (stats %+v)", st.Gained, st)
+				}
+			},
+		},
+		{
+			name:  "lost",
+			seed:  []string{"99.0.0.0/8"},
+			delta: []bgp.Op{withdraw("99.0.0.0/8")},
+			check: func(t *testing.T, st SwapStats) {
+				if st.Lost != 2 {
+					t.Errorf("Lost = %d, want 2 (stats %+v)", st.Lost, st)
+				}
+			},
+		},
+		{
+			name: "split",
+			seed: []string{"10.0.0.0/8"},
+			// Announcing a /16 inside the /8 subdivides the cluster at the
+			// /16's boundary probes.
+			delta: []bgp.Op{announce("10.1.0.0/16")},
+			check: func(t *testing.T, st SwapStats) {
+				if st.Splits != 2 {
+					t.Errorf("Splits = %d, want 2 (stats %+v)", st.Splits, st)
+				}
+			},
+		},
+		{
+			name:  "merge",
+			seed:  []string{"10.0.0.0/8", "10.1.0.0/16"},
+			delta: []bgp.Op{withdraw("10.1.0.0/16")},
+			check: func(t *testing.T, st SwapStats) {
+				if st.Merges != 2 {
+					t.Errorf("Merges = %d, want 2 (stats %+v)", st.Merges, st)
+				}
+			},
+		},
+		{
+			name: "carryover",
+			seed: []string{"10.0.0.0/8", "10.1.0.0/16"},
+			// Withdrawing a /24 that was never announced plus re-announcing
+			// the /16: its boundary probes stay with the same cluster.
+			delta: []bgp.Op{announce("10.1.0.0/16")},
+			check: func(t *testing.T, st SwapStats) {
+				if st.Carryover != 2 {
+					t.Errorf("Carryover = %d, want 2 (stats %+v)", st.Carryover, st)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := seedTable(tc.seed...)
+			st := tb.Apply(bgp.Delta{Ops: tc.delta})
+			tc.check(t, st)
+		})
+	}
+}
+
+func TestSwapStatsProbesDeduplicated(t *testing.T) {
+	tb := seedTable("10.0.0.0/8")
+	// The same prefix twice in one delta: its two boundary probes are
+	// classified once, not twice.
+	st := tb.Apply(bgp.Delta{Ops: []bgp.Op{announce("10.1.0.0/16"), announce("10.1.0.0/16")}})
+	if st.Probes() != 2 {
+		t.Fatalf("Probes = %d, want 2 (stats %+v)", st.Probes(), st)
+	}
+}

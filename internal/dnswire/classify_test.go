@@ -1,0 +1,80 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+
+	"github.com/netaware/netcluster/internal/retry"
+)
+
+// TestClassify pins the attempt-error taxonomy the retry loop depends
+// on: definitive protocol answers must be Fatal (retrying NXDOMAIN
+// cannot conjure a record), every transport hiccup Transient. A
+// misclassification in either direction is a real outage mode — Fatal
+// timeouts give up on a congested resolver after one datagram, and
+// Transient NXDOMAINs hammer the server with pointless retries.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want retry.Class
+	}{
+		{"nxdomain", ErrNXDomain, retry.Fatal},
+		{"nxdomain wrapped", fmt.Errorf("query %q: %w", "x.example", ErrNXDomain), retry.Fatal},
+		{"malformed", ErrMalformed, retry.Fatal},
+		{"malformed rcode", fmt.Errorf("%w: server rcode %d", ErrMalformed, 4), retry.Fatal},
+		{"malformed double wrap", fmt.Errorf("attempt 3: %w", fmt.Errorf("%w: bad question echo", ErrMalformed)), retry.Fatal},
+		{"deadline", os.ErrDeadlineExceeded, retry.Transient},
+		{"net timeout op", &net.OpError{Op: "read", Net: "udp", Err: os.ErrDeadlineExceeded}, retry.Transient},
+		{"connection reset", &net.OpError{Op: "read", Net: "udp", Err: syscall.ECONNRESET}, retry.Transient},
+		{"connection refused", &net.OpError{Op: "write", Net: "udp", Err: syscall.ECONNREFUSED}, retry.Transient},
+		{"servfail", fmt.Errorf("dnswire: server failure (rcode %d)", 2), retry.Transient},
+		{"generic", errors.New("socket buffer exhausted"), retry.Transient},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := classify(tc.err); got != tc.want {
+				t.Errorf("classify(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// nxdomainZone answers NXDOMAIN for every name, modelling the
+// unregistered half of the address space.
+type nxdomainZone struct{}
+
+func (nxdomainZone) Lookup(string, uint16) ([]RR, uint8) {
+	return nil, RcodeNXDomain
+}
+
+// TestNXDomainSingleAttempt is the behavioral half of the taxonomy: a
+// live server answering NXDOMAIN must terminate the retry loop on the
+// first attempt, even with a generous retry budget.
+func TestNXDomainSingleAttempt(t *testing.T) {
+	srv := NewServer(nxdomainZone{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewClient(addr.String())
+	c.Breaker = nil
+	c.Retries = 5
+
+	if _, err := c.Query("missing.example.in-addr.arpa", TypeA); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("Query(missing) = %v, want ErrNXDomain", err)
+	}
+	// One datagram on the wire, zero retries: Fatal stopped the loop.
+	if ct := c.Counters(); ct.Attempts != 1 || ct.Retries != 0 {
+		t.Fatalf("after NXDOMAIN: attempts=%d retries=%d, want 1/0", ct.Attempts, ct.Retries)
+	}
+	if srv.QueryCount() != 1 {
+		t.Fatalf("server saw %d queries, want 1", srv.QueryCount())
+	}
+}

@@ -1,0 +1,309 @@
+package radix
+
+import (
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// Dynamic is the churn-capable sibling of Multibit: the same stride-8
+// controlled-prefix-expansion layout, extended with removal and an
+// incremental Freeze. It exists so a long-running service can absorb
+// BGP announce/withdraw deltas without rebuilding the whole table:
+//
+//   - InsertRanked and Remove edit only the slot block of the node the
+//     prefix terminates in (expansion never crosses a stride boundary,
+//     so both operations are node-local);
+//   - Freeze reuses the arrays of the previous freeze, re-rendering only
+//     the slot blocks that changed since and appending blocks for new
+//     nodes, so its cost is proportional to the churn, not the table.
+//
+// Node and entry identity is stable across freezes: every node keeps the
+// flat-array index it was first assigned (the root is always node 0, new
+// nodes append), and every entry keeps its row in the shared entry
+// tables. Removed entries leave dead rows and emptied subtrees leave
+// dead node blocks — the price of never moving a published index. The
+// caller watches DeadEntries/NumNodes and rebuilds from source when the
+// garbage fraction crosses its threshold (see bgp.Incremental), exactly
+// as long-running routers periodically recompact their FIBs.
+//
+// Keys are (prefix, rank) pairs, not bare prefixes: the bgp compiler
+// stores one prefix under two ranks when it appears in both source
+// classes, and a withdrawal must be able to remove one class's entry
+// while the other survives.
+//
+// Dynamic is single-writer. The *Frozen values Freeze returns are
+// immutable and safe for unlimited concurrent readers, including readers
+// still holding earlier generations — the RCU pattern internal/churn
+// builds on.
+type Dynamic[V any] struct {
+	nodes []*dynNode[V] // index == flat-array node index; nodes[0] is the root
+	keys  map[dynKey]*dynEntry[V]
+
+	// dirty marks node indices whose slot block changed since the last
+	// freeze; nodes created since then (index >= frozenNodes) are
+	// implicitly dirty.
+	dirty       map[int32]struct{}
+	frozenNodes int
+
+	// The entry arena: append-only rows shared by every Frozen generation.
+	// Rows of removed entries become garbage but are never reused, so a
+	// published generation can keep reading them.
+	prefixes []netutil.Prefix
+	ranks    []int16
+	values   []V
+
+	// Rendered arrays of the last freeze, reused as the copy source.
+	lastChildren []int32
+	lastSlots    []int32
+
+	deadEntries int
+}
+
+type dynKey struct {
+	prefix netutil.Prefix
+	rank   int16
+}
+
+type dynEntry[V any] struct {
+	prefix netutil.Prefix
+	value  V
+	rank   int16
+	// row is the entry's index in the arena, or -1 until first frozen.
+	row int32
+}
+
+type dynNode[V any] struct {
+	idx      int32
+	children [256]*dynNode[V]
+	entries  [256]*dynEntry[V]
+	// terminals holds every live entry whose prefix terminates in this
+	// node's byte — the set a Remove re-renders slots from.
+	terminals map[dynKey]*dynEntry[V]
+}
+
+// NewDynamic returns an empty table.
+func NewDynamic[V any]() *Dynamic[V] {
+	d := &Dynamic[V]{
+		keys:  make(map[dynKey]*dynEntry[V]),
+		dirty: make(map[int32]struct{}),
+	}
+	d.nodes = append(d.nodes, &dynNode[V]{idx: 0})
+	return d
+}
+
+// Len returns the number of live (prefix, rank) keys.
+func (d *Dynamic[V]) Len() int { return len(d.keys) }
+
+// NumNodes returns the number of allocated stride-8 nodes, including
+// blocks emptied by removals (they are never reclaimed in place).
+func (d *Dynamic[V]) NumNodes() int { return len(d.nodes) }
+
+// DeadEntries returns the number of arena rows orphaned by removals and
+// replacements since construction — the caller's compaction signal.
+func (d *Dynamic[V]) DeadEntries() int { return d.deadEntries }
+
+// better is the deterministic total order on slot occupancy: higher rank
+// wins, ties broken by longer prefix, then by prefix comparison. Insert
+// and the Remove re-render use the same order, so an incremental build
+// and a from-scratch build of the same key set render identical tables.
+func better[V any](a, b *dynEntry[V]) bool {
+	if a.rank != b.rank {
+		return a.rank > b.rank
+	}
+	if a.prefix.Bits() != b.prefix.Bits() {
+		return a.prefix.Bits() > b.prefix.Bits()
+	}
+	return netutil.ComparePrefix(a.prefix, b.prefix) < 0
+}
+
+// expansion returns the slot span prefix p covers in its terminating
+// node: base is the first slot, span the number of consecutive slots.
+func expansion(p netutil.Prefix) (fullBytes, base, span int) {
+	bits := p.Bits()
+	fullBytes = bits / 8
+	if bits%8 == 0 && bits > 0 {
+		fullBytes--
+	}
+	rem := bits - fullBytes*8
+	if bits == 0 {
+		rem = 0
+	}
+	if rem > 0 {
+		base = int(p.Addr().Octets()[fullBytes]) & (0xFF << (8 - rem))
+	}
+	span = 1 << (8 - rem)
+	return fullBytes, base, span
+}
+
+// InsertRanked adds or replaces the value for (p, rank). It reports
+// whether the key was newly inserted. rank must be in [0, 1<<14], as in
+// Multibit.InsertRanked.
+func (d *Dynamic[V]) InsertRanked(p netutil.Prefix, v V, rank int) bool {
+	if rank < 0 || rank > 1<<14 {
+		panic("radix: InsertRanked rank out of range")
+	}
+	key := dynKey{prefix: p, rank: int16(rank)}
+	old, existed := d.keys[key]
+	e := &dynEntry[V]{prefix: p, value: v, rank: int16(rank), row: -1}
+	d.keys[key] = e
+
+	fullBytes, base, span := expansion(p)
+	octets := p.Addr().Octets()
+	n := d.nodes[0]
+	for i := 0; i < fullBytes; i++ {
+		b := octets[i]
+		if n.children[b] == nil {
+			child := &dynNode[V]{idx: int32(len(d.nodes))}
+			d.nodes = append(d.nodes, child)
+			n.children[b] = child
+			d.markDirty(n) // the child pointer lives in n's block
+		}
+		n = n.children[b]
+	}
+	if n.terminals == nil {
+		n.terminals = make(map[dynKey]*dynEntry[V])
+	}
+	n.terminals[key] = e
+	if existed {
+		if old.row >= 0 {
+			d.deadEntries++
+		}
+		// The old entry occupies exactly the slots the new one is about to
+		// take (same key, same span, same order position), so the plain
+		// render below replaces it everywhere it is visible.
+	}
+	changed := false
+	for s := 0; s < span; s++ {
+		slot := base + s
+		cur := n.entries[slot]
+		if cur == nil || (existed && cur == old) || better(e, cur) {
+			n.entries[slot] = e
+			changed = true
+		}
+	}
+	if changed {
+		d.markDirty(n)
+	}
+	return !existed
+}
+
+// Remove deletes the (p, rank) key, re-rendering the slots it covered
+// from the terminating node's remaining entries. It reports whether the
+// key was present.
+func (d *Dynamic[V]) Remove(p netutil.Prefix, rank int) bool {
+	key := dynKey{prefix: p, rank: int16(rank)}
+	e, ok := d.keys[key]
+	if !ok {
+		return false
+	}
+	delete(d.keys, key)
+
+	fullBytes, base, span := expansion(p)
+	octets := p.Addr().Octets()
+	n := d.nodes[0]
+	for i := 0; i < fullBytes; i++ {
+		n = n.children[octets[i]] // the path exists: the key was inserted through it
+	}
+	delete(n.terminals, key)
+	if e.row >= 0 {
+		d.deadEntries++
+	}
+	changed := false
+	for s := 0; s < span; s++ {
+		slot := base + s
+		if n.entries[slot] != e {
+			continue // shadowed here by a better entry; nothing to restore
+		}
+		var best *dynEntry[V]
+		for _, t := range n.terminals {
+			if covers(t.prefix, slot) && (best == nil || better(t, best)) {
+				best = t
+			}
+		}
+		n.entries[slot] = best
+		changed = true
+	}
+	if changed {
+		d.markDirty(n)
+	}
+	return true
+}
+
+// covers reports whether prefix t's expansion includes slot within t's
+// terminating node.
+func covers(t netutil.Prefix, slot int) bool {
+	_, base, span := expansion(t)
+	return slot >= base && slot < base+span
+}
+
+func (d *Dynamic[V]) markDirty(n *dynNode[V]) {
+	if n.idx < int32(d.frozenNodes) {
+		d.dirty[n.idx] = struct{}{}
+	}
+	// Nodes newer than the last freeze are re-rendered unconditionally.
+}
+
+// Freeze renders the current table as an immutable Frozen. The first
+// call renders every node; later calls copy the previous arrays and
+// re-render only dirty and new blocks. The returned Frozen shares the
+// append-only entry arena with the Dynamic (rows < its length are never
+// mutated), so generations cost two int32 array copies, not a rebuild.
+func (d *Dynamic[V]) Freeze() *Frozen[V] {
+	nNodes := len(d.nodes)
+	children := make([]int32, nNodes*256)
+	slots := make([]int32, nNodes*256)
+	copy(children, d.lastChildren)
+	copy(slots, d.lastSlots)
+
+	render := func(n *dynNode[V]) {
+		off := int(n.idx) * 256
+		for b := 0; b < 256; b++ {
+			ci := int32(0)
+			if c := n.children[b]; c != nil {
+				ci = c.idx
+			}
+			children[off+b] = ci
+			ei := int32(-1)
+			if e := n.entries[b]; e != nil {
+				if e.row < 0 {
+					e.row = int32(len(d.prefixes))
+					d.prefixes = append(d.prefixes, e.prefix)
+					d.ranks = append(d.ranks, e.rank)
+					d.values = append(d.values, e.value)
+				}
+				ei = e.row
+			}
+			slots[off+b] = ei
+		}
+	}
+	for idx := range d.dirty {
+		render(d.nodes[idx])
+	}
+	for i := d.frozenNodes; i < nNodes; i++ {
+		render(d.nodes[i])
+	}
+	d.dirty = make(map[int32]struct{})
+	d.frozenNodes = nNodes
+	d.lastChildren = children
+	d.lastSlots = slots
+
+	nRows := len(d.prefixes)
+	return &Frozen[V]{
+		children: children,
+		slots:    slots,
+		prefixes: d.prefixes[:nRows:nRows],
+		ranks:    d.ranks[:nRows:nRows],
+		values:   d.values[:nRows:nRows],
+		size:     len(d.keys),
+	}
+}
+
+// Walk visits every live (prefix, rank, value) triple in unspecified
+// order; fn returning false stops the walk. Compaction rebuilds use it
+// to re-seed a fresh Dynamic.
+func (d *Dynamic[V]) Walk(fn func(p netutil.Prefix, rank int, v V) bool) {
+	for k, e := range d.keys {
+		if !fn(k.prefix, int(k.rank), e.value) {
+			return
+		}
+	}
+}

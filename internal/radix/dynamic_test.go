@@ -1,0 +1,368 @@
+package radix
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// refModel is the brute-force oracle for ranked lookup: a flat key set
+// scanned linearly with the same (rank desc, bits desc, ComparePrefix)
+// order better() uses.
+type refModel struct {
+	entries map[dynKey]int
+}
+
+func newRefModel() *refModel {
+	return &refModel{entries: make(map[dynKey]int)}
+}
+
+func (r *refModel) insert(p netutil.Prefix, v, rank int) {
+	r.entries[dynKey{prefix: p, rank: int16(rank)}] = v
+}
+
+func (r *refModel) remove(p netutil.Prefix, rank int) {
+	delete(r.entries, dynKey{prefix: p, rank: int16(rank)})
+}
+
+func (r *refModel) lookup(addr netutil.Addr) (netutil.Prefix, int, bool) {
+	var bestKey dynKey
+	bestVal := 0
+	found := false
+	for k, v := range r.entries {
+		if k.prefix.Bits() == 0 || !k.prefix.Contains(addr) {
+			continue // /0 never matches, as in Multibit and the bgp compiler
+		}
+		if !found || refBetter(k, bestKey) {
+			bestKey, bestVal, found = k, v, true
+		}
+	}
+	return bestKey.prefix, bestVal, found
+}
+
+func refBetter(a, b dynKey) bool {
+	if a.rank != b.rank {
+		return a.rank > b.rank
+	}
+	if a.prefix.Bits() != b.prefix.Bits() {
+		return a.prefix.Bits() > b.prefix.Bits()
+	}
+	return netutil.ComparePrefix(a.prefix, b.prefix) < 0
+}
+
+func randPrefix(rng *rand.Rand) netutil.Prefix {
+	bits := rng.Intn(32) + 1 // 1..32; /0 is excluded from match structures
+	addr := netutil.Addr(rng.Uint32()) & netutil.Addr(netutil.MaskOf(bits))
+	return netutil.PrefixFrom(addr, bits)
+}
+
+// probeSet returns the boundary addresses of every prefix in the model
+// plus one-off neighbors — the points where a lookup answer can change.
+func probeSet(keys map[dynKey]int) []netutil.Addr {
+	seen := make(map[netutil.Addr]struct{})
+	var out []netutil.Addr
+	add := func(a netutil.Addr) {
+		if _, dup := seen[a]; !dup {
+			seen[a] = struct{}{}
+			out = append(out, a)
+		}
+	}
+	for k := range keys {
+		first, last := k.prefix.First(), k.prefix.Last()
+		add(first)
+		add(last)
+		add(first - 1) // wraps at 0: still a valid probe point
+		add(last + 1)
+	}
+	return out
+}
+
+func TestDynamicBasic(t *testing.T) {
+	d := NewDynamic[string]()
+	p := netutil.MustParsePrefix("10.1.0.0/16")
+	if !d.InsertRanked(p, "a", 16) {
+		t.Fatal("first insert reported existing key")
+	}
+	if d.InsertRanked(p, "b", 16) {
+		t.Fatal("re-insert reported new key")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+	f := d.Freeze()
+	gp, v, ok := f.Lookup(netutil.MustParseAddr("10.1.2.3"))
+	if !ok || gp != p || v != "b" {
+		t.Fatalf("Lookup = %v %q %v, want %v %q true", gp, v, ok, p, "b")
+	}
+	if _, _, ok := f.Lookup(netutil.MustParseAddr("11.0.0.1")); ok {
+		t.Fatal("lookup outside the prefix matched")
+	}
+	if !d.Remove(p, 16) {
+		t.Fatal("Remove of live key reported absent")
+	}
+	if d.Remove(p, 16) {
+		t.Fatal("second Remove reported present")
+	}
+	if _, _, ok := d.Freeze().Lookup(netutil.MustParseAddr("10.1.2.3")); ok {
+		t.Fatal("lookup matched after removal")
+	}
+}
+
+func TestDynamicRankShadowing(t *testing.T) {
+	// The same prefix under two ranks: the higher rank wins lookups, and
+	// removing it must resurface the lower-ranked twin.
+	d := NewDynamic[string]()
+	p := netutil.MustParsePrefix("172.16.0.0/12")
+	d.InsertRanked(p, "primary", 64+12)
+	d.InsertRanked(p, "secondary", 12)
+	addr := netutil.MustParseAddr("172.20.5.5")
+	if _, v, ok := d.Freeze().Lookup(addr); !ok || v != "primary" {
+		t.Fatalf("lookup = %q %v, want primary", v, ok)
+	}
+	d.Remove(p, 64+12)
+	if _, v, ok := d.Freeze().Lookup(addr); !ok || v != "secondary" {
+		t.Fatalf("after removing primary, lookup = %q %v, want secondary", v, ok)
+	}
+	d.Remove(p, 12)
+	if _, _, ok := d.Freeze().Lookup(addr); ok {
+		t.Fatal("lookup matched after both ranks removed")
+	}
+}
+
+func TestDynamicShadowRestore(t *testing.T) {
+	// A /24 shadows part of a /16's expansion span in the same node;
+	// removing the /24 must restore the /16 in the shadowed slots.
+	d := NewDynamic[string]()
+	p16 := netutil.MustParsePrefix("10.1.0.0/16")
+	p24 := netutil.MustParsePrefix("10.1.7.0/24")
+	d.InsertRanked(p16, "wide", 16)
+	d.InsertRanked(p24, "narrow", 24)
+	in24 := netutil.MustParseAddr("10.1.7.200")
+	in16 := netutil.MustParseAddr("10.1.8.1")
+	if gp, _, _ := d.Freeze().Lookup(in24); gp != p24 {
+		t.Fatalf("lookup in /24 = %v, want %v", gp, p24)
+	}
+	d.Remove(p24, 24)
+	f := d.Freeze()
+	if gp, v, ok := f.Lookup(in24); !ok || gp != p16 || v != "wide" {
+		t.Fatalf("after removing /24, lookup = %v %q %v, want %v wide", gp, v, ok, p16)
+	}
+	if gp, _, _ := f.Lookup(in16); gp != p16 {
+		t.Fatalf("untouched /16 slot = %v, want %v", gp, p16)
+	}
+}
+
+// TestDynamicVsReference drives random insert/remove churn and checks
+// every freeze against the brute-force oracle at all boundary probes.
+func TestDynamicVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := NewDynamic[int]()
+	ref := newRefModel()
+	var keys []dynKey // insertion order, may contain dead keys
+
+	for round := 0; round < 40; round++ {
+		for op := 0; op < 30; op++ {
+			if len(keys) > 0 && rng.Intn(3) == 0 {
+				k := keys[rng.Intn(len(keys))]
+				gotLive := d.Remove(k.prefix, int(k.rank))
+				_, wantLive := ref.entries[k]
+				if gotLive != wantLive {
+					t.Fatalf("round %d: Remove(%v,%d) = %v, oracle says %v", round, k.prefix, k.rank, gotLive, wantLive)
+				}
+				ref.remove(k.prefix, int(k.rank))
+				continue
+			}
+			p := randPrefix(rng)
+			rank := rng.Intn(128)
+			v := rng.Int()
+			d.InsertRanked(p, v, rank)
+			ref.insert(p, v, rank)
+			keys = append(keys, dynKey{prefix: p, rank: int16(rank)})
+		}
+		if d.Len() != len(ref.entries) {
+			t.Fatalf("round %d: Len = %d, oracle has %d", round, d.Len(), len(ref.entries))
+		}
+		f := d.Freeze()
+		for _, addr := range probeSet(ref.entries) {
+			gp, gv, gok := f.Lookup(addr)
+			wp, wv, wok := ref.lookup(addr)
+			if gok != wok || (gok && (gp != wp || gv != wv)) {
+				t.Fatalf("round %d: Lookup(%v) = %v %d %v, oracle %v %d %v",
+					round, addr, gp, gv, gok, wp, wv, wok)
+			}
+		}
+	}
+}
+
+// TestDynamicIncrementalFreezeMatchesScratch checks the core invariant
+// behind delta compilation: after arbitrary churn, an incrementally
+// frozen table answers identically to a Multibit built from scratch over
+// the same live key set.
+func TestDynamicIncrementalFreezeMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDynamic[int]()
+	live := make(map[dynKey]int)
+	var keys []dynKey
+
+	var lastFrozen *Frozen[int]
+	for round := 0; round < 25; round++ {
+		for op := 0; op < 40; op++ {
+			if len(keys) > 0 && rng.Intn(2) == 0 {
+				k := keys[rng.Intn(len(keys))]
+				d.Remove(k.prefix, int(k.rank))
+				delete(live, k)
+				continue
+			}
+			p := randPrefix(rng)
+			rank := rng.Intn(100)
+			v := rng.Int()
+			d.InsertRanked(p, v, rank)
+			k := dynKey{prefix: p, rank: int16(rank)}
+			live[k] = v
+			keys = append(keys, k)
+		}
+		lastFrozen = d.Freeze()
+	}
+
+	scratch := NewMultibit[int]()
+	for k, v := range live {
+		scratch.InsertRanked(k.prefix, v, int(k.rank))
+	}
+	sf := scratch.Freeze()
+
+	rng2 := rand.New(rand.NewSource(99))
+	probes := probeSet(live)
+	for i := 0; i < 5000; i++ {
+		probes = append(probes, netutil.Addr(rng2.Uint32()))
+	}
+	for _, addr := range probes {
+		gp, gv, gok := lastFrozen.Lookup(addr)
+		wp, wv, wok := sf.Lookup(addr)
+		if gok != wok || (gok && (gp != wp || gv != wv)) {
+			t.Fatalf("Lookup(%v): incremental %v %d %v, scratch %v %d %v", addr, gp, gv, gok, wp, wv, wok)
+		}
+	}
+}
+
+// TestDynamicOldGenerationsImmutable freezes a generation, keeps
+// mutating, and checks the old generation still answers exactly as it
+// did at its freeze point — the RCU safety property.
+func TestDynamicOldGenerationsImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	d := NewDynamic[int]()
+	var keys []dynKey
+	for i := 0; i < 300; i++ {
+		p := randPrefix(rng)
+		rank := rng.Intn(64)
+		d.InsertRanked(p, i, rank)
+		keys = append(keys, dynKey{prefix: p, rank: int16(rank)})
+	}
+	gen0 := d.Freeze()
+
+	// Record gen0's answers over a fixed probe set.
+	var probes []netutil.Addr
+	for i := 0; i < 4000; i++ {
+		probes = append(probes, netutil.Addr(rng.Uint32()))
+	}
+	type ans struct {
+		p  netutil.Prefix
+		v  int
+		ok bool
+	}
+	want := make([]ans, len(probes))
+	for i, a := range probes {
+		p, v, ok := gen0.Lookup(a)
+		want[i] = ans{p, v, ok}
+	}
+
+	// Heavy churn, including removals of gen0 keys and freezes in between.
+	for round := 0; round < 10; round++ {
+		for op := 0; op < 100; op++ {
+			if rng.Intn(2) == 0 && len(keys) > 0 {
+				k := keys[rng.Intn(len(keys))]
+				d.Remove(k.prefix, int(k.rank))
+			} else {
+				p := randPrefix(rng)
+				rank := rng.Intn(64)
+				d.InsertRanked(p, rng.Int(), rank)
+				keys = append(keys, dynKey{prefix: p, rank: int16(rank)})
+			}
+		}
+		d.Freeze()
+	}
+
+	for i, a := range probes {
+		p, v, ok := gen0.Lookup(a)
+		if p != want[i].p || v != want[i].v || ok != want[i].ok {
+			t.Fatalf("gen0.Lookup(%v) changed after churn: now %v %d %v, was %v %d %v",
+				a, p, v, ok, want[i].p, want[i].v, want[i].ok)
+		}
+	}
+}
+
+func TestDynamicDeadEntriesAccounting(t *testing.T) {
+	d := NewDynamic[int]()
+	p := netutil.MustParsePrefix("192.168.0.0/24")
+	d.InsertRanked(p, 1, 24)
+	if d.DeadEntries() != 0 {
+		t.Fatalf("DeadEntries before any freeze = %d, want 0", d.DeadEntries())
+	}
+	// Unfrozen entries never hit the arena: replace + remove cost nothing.
+	d.InsertRanked(p, 2, 24)
+	d.Remove(p, 24)
+	if d.DeadEntries() != 0 {
+		t.Fatalf("DeadEntries after unfrozen churn = %d, want 0", d.DeadEntries())
+	}
+	d.InsertRanked(p, 3, 24)
+	d.Freeze()
+	d.InsertRanked(p, 4, 24) // replaces a frozen row: one dead row
+	if d.DeadEntries() != 1 {
+		t.Fatalf("DeadEntries after replacing frozen entry = %d, want 1", d.DeadEntries())
+	}
+	d.Freeze()
+	d.Remove(p, 24) // removes a frozen row: another dead row
+	if d.DeadEntries() != 2 {
+		t.Fatalf("DeadEntries after removing frozen entry = %d, want 2", d.DeadEntries())
+	}
+}
+
+func TestDynamicRankRange(t *testing.T) {
+	d := NewDynamic[int]()
+	for _, rank := range []int{-1, 1<<14 + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("InsertRanked(rank=%d) did not panic", rank)
+				}
+			}()
+			d.InsertRanked(netutil.MustParsePrefix("1.0.0.0/8"), 0, rank)
+		}()
+	}
+}
+
+func TestDynamicWalk(t *testing.T) {
+	d := NewDynamic[int]()
+	want := map[string]int{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		p := randPrefix(rng)
+		rank := rng.Intn(32)
+		d.InsertRanked(p, i, rank)
+		want[fmt.Sprintf("%v#%d", p, rank)] = i
+	}
+	got := map[string]int{}
+	d.Walk(func(p netutil.Prefix, rank int, v int) bool {
+		got[fmt.Sprintf("%v#%d", p, rank)] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Walk[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+}

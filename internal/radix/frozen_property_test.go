@@ -1,0 +1,127 @@
+package radix
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// TestFrozenMatchesTreeProperty is the property-based check that the
+// flattened stride-8 table implements exactly the longest-prefix-match
+// the bitwise Tree does. For each random prefix set it probes, for every
+// inserted prefix, the first and last address of its /0–/32 enclosing
+// prefixes at every length (plus the one-off neighbors) — the complete
+// set of addresses where a match decision can flip.
+func TestFrozenMatchesTreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		mb := NewMultibit[int]()
+		tr := New[int]()
+		inserted := make([]netutil.Prefix, 0, n)
+		for i := 0; i < n; i++ {
+			bits := rng.Intn(33) // 0..32, default route included
+			addr := netutil.Addr(rng.Uint32()) & netutil.Addr(netutil.MaskOf(bits))
+			p := netutil.PrefixFrom(addr, bits)
+			v := rng.Int()
+			mb.Insert(p, v)
+			tr.Insert(p, v)
+			inserted = append(inserted, p)
+		}
+		f := mb.Freeze()
+
+		if f.Len() != tr.Len() {
+			t.Fatalf("trial %d: Frozen.Len = %d, Tree.Len = %d", trial, f.Len(), tr.Len())
+		}
+
+		seen := make(map[netutil.Addr]struct{})
+		probe := func(addr netutil.Addr) {
+			if _, dup := seen[addr]; dup {
+				return
+			}
+			seen[addr] = struct{}{}
+			gp, gv, gok := f.Lookup(addr)
+			wp, wv, wok := tr.Lookup(addr)
+			if gok != wok || (gok && (gp != wp || gv != wv)) {
+				t.Fatalf("trial %d: Lookup(%v): frozen %v %d %v, tree %v %d %v",
+					trial, addr, gp, gv, gok, wp, wv, wok)
+			}
+		}
+		for _, p := range inserted {
+			// Boundary addresses of every enclosing prefix length: the /b
+			// block around p's base address, for b = 0..32.
+			for bits := 0; bits <= 32; bits++ {
+				q := netutil.PrefixFrom(p.Addr()&netutil.Addr(netutil.MaskOf(bits)), bits)
+				probe(q.First())
+				probe(q.Last())
+				probe(q.First() - 1)
+				probe(q.Last() + 1)
+			}
+		}
+		// A sprinkling of uniform random addresses for the interior.
+		for i := 0; i < 500; i++ {
+			probe(netutil.Addr(rng.Uint32()))
+		}
+	}
+}
+
+// TestFrozenMatchesTreeRanked repeats the property with explicit ranks
+// decoupled from prefix length, the regime bgp.Compiled uses to fold two
+// match classes into one table. The oracle is a linear scan under the
+// same (rank, bits, insertion-last) precedence InsertRanked documents.
+func TestFrozenMatchesTreeRanked(t *testing.T) {
+	rng := rand.New(rand.NewSource(7391))
+	for trial := 0; trial < 10; trial++ {
+		type stored struct {
+			p    netutil.Prefix
+			v    int
+			rank int
+		}
+		mb := NewMultibit[int]()
+		byPrefix := make(map[netutil.Prefix]stored)
+		n := 1 + rng.Intn(150)
+		for i := 0; i < n; i++ {
+			bits := 1 + rng.Intn(32)
+			addr := netutil.Addr(rng.Uint32()) & netutil.Addr(netutil.MaskOf(bits))
+			p := netutil.PrefixFrom(addr, bits)
+			if _, dup := byPrefix[p]; dup {
+				continue // re-ranking a prefix is outside InsertRanked's contract
+			}
+			// Rank folds a class bias over length, as the bgp compiler does.
+			rank := bits
+			if rng.Intn(2) == 0 {
+				rank += 64
+			}
+			v := rng.Int()
+			mb.InsertRanked(p, v, rank)
+			byPrefix[p] = stored{p, v, rank}
+		}
+		f := mb.Freeze()
+
+		lookupRef := func(addr netutil.Addr) (netutil.Prefix, int, bool) {
+			var best stored
+			found := false
+			for _, s := range byPrefix {
+				if !s.p.Contains(addr) {
+					continue
+				}
+				if !found || s.rank > best.rank || (s.rank == best.rank && s.p.Bits() > best.p.Bits()) {
+					best, found = s, true
+				}
+			}
+			return best.p, best.v, found
+		}
+
+		for _, s := range byPrefix {
+			for _, addr := range []netutil.Addr{s.p.First(), s.p.Last(), s.p.First() - 1, s.p.Last() + 1} {
+				gp, gv, gok := f.Lookup(addr)
+				wp, wv, wok := lookupRef(addr)
+				if gok != wok || (gok && (gp != wp || gv != wv)) {
+					t.Fatalf("trial %d: Lookup(%v): frozen %v %d %v, oracle %v %d %v",
+						trial, addr, gp, gv, gok, wp, wv, wok)
+				}
+			}
+		}
+	}
+}

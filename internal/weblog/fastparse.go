@@ -51,7 +51,10 @@ func parseCLFLineFast(line []byte, tc *timeCache) (client netutil.Addr, ts time.
 		return
 	}
 	tsb := line[lb+1 : rb]
-	if tc != nil && bytes.Equal(tsb, tc.raw) {
+	// The empty-timestamp guard matters: an unprimed cache has raw == nil,
+	// and bytes.Equal(nil, []byte{}) is true, which would bless "[]" with
+	// the zero time while the strict parser rejects it.
+	if tc != nil && len(tsb) > 0 && bytes.Equal(tsb, tc.raw) {
 		ts = tc.t
 	} else {
 		t, err := time.Parse(clfTimeLayout, string(tsb))
@@ -76,10 +79,14 @@ func parseCLFLineFast(line []byte, tc *timeCache) (client netutil.Addr, ts time.
 	}
 	q2 += q1 + 1
 	reqb := line[q1+1 : q2]
-	// The strict parser splits the request on any whitespace run; the fast
-	// path handles only single spaces and defers anything else.
+	// The strict parser splits the request on any whitespace run — which,
+	// via strings.Fields, includes multi-byte Unicode whitespace (U+00A0,
+	// U+0085, the U+2000 block). The fast path handles only single ASCII
+	// spaces and defers every other whitespace candidate, including any
+	// non-ASCII byte: deciding whether it starts a Unicode space would
+	// mean decoding UTF-8 here.
 	for _, ch := range reqb {
-		if ch == '\t' || ch == '\n' || ch == '\v' || ch == '\f' || ch == '\r' {
+		if ch == '\t' || ch == '\n' || ch == '\v' || ch == '\f' || ch == '\r' || ch >= 0x80 {
 			return
 		}
 	}
@@ -149,13 +156,14 @@ func skipSpaces(b []byte, i int) int {
 	return i
 }
 
-// tokenEnd returns the index one past a run of non-space, non-tab bytes
-// starting at i, or -1 when the token contains whitespace the strict
-// parser would split differently.
+// tokenEnd returns the index one past a run of plain-ASCII token bytes
+// starting at i, or -1 when the token contains ASCII whitespace — or any
+// non-ASCII byte, which could be part of a Unicode space — that the
+// strict parser's strings.Fields would split differently.
 func tokenEnd(b []byte, i int) int {
 	j := i
 	for j < len(b) && b[j] != ' ' {
-		if b[j] == '\t' || b[j] == '\n' || b[j] == '\v' || b[j] == '\f' || b[j] == '\r' {
+		if b[j] == '\t' || b[j] == '\n' || b[j] == '\v' || b[j] == '\f' || b[j] == '\r' || b[j] >= 0x80 {
 			return -1
 		}
 		j++

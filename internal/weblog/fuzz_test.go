@@ -55,3 +55,58 @@ func FuzzStreamCLF(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseCLFLineFast is the differential target for the zero-alloc
+// scanner: whenever the fast path accepts a line, the strict parser must
+// accept it too and extract identical client, timestamp, path, size, and
+// agent fields. The fast path is always allowed to defer (ok=false);
+// what it may never do is answer differently. Historical divergence this
+// guards: multi-byte Unicode whitespace (U+00A0, U+0085) splits under
+// the strict parser's strings.Fields but is token bytes to a byte-wise
+// scan, skewing the path or size field unless the fast path defers on
+// all non-ASCII bytes.
+func FuzzParseCLFLineFast(f *testing.F) {
+	for _, line := range clfCorpus {
+		f.Add(line)
+	}
+	// Ambiguity seeds: Unicode whitespace inside the request and in the
+	// status/size region, sign and overflow edges, bracket/quote layouts.
+	f.Add("1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] \"GET /a\u00a0HTTP/1.0\" 200 10")
+	f.Add("1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] \"GET /a HTTP/1.0\" 5\u00a0200 10")
+	f.Add("1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] \"GET /a HTTP/1.0\" 200\u008510")
+	f.Add("1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] \"GET /\u2002x HTTP/1.0\" 200 10")
+	f.Add(`1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "GET /a HTTP/1.0" 200 2147483648`)
+	f.Add(`1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "GET /a HTTP/1.0" 200 -10`)
+	f.Add(`1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] ] "GET /a HTTP/1.0" 200 10`)
+	f.Add(`1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "" 200 10`)
+	f.Add(`1.2.3.4 - - [13/Feb/1998:06:15:05 +0000] "GET /a HTTP/1.0" 200 10 "ref"`)
+	f.Fuzz(func(t *testing.T, line string) {
+		if strings.ContainsAny(line, "\n\r") {
+			return // the scanners only ever see single lines
+		}
+		var tc timeCache
+		client, ts, pathB, agentB, size, ok := parseCLFLineFast([]byte(line), &tc)
+		if !ok {
+			return // deferring is always allowed
+		}
+		req, sts, spath, ssize, sagent, err := parseCLFLine(line)
+		if err != nil {
+			t.Fatalf("fast path accepted a line the strict parser rejects: %q (%v)", line, err)
+		}
+		if req.Client != client {
+			t.Errorf("client: fast %v, strict %v (line %q)", client, req.Client, line)
+		}
+		if !ts.Equal(sts) {
+			t.Errorf("timestamp: fast %v, strict %v (line %q)", ts, sts, line)
+		}
+		if string(pathB) != spath {
+			t.Errorf("path: fast %q, strict %q (line %q)", pathB, spath, line)
+		}
+		if size != ssize {
+			t.Errorf("size: fast %d, strict %d (line %q)", size, ssize, line)
+		}
+		if string(agentB) != sagent {
+			t.Errorf("agent: fast %q, strict %q (line %q)", agentB, sagent, line)
+		}
+	})
+}

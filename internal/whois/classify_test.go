@@ -1,0 +1,186 @@
+package whois
+
+// Error-classification behavior of the whois client: which outcomes are
+// answers (cached, never retried) and which are transport failures
+// (retried up to the budget). The taxonomy mirrors dnswire's: a "% no
+// match" notice is the registry's NXDOMAIN — definitive — while a
+// connection that dies before yielding a single line tells us nothing
+// and must be retried.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startRawServer runs a TCP server that answers every query with the
+// same canned payload, optionally closing before writing anything.
+func startRawServer(t *testing.T, payload string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				conn.SetDeadline(time.Now().Add(2 * time.Second))
+				// Consume the query line before answering, like a real
+				// RIPE-style server.
+				bufio.NewReader(conn).ReadString('\n')
+				if payload != "" {
+					io.WriteString(conn, payload)
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestResponseClassification pins the fetch-level taxonomy: comment-only
+// and keyless payloads are definitive not-found answers (nil error, no
+// retry), record lines parse with comments interleaved, and an empty
+// stream is an error.
+func TestResponseClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		payload   string
+		wantFound bool
+		wantName  string
+		wantErr   string // substring of the error, "" for success
+	}{
+		{"record", "as-name: EBONE\r\ncountry: DE\r\n", true, "EBONE", ""},
+		{"record with comments", "% RIPE database\r\nas-name: EBONE\r\n% EOF\r\n", true, "EBONE", ""},
+		{"comment-only not-found", "% no entries found for AS9999\r\n", false, "", ""},
+		{"keyless garbage", "no colon anywhere\r\n", false, "", ""},
+		{"empty stream", "", false, "", "empty response"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := startRawServer(t, tc.payload)
+			c := NewClient(addr)
+			c.Timeout = time.Second
+			c.Retries = 0 // expose single-attempt behavior
+			c.Breaker = nil
+
+			rec, found, err := c.Lookup(9999)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Lookup: %v", err)
+			}
+			if found != tc.wantFound || rec.Name != tc.wantName {
+				t.Fatalf("found=%v rec=%+v, want found=%v name=%q", found, rec, tc.wantFound, tc.wantName)
+			}
+			// Definitive answers never retry.
+			if c.RetryCount() != 0 {
+				t.Fatalf("retries = %d, want 0 for a definitive answer", c.RetryCount())
+			}
+		})
+	}
+}
+
+// TestNotFoundNoticeNotRetried: the "% no match" notice is an answer, so
+// it is cached and consumes exactly one network query even with a
+// generous retry budget — the registry is not hammered for ASes it
+// simply does not know.
+func TestNotFoundNoticeNotRetried(t *testing.T) {
+	addr := startRawServer(t, "% no entries found\r\n")
+	c := NewClient(addr)
+	c.Timeout = time.Second
+	c.Retries = 5
+	c.Breaker = nil
+
+	for i := 0; i < 3; i++ {
+		if _, found, err := c.Lookup(65001); err != nil || found {
+			t.Fatalf("lookup %d: found=%v err=%v", i, found, err)
+		}
+	}
+	if q, r := c.NetworkQueries(), c.RetryCount(); q != 1 || r != 0 {
+		t.Fatalf("queries=%d retries=%d, want 1/0 (notice cached, never retried)", q, r)
+	}
+}
+
+// TestEmptyResponseRetried: a connection that closes before delivering a
+// single line is transient — the client must retry it and succeed once
+// the registry recovers.
+func TestEmptyResponseRetried(t *testing.T) {
+	_, good := startServer(t)
+
+	var dials atomic.Int32
+	c := NewClient(good)
+	c.Timeout = time.Second
+	c.Retries = 4
+	c.Breaker = nil
+	c.Backoff.BaseDelay = time.Millisecond
+	c.Backoff.Jitter = 0
+	c.Dial = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		if dials.Add(1) <= 2 {
+			// First two attempts reach a server that accepts the query
+			// and hangs up without a word: errEmptyResponse territory.
+			cli, srv := net.Pipe()
+			go func() {
+				buf := make([]byte, 64)
+				srv.Read(buf)
+				srv.Close()
+			}()
+			return cli, nil
+		}
+		var d net.Dialer
+		return d.DialContext(ctx, network, addr)
+	}
+
+	rec, found, err := c.Lookup(7018)
+	if err != nil || !found {
+		t.Fatalf("Lookup through empty responses: rec=%+v found=%v err=%v", rec, found, err)
+	}
+	if rec.Name != "Ficus Networks" {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if got := c.RetryCount(); got != 2 {
+		t.Fatalf("retries = %d, want exactly 2 (one per empty response)", got)
+	}
+}
+
+// TestEmptyResponseExhaustsBudget: when every attempt comes back empty
+// the error surfaces with the attempt count, proving the full retry
+// budget was spent on the transient classification.
+func TestEmptyResponseExhaustsBudget(t *testing.T) {
+	addr := startRawServer(t, "")
+	c := NewClient(addr)
+	c.Timeout = time.Second
+	c.Retries = 3
+	c.Breaker = nil
+	c.Backoff.BaseDelay = time.Millisecond
+	c.Backoff.Jitter = 0
+
+	_, found, err := c.Lookup(64)
+	if err == nil || found {
+		t.Fatalf("expected failure, got found=%v err=%v", found, err)
+	}
+	if !strings.Contains(err.Error(), "empty response") {
+		t.Fatalf("err = %v, want empty-response cause", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("%d attempt", c.Retries+1)) {
+		t.Fatalf("err = %v, want %d attempts reported", err, c.Retries+1)
+	}
+	if got := c.RetryCount(); got != c.Retries {
+		t.Fatalf("retries = %d, want %d", got, c.Retries)
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	"github.com/netaware/netcluster/internal/bgp"
 	"github.com/netaware/netcluster/internal/bgpsim"
+	"github.com/netaware/netcluster/internal/churn"
 	"github.com/netaware/netcluster/internal/cluster"
 	"github.com/netaware/netcluster/internal/detect"
 	"github.com/netaware/netcluster/internal/dnssim"
@@ -100,6 +101,41 @@ func NewTable() *Table { return bgp.NewMerged() }
 // Table.Compile (or NetworkAware.Compile) after the table is fully
 // populated.
 type CompiledTable = bgp.Compiled
+
+// Online churn: a long-running table that absorbs BGP announce/withdraw
+// deltas without recompiling, publishing each new generation RCU-style
+// (immutable CompiledTable snapshots behind an atomic pointer). This is
+// the substrate of the clusterd service.
+type (
+	// ChurnTable is a concurrently-readable table under a delta stream.
+	ChurnTable = churn.Table
+	// Delta is one batch of announce/withdraw operations.
+	Delta = bgp.Delta
+	// Op is a single announce or withdraw.
+	Op = bgp.Op
+	// SwapStats classifies one generation swap's effect on cluster
+	// identity: carryover, splits, merges, moves, gains, losses.
+	SwapStats = churn.SwapStats
+	// ChurnConfig parameterizes the synthetic bursty churn schedule.
+	ChurnConfig = bgpsim.ChurnConfig
+	// ChurnGen draws bursty announce/withdraw batches over a snapshot's
+	// prefix universe.
+	ChurnGen = bgpsim.ChurnGen
+)
+
+// NewChurnTable seeds an online table from a merged table; Apply deltas
+// to advance generations while readers keep using Lookup.
+func NewChurnTable(m *Table) *ChurnTable { return churn.New(m) }
+
+// DiffSnapshots computes the delta turning old's prefix set into new's —
+// the offline analogue of a live churn feed.
+func DiffSnapshots(old, new *Snapshot) Delta { return bgpsim.Diff(old, new) }
+
+// DefaultChurnConfig is a ~1% mean batch schedule with occasional bursts.
+func DefaultChurnConfig() ChurnConfig { return bgpsim.DefaultChurnConfig() }
+
+// NewChurnGen builds a churn generator over base's prefix universe.
+func NewChurnGen(base *Snapshot, cfg ChurnConfig) *ChurnGen { return bgpsim.NewChurnGen(base, cfg) }
 
 // ReadSnapshot parses a snapshot dump (see internal/bgp for the format;
 // prefix fields accept CIDR, dotted-netmask, and classful notations).
