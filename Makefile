@@ -26,7 +26,7 @@ FUZZTIME ?= 20s
 # Advisory statement-coverage floor for the cover target.
 COVER_MIN ?= 70
 
-.PHONY: all build test test-short race vet fmt fmt-check chaos bench-json bench-gate bench-smoke trace-smoke fuzz-smoke cover check clean
+.PHONY: all build test test-short race vet fmt fmt-check chaos chaos-smoke bench-json bench-gate bench-smoke trace-smoke fuzz-smoke cover check clean
 
 all: build
 
@@ -57,6 +57,15 @@ fmt-check:
 # Just the fault-injection acceptance tests, verbosely.
 chaos:
 	$(GO) test -count=1 -race -run 'TestChaos' -v .
+
+# The sink chaos suite: the durable export path under injected drops,
+# resets and corruption, plus kill-and-restart WAL replay, under -race.
+# On failure the WAL and flight-recorder tail land in bin/chaos-artifacts
+# (SINK_CHAOS_ARTIFACTS) for post-mortem; CI uploads that directory.
+chaos-smoke:
+	@mkdir -p bin/chaos-artifacts
+	SINK_CHAOS_ARTIFACTS=$(CURDIR)/bin/chaos-artifacts \
+		$(GO) test -count=1 -race -run 'TestSinkChaos' -v ./internal/obsv/sink
 
 # Record lookup/cluster/parse benchmark results machine-readably. The
 # bench run and the JSON conversion are separate steps on an intermediate
@@ -118,7 +127,7 @@ trace-smoke:
 	./bin/experiments -scale 0.02 -trace-out bin/trace.json perf
 	./bin/tracecheck bin/trace.json
 
-check: vet fmt-check race bench-smoke
+check: vet fmt-check race chaos-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

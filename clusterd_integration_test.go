@@ -167,9 +167,19 @@ func TestClusterdServiceLifecycle(t *testing.T) {
 		t.Fatal("table generation never advanced under churn")
 	}
 
-	// SIGTERM: clean exit, drain logged, metrics snapshot written.
+	// SIGTERM: clean exit, drain logged, metrics snapshot written. The
+	// stderr tail must be collected before cmd.Wait: Wait closes the pipe
+	// once the child exits, racing the scanner out of the final drain
+	// lines. EOF on the pipe implies the child has exited, so waiting for
+	// the tail first loses nothing.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
+	}
+	var tail string
+	select {
+	case tail = <-drained:
+	case <-time.After(15 * time.Second):
+		t.Fatal("clusterd did not exit within 15s of SIGTERM")
 	}
 	done := make(chan error, 1)
 	go func() { done <- cmd.Wait() }()
@@ -181,7 +191,6 @@ func TestClusterdServiceLifecycle(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("clusterd did not exit within 15s of SIGTERM")
 	}
-	tail := <-drained
 	if !strings.Contains(tail, "draining") || !strings.Contains(tail, "drained at generation") {
 		t.Errorf("drain log missing:\n%s", tail)
 	}

@@ -12,15 +12,35 @@
 //	GET  /lookup?addr=12.65.147.94   one address → cluster prefix JSON
 //	POST /cluster                    newline-separated addresses → JSON
 //	GET  /healthz                    liveness + table generation
+//	GET  /readyz                     readiness (false while draining,
+//	                                 while the config file is invalid, or
+//	                                 while export backlogs run high)
+//	GET  /debug/config               live config generation + sink status
 //	GET  /metrics, /debug/...        obsv debug surface (Prometheus
 //	                                 text, expvar, pprof, flight trace)
 //
-// The batch endpoint is admission-controlled: at most -max-inflight
+// The batch endpoint is admission-controlled: at most max-inflight
 // batches run concurrently; beyond that clusterd answers 503 with
 // Retry-After instead of queueing unboundedly (backpressure, not
-// collapse). SIGTERM/SIGINT drain gracefully: the listener stops
-// accepting, in-flight requests finish (bounded by -drain-timeout), the
-// churn loop stops, and -metrics-out receives a final snapshot.
+// collapse).
+//
+// Flags seed every tunable. A -config file overrides the keys it names
+// and is hot-reloaded: a polling watcher (and SIGHUP) re-reads it,
+// validates, and swaps the accepted result in atomically via a
+// generation pointer — admission limits, churn cadence and push-sink
+// endpoints all retarget on a live process, and an invalid edit is
+// rejected loudly while the previous generation keeps serving. The
+// "sinks" key starts durable push exporters (internal/obsv/sink): delta
+// batches WAL-journaled under -sink-dir and delivered with retry,
+// backoff and a circuit breaker, so a dead collector never blocks the
+// serving path.
+//
+// SIGTERM/SIGINT drain gracefully: readiness flips false, the listener
+// stops accepting, in-flight requests finish (bounded by the drain
+// timeout), the churn loop stops, export queues flush and fsync within
+// the same deadline (a wedged sink cannot hang shutdown — its backlog
+// stays persisted in the WAL), and -metrics-out receives a final
+// snapshot that agrees with the pushed series.
 //
 // Churn is synthetic: the same bgpsim world that seeds the table also
 // drives a bursty announce/withdraw schedule (-churn-every, -mean-batch,
@@ -39,15 +59,18 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"github.com/netaware/netcluster/internal/appconf"
 	"github.com/netaware/netcluster/internal/bgp"
 	"github.com/netaware/netcluster/internal/bgpsim"
 	"github.com/netaware/netcluster/internal/churn"
 	"github.com/netaware/netcluster/internal/inet"
 	"github.com/netaware/netcluster/internal/netutil"
 	"github.com/netaware/netcluster/internal/obsv"
+	"github.com/netaware/netcluster/internal/obsv/sink"
 	"github.com/netaware/netcluster/internal/report"
 )
 
@@ -61,11 +84,14 @@ var (
 )
 
 type server struct {
-	table    *churn.Table
-	sem      chan struct{}
-	maxBody  int64
-	maxBatch int
-	started  time.Time
+	table   *churn.Table
+	sem     *dynamicSemaphore
+	tun     atomic.Pointer[tunables]
+	started time.Time
+
+	draining atomic.Bool
+	watcher  *appconf.Watcher[fileConfig] // nil without -config
+	sinks    *sink.Manager
 }
 
 type lookupResult struct {
@@ -103,29 +129,30 @@ func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
 
 // handleBatch clusters a newline-separated address list in one pass. One
 // table generation is pinned for the whole batch, so a swap mid-batch
-// cannot produce a mixed-generation answer set.
+// cannot produce a mixed-generation answer set; likewise one config
+// generation is pinned, so a limits reload cannot change the rules on a
+// request it already admitted.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST an address list", http.StatusMethodNotAllowed)
 		return
 	}
-	select {
-	case s.sem <- struct{}{}:
-		inflightGauge.Add(1)
-		defer func() { <-s.sem; inflightGauge.Add(-1) }()
-	default:
+	tun := s.tun.Load()
+	if !s.sem.TryAcquire() {
 		batchRejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "batch capacity exhausted, retry later", http.StatusServiceUnavailable)
 		return
 	}
+	inflightGauge.Add(1)
+	defer func() { s.sem.Release(); inflightGauge.Add(-1) }()
 	batchCount.Inc()
 
 	// Pin one generation for the whole batch.
 	table := s.table.Load()
 	gen := s.table.Generation()
 
-	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.maxBody))
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, tun.MaxBodyBytes))
 	results := make([]lookupResult, 0, 256)
 	n := 0
 	for sc.Scan() {
@@ -133,8 +160,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if line == "" {
 			continue
 		}
-		if n++; n > s.maxBatch {
-			http.Error(w, fmt.Sprintf("batch exceeds %d addresses", s.maxBatch), http.StatusRequestEntityTooLarge)
+		if n++; n > tun.MaxBatch {
+			http.Error(w, fmt.Sprintf("batch exceeds %d addresses", tun.MaxBatch), http.StatusRequestEntityTooLarge)
 			return
 		}
 		addr, err := netutil.ParseAddr(line)
@@ -161,6 +188,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}{gen, results})
 }
 
+// handleHealthz is liveness: the process is up and the table is
+// readable. It stays 200 while draining — kill a live-but-draining
+// process and you lose its final flush.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	c := s.table.Load()
 	w.Header().Set("Content-Type", "application/json")
@@ -170,6 +200,64 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Prefixes   int     `json:"prefixes"`
 		UptimeSec  float64 `json:"uptime_sec"`
 	}{"ok", s.table.Generation(), c.Len(), time.Since(s.started).Seconds()})
+}
+
+// handleReadyz is readiness: whether this instance should receive
+// traffic right now. False while draining, while the watched config file
+// is failing validation, and while any export backlog sits above its
+// high-water mark.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	if s.watcher != nil && !s.watcher.Healthy() {
+		reasons = append(reasons, "config rejected: "+s.watcher.LastError().Error())
+	}
+	if s.sinks != nil && !s.sinks.Healthy() {
+		reasons = append(reasons, "export backlog above high-water mark")
+	}
+	ready := len(reasons) == 0
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		Ready      bool     `json:"ready"`
+		Reasons    []string `json:"reasons,omitempty"`
+		Generation uint64   `json:"generation"`
+	}{ready, reasons, s.table.Generation()})
+}
+
+// handleDebugConfig shows the effective runtime configuration: the
+// resolved tunables, the config-file generation (0 when running on
+// flags alone), and every push sink's operational position.
+func (s *server) handleDebugConfig(w http.ResponseWriter, r *http.Request) {
+	body := struct {
+		Generation uint64            `json:"generation"`
+		Path       string            `json:"path,omitempty"`
+		LoadedAt   *time.Time        `json:"loaded_at,omitempty"`
+		Effective  *tunables         `json:"effective"`
+		LastError  string            `json:"last_error,omitempty"`
+		Sinks      []sink.SinkStatus `json:"sinks,omitempty"`
+	}{Effective: s.tun.Load()}
+	if s.watcher != nil {
+		cur := s.watcher.Current()
+		body.Generation = cur.Generation
+		body.Path = cur.Path
+		t := cur.LoadedAt
+		body.LoadedAt = &t
+		if err := s.watcher.LastError(); err != nil {
+			body.LastError = err.Error()
+		}
+	}
+	if s.sinks != nil {
+		body.Sinks = s.sinks.Status()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
 }
 
 func main() {
@@ -182,9 +270,18 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 8, "concurrent /cluster batches before 503 backpressure")
 	maxBatch := flag.Int("max-batch", 100000, "addresses per /cluster batch")
 	maxBody := flag.Int64("max-body", 8<<20, "request body cap in bytes for /cluster")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests and sink flush on shutdown")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on shutdown")
+	configPath := flag.String("config", "", "watched JSON config file; its keys override flags and hot-reload")
+	configPoll := flag.Duration("config-poll", 2*time.Second, "poll interval for -config changes")
+	sinkDir := flag.String("sink-dir", "", "directory for push-sink WALs (default: <tmp>/clusterd-sinks)")
+	sinkHighWater := flag.Int("sink-high-water", 0, "export backlog depth that flips readiness false (0: queue capacity)")
 	flag.Parse()
+
+	// Flags the operator set explicitly — the set a config-file key
+	// shadows loudly rather than silently.
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	wcfg := inet.DefaultConfig()
 	wcfg.NumASes = *ases
@@ -202,6 +299,56 @@ func main() {
 	fmt.Fprintf(os.Stderr, "clusterd: table generation 0: %s BGP + %s registry prefixes, %s nodes\n",
 		report.FmtInt(c0.NumPrimary()), report.FmtInt(c0.NumSecondary()), report.FmtInt(c0.NumNodes()))
 
+	flagTun := tunables{
+		MaxInflight:  *maxInflight,
+		MaxBatch:     *maxBatch,
+		MaxBodyBytes: *maxBody,
+		ChurnEvery:   appconf.Duration(*churnEvery),
+		DrainTimeout: appconf.Duration(*drainTimeout),
+	}
+	s := &server{
+		table:   table,
+		sem:     newDynamicSemaphore(flagTun.MaxInflight),
+		started: time.Now(),
+	}
+	s.tun.Store(&flagTun)
+
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	if *sinkDir == "" {
+		*sinkDir = os.TempDir() + "/clusterd-sinks"
+	}
+	s.sinks = sink.NewManager(*sinkDir, sink.Options{Defaults: sink.Config{
+		HighWater: *sinkHighWater,
+		Logf:      logf,
+	}})
+
+	// applyConfig resolves one accepted file generation into the live
+	// tunables, the admission semaphore and the sink set — the swap the
+	// watcher (and SIGHUP) drives.
+	applyConfig := func(old, cur *appconf.Loaded[fileConfig]) {
+		t := merge(flagTun, cur.Config, explicit, logf)
+		s.tun.Store(&t)
+		s.sem.SetCap(t.MaxInflight)
+		if err := s.sinks.Apply(toSinkSpecs(cur.Config.Sinks)); err != nil {
+			// Specs were validated at parse; this is an environment
+			// failure (WAL dir unwritable). The previous sink set serves.
+			logf("clusterd: sink reconcile: %v", err)
+		}
+		logf("clusterd: config generation %d applied: max-inflight %d, max-batch %d, churn-every %v, %d sink(s)",
+			cur.Generation, t.MaxInflight, t.MaxBatch, t.ChurnEvery.Std(), len(cur.Config.Sinks))
+	}
+	if *configPath != "" {
+		w, err := appconf.Watch(*configPath, parseFileConfig, appconf.Options[fileConfig]{
+			PollInterval: *configPoll,
+			OnSwap:       applyConfig,
+			Logf:         logf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		s.watcher = w
+	}
+
 	// The churn universe is the union of every BGP vantage's entries; the
 	// registry (secondary) prefixes stay static, as the paper's network
 	// dumps did across its testing periods.
@@ -215,40 +362,41 @@ func main() {
 	ccfg.Burstiness = *burstiness
 	gen := bgpsim.NewChurnGen(universe, ccfg)
 
+	// The churn loop re-reads its cadence each lap, so a config reload
+	// retunes (or pauses) it without a restart. While disabled it idles
+	// on a 1 s re-check instead of exiting, so churn can be hot-enabled.
 	churnCtx, stopChurn := context.WithCancel(context.Background())
 	churnDone := make(chan struct{})
 	go func() {
 		defer close(churnDone)
-		if *churnEvery <= 0 {
-			return
-		}
-		ticker := time.NewTicker(*churnEvery)
-		defer ticker.Stop()
 		for {
+			every := s.tun.Load().ChurnEvery.Std()
+			wait := every
+			if every <= 0 {
+				wait = time.Second
+			}
 			select {
 			case <-churnCtx.Done():
 				return
-			case <-ticker.C:
-				st := table.Apply(gen.Next())
-				fmt.Fprintf(os.Stderr,
-					"clusterd: swap gen %d: +%d -%d ops; stability: %d carryover %d splits %d merges %d moved %d gained %d lost\n",
-					st.Generation, st.Announced, st.Withdrawn,
-					st.Carryover, st.Splits, st.Merges, st.Moved, st.Gained, st.Lost)
+			case <-time.After(wait):
 			}
+			if every <= 0 {
+				continue
+			}
+			st := table.Apply(gen.Next())
+			fmt.Fprintf(os.Stderr,
+				"clusterd: swap gen %d: +%d -%d ops; stability: %d carryover %d splits %d merges %d moved %d gained %d lost\n",
+				st.Generation, st.Announced, st.Withdrawn,
+				st.Carryover, st.Splits, st.Merges, st.Moved, st.Gained, st.Lost)
 		}
 	}()
 
-	s := &server{
-		table:    table,
-		sem:      make(chan struct{}, *maxInflight),
-		maxBody:  *maxBody,
-		maxBatch: *maxBatch,
-		started:  time.Now(),
-	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/lookup", s.handleLookup)
 	mux.HandleFunc("/cluster", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/config", s.handleDebugConfig)
 	debug := obsv.DebugHandler()
 	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/", debug)
@@ -259,29 +407,56 @@ func main() {
 	}
 	// Announce the resolved address so ':0' users (and tests) can find it.
 	fmt.Fprintf(os.Stderr, "clusterd: serving on http://%s (churn every %v, max-inflight %d)\n",
-		ln.Addr(), *churnEvery, *maxInflight)
+		ln.Addr(), s.tun.Load().ChurnEvery.Std(), s.sem.Cap())
 
 	srv := &http.Server{Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		fatal(err)
-	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "clusterd: %v, draining\n", sig)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case err := <-errc:
+			fatal(err)
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				if s.watcher == nil {
+					fmt.Fprintln(os.Stderr, "clusterd: SIGHUP with no -config file, nothing to reload")
+					continue
+				}
+				if swapped, err := s.watcher.Reload(); err != nil {
+					fmt.Fprintf(os.Stderr, "clusterd: SIGHUP reload rejected: %v\n", err)
+				} else if swapped {
+					fmt.Fprintf(os.Stderr, "clusterd: SIGHUP reload: generation %d live\n", s.watcher.Generation())
+				}
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "clusterd: %v, draining\n", sig)
+			break loop
+		}
 	}
 
-	// Graceful drain: stop churn first (no point swapping tables for a
-	// dying process), then let in-flight requests finish.
+	// Graceful drain, in dependency order: readiness flips first (load
+	// balancers stop sending), churn stops (no point swapping tables for
+	// a dying process), in-flight requests finish, then export queues
+	// flush and fsync within the same deadline — a wedged sink cannot
+	// hang shutdown; its backlog stays persisted in the WAL. The metrics
+	// snapshot is written last so it agrees with the pushed series.
+	s.draining.Store(true)
 	stopChurn()
 	<-churnDone
-	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	if s.watcher != nil {
+		s.watcher.Close()
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.tun.Load().DrainTimeout.Std())
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
 		fmt.Fprintf(os.Stderr, "clusterd: drain: %v\n", err)
+	}
+	if err := s.sinks.Close(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterd: sink flush: %v\n", err)
 	}
 	if *metricsOut != "" {
 		if err := obsv.WriteFile(*metricsOut); err != nil {

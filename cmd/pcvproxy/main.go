@@ -7,13 +7,23 @@
 // Stats are served at /-/stats on the same listener (a path real origins
 // will not use). With -metrics-addr a second, private listener serves
 // /debug/vars (expvar JSON including the process metric registry),
-// /debug/pprof, /metrics (Prometheus text exposition) and /debug/trace
-// (the flight-recorder ring as Chrome trace_event JSON) — keep it off the
+// /debug/pprof, /metrics (Prometheus text exposition), /debug/trace
+// (the flight-recorder ring as Chrome trace_event JSON) and
+// /debug/config (the live config generation) — keep it off the
 // client-facing interface. With -metrics-out a JSON metrics snapshot is
 // written on SIGINT/SIGTERM shutdown.
+//
+// Flags seed the tunables; a -config file overrides the keys it names
+// (ttl, capacity_mb, pcv, sinks) and hot-reloads via polling or SIGHUP.
+// Accepted edits retune the cache atomically (httpproxy.SetTuning) and
+// reconcile the push-sink set; rejected edits keep the previous
+// generation serving. The "sinks" key starts durable push exporters
+// (internal/obsv/sink) with WALs under -sink-dir.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,9 +34,39 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/netaware/netcluster/internal/appconf"
 	"github.com/netaware/netcluster/internal/httpproxy"
 	"github.com/netaware/netcluster/internal/obsv"
+	"github.com/netaware/netcluster/internal/obsv/sink"
 )
+
+// proxyConfig is the watched file's schema; pointer fields distinguish
+// absent keys (flag value stands) from present ones (file wins).
+type proxyConfig struct {
+	TTL        *appconf.Duration `json:"ttl,omitempty"`
+	CapacityMB *int64            `json:"capacity_mb,omitempty"`
+	PCV        *bool             `json:"pcv,omitempty"`
+	Sinks      []sink.Spec       `json:"sinks,omitempty"`
+}
+
+func parseProxyConfig(data []byte) (proxyConfig, error) {
+	var c proxyConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, err
+	}
+	if c.TTL != nil && c.TTL.Std() <= 0 {
+		return c, fmt.Errorf("ttl %v: must be > 0", c.TTL.Std())
+	}
+	if c.CapacityMB != nil && *c.CapacityMB < 0 {
+		return c, fmt.Errorf("capacity_mb %d: must be >= 0", *c.CapacityMB)
+	}
+	if err := sink.ValidateSpecs(c.Sinks); err != nil {
+		return c, err
+	}
+	return c, nil
+}
 
 func main() {
 	origin := flag.String("origin", "", "origin base URL, e.g. http://origin.example:8080 (required)")
@@ -37,7 +77,13 @@ func main() {
 	sweep := flag.Duration("sweep", time.Minute, "interval between expiry sweeps")
 	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars and /debug/pprof on this private address (empty = disabled)")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on SIGINT/SIGTERM shutdown")
+	configPath := flag.String("config", "", "watched JSON config file; its keys override flags and hot-reload")
+	configPoll := flag.Duration("config-poll", 2*time.Second, "poll interval for -config changes")
+	sinkDir := flag.String("sink-dir", "", "directory for push-sink WALs (default: <tmp>/pcvproxy-sinks)")
 	flag.Parse()
+
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if *origin == "" {
 		fmt.Fprintln(os.Stderr, "pcvproxy: -origin is required")
@@ -49,9 +95,56 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pcvproxy: %v\n", err)
 		os.Exit(1)
 	}
-	proxy.TTL = *ttl
-	proxy.Capacity = *capacity << 20
-	proxy.PCV = *pcv
+	proxy.SetTuning(*ttl, *capacity<<20, *pcv)
+
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	if *sinkDir == "" {
+		*sinkDir = os.TempDir() + "/pcvproxy-sinks"
+	}
+	sinks := sink.NewManager(*sinkDir, sink.Options{Defaults: sink.Config{Logf: logf}})
+
+	// applyConfig swaps one accepted generation into the cache and the
+	// sink set. The shadow warnings fire when a file key overrides a
+	// flag the operator also set explicitly — the file wins, loudly.
+	applyConfig := func(old, cur *appconf.Loaded[proxyConfig]) {
+		effTTL, effCap, effPCV := *ttl, *capacity, *pcv
+		if cur.Config.TTL != nil {
+			if explicit["ttl"] {
+				logf("pcvproxy: warn event=config_shadows_flag key=ttl flag=-ttl flag_value=%v config_value=%v resolution=config-file-wins", *ttl, cur.Config.TTL.Std())
+			}
+			effTTL = cur.Config.TTL.Std()
+		}
+		if cur.Config.CapacityMB != nil {
+			if explicit["capacity"] {
+				logf("pcvproxy: warn event=config_shadows_flag key=capacity_mb flag=-capacity flag_value=%v config_value=%v resolution=config-file-wins", *capacity, *cur.Config.CapacityMB)
+			}
+			effCap = *cur.Config.CapacityMB
+		}
+		if cur.Config.PCV != nil {
+			if explicit["pcv"] {
+				logf("pcvproxy: warn event=config_shadows_flag key=pcv flag=-pcv flag_value=%v config_value=%v resolution=config-file-wins", *pcv, *cur.Config.PCV)
+			}
+			effPCV = *cur.Config.PCV
+		}
+		proxy.SetTuning(effTTL, effCap<<20, effPCV)
+		if err := sinks.Apply(cur.Config.Sinks); err != nil {
+			logf("pcvproxy: sink reconcile: %v", err)
+		}
+		logf("pcvproxy: config generation %d applied: ttl %v, capacity %d MB, pcv %v, %d sink(s)",
+			cur.Generation, effTTL, effCap, effPCV, len(cur.Config.Sinks))
+	}
+	var watcher *appconf.Watcher[proxyConfig]
+	if *configPath != "" {
+		watcher, err = appconf.Watch(*configPath, parseProxyConfig, appconf.Options[proxyConfig]{
+			PollInterval: *configPoll,
+			OnSwap:       applyConfig,
+			Logf:         logf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcvproxy: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	go func() {
 		ticker := time.NewTicker(*sweep)
@@ -69,9 +162,19 @@ func main() {
 		}
 		// Print the resolved address so ':0' users (and tests) can find it.
 		fmt.Fprintf(os.Stderr, "pcvproxy: metrics on http://%s/debug/vars\n", ln.Addr())
-		fmt.Fprintf(os.Stderr, "pcvproxy: debug routes: /debug/vars /debug/pprof /metrics /debug/trace\n")
+		fmt.Fprintf(os.Stderr, "pcvproxy: debug routes: /debug/vars /debug/pprof /metrics /debug/trace /debug/config\n")
+		dmux := http.NewServeMux()
+		if watcher != nil {
+			dmux.Handle("/debug/config", watcher.Handler())
+		} else {
+			dmux.HandleFunc("/debug/config", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(map[string]any{"generation": 0, "note": "no -config file; flags only"})
+			})
+		}
+		dmux.Handle("/", obsv.DebugHandler())
 		go func() {
-			if err := http.Serve(ln, obsv.DebugHandler()); err != nil {
+			if err := http.Serve(ln, dmux); err != nil {
 				fmt.Fprintf(os.Stderr, "pcvproxy: metrics server: %v\n", err)
 			}
 		}()
@@ -97,20 +200,46 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- http.Serve(ln, mux) }()
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "pcvproxy: %v\n", err)
-		os.Exit(1)
-	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "pcvproxy: %v, shutting down\n", sig)
-		if *metricsOut != "" {
-			if err := obsv.WriteFile(*metricsOut); err != nil {
-				fmt.Fprintf(os.Stderr, "pcvproxy: metrics snapshot: %v\n", err)
-				os.Exit(1)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-errc:
+			fmt.Fprintf(os.Stderr, "pcvproxy: %v\n", err)
+			os.Exit(1)
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				if watcher == nil {
+					fmt.Fprintln(os.Stderr, "pcvproxy: SIGHUP with no -config file, nothing to reload")
+					continue
+				}
+				if swapped, err := watcher.Reload(); err != nil {
+					fmt.Fprintf(os.Stderr, "pcvproxy: SIGHUP reload rejected: %v\n", err)
+				} else if swapped {
+					fmt.Fprintf(os.Stderr, "pcvproxy: SIGHUP reload: generation %d live\n", watcher.Generation())
+				}
+				continue
 			}
-			fmt.Fprintf(os.Stderr, "pcvproxy: metrics snapshot written to %s\n", *metricsOut)
+			fmt.Fprintf(os.Stderr, "pcvproxy: %v, shutting down\n", sig)
+			if watcher != nil {
+				watcher.Close()
+			}
+			// Flush export queues before the snapshot so pushed series
+			// and the file agree; the deadline keeps a wedged sink from
+			// hanging shutdown (its backlog stays in the WAL).
+			fctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := sinks.Close(fctx); err != nil {
+				fmt.Fprintf(os.Stderr, "pcvproxy: sink flush: %v\n", err)
+			}
+			cancel()
+			if *metricsOut != "" {
+				if err := obsv.WriteFile(*metricsOut); err != nil {
+					fmt.Fprintf(os.Stderr, "pcvproxy: metrics snapshot: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "pcvproxy: metrics snapshot written to %s\n", *metricsOut)
+			}
+			return
 		}
 	}
 }

@@ -36,7 +36,7 @@ func (c *packetConn) ReadFrom(b []byte) (int, net.Addr, error) {
 			return n, addr, err
 		}
 		c.inj.countOp()
-		f := c.inj.prof.Inbound
+		f := c.inj.inbound()
 		if c.inj.roll(f.Drop) {
 			c.inj.count(&c.inj.stats.Drops)
 			continue
@@ -59,7 +59,7 @@ func (c *packetConn) ReadFrom(b []byte) (int, net.Addr, error) {
 // peer timed out and retried; duplicates are sent twice.
 func (c *packetConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 	c.inj.countOp()
-	f := c.inj.prof.Outbound
+	f := c.inj.outbound()
 	if c.inj.roll(f.Drop) {
 		c.inj.count(&c.inj.stats.Drops)
 		return len(b), nil
@@ -134,7 +134,7 @@ func (c *conn) fault(f Faults, op string) error {
 
 func (c *conn) Read(b []byte) (int, error) {
 	c.inj.countOp()
-	f := c.inj.prof.Inbound
+	f := c.inj.inbound()
 	if err := c.fault(f, "read"); err != nil {
 		return 0, err
 	}
@@ -155,7 +155,7 @@ func (c *conn) Read(b []byte) (int, error) {
 
 func (c *conn) Write(b []byte) (int, error) {
 	c.inj.countOp()
-	f := c.inj.prof.Outbound
+	f := c.inj.outbound()
 	if err := c.fault(f, "write"); err != nil {
 		return 0, err
 	}
@@ -191,7 +191,7 @@ func (l *listener) Accept() (net.Conn, error) {
 			return nil, err
 		}
 		l.inj.countOp()
-		if l.inj.roll(l.inj.prof.Inbound.Drop) {
+		if l.inj.roll(l.inj.inbound().Drop) {
 			l.inj.count(&l.inj.stats.Drops)
 			c.Close()
 			continue

@@ -114,8 +114,36 @@ func New(p Profile) *Injector {
 	}
 }
 
-// Profile returns the injector's profile.
-func (i *Injector) Profile() Profile { return i.prof }
+// Profile returns the injector's current profile.
+func (i *Injector) Profile() Profile {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.prof
+}
+
+// SetProfile replaces the fault profile on a live injector — chaos
+// schedules use it to heal or degrade a wrapped path mid-run (the sink
+// suite's "outage, then recovery" phases). The rng stream and fault
+// counters carry across the swap.
+func (i *Injector) SetProfile(p Profile) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.prof = p
+}
+
+// inbound and outbound read one direction's faults under the lock, so
+// wrappers observe SetProfile swaps without racing them.
+func (i *Injector) inbound() Faults {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.prof.Inbound
+}
+
+func (i *Injector) outbound() Faults {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.prof.Outbound
+}
 
 // Stats returns a snapshot of the fault counters.
 func (i *Injector) Stats() Stats {

@@ -33,7 +33,7 @@ type roundTripper struct {
 
 func (t *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 	t.inj.countOp()
-	out := t.inj.prof.Outbound
+	out := t.inj.outbound()
 	if t.inj.roll(out.Drop) {
 		t.inj.count(&t.inj.stats.Drops)
 		return nil, errDropped{}
@@ -48,7 +48,7 @@ func (t *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	in := t.inj.prof.Inbound
+	in := t.inj.inbound()
 	if t.inj.roll(in.Drop) {
 		t.inj.count(&t.inj.stats.Drops)
 		resp.Body.Close()

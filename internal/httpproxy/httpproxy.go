@@ -133,6 +133,26 @@ func (p *Proxy) SetTransport(rt http.RoundTripper) {
 	p.client.Transport = rt
 }
 
+// SetTuning swaps the hot-reloadable knobs — TTL, capacity, PCV — under
+// the cache lock, so a config reload lands atomically between requests.
+// A capacity shrink takes effect on the next store/revalidation (the
+// evict pass runs on writes, not here).
+func (p *Proxy) SetTuning(ttl time.Duration, capacity int64, pcv bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.TTL = ttl
+	p.Capacity = capacity
+	p.PCV = pcv
+}
+
+// pcvEnabled reads the PCV switch under the lock; the field is hot-
+// reloadable via SetTuning so unlocked reads would race.
+func (p *Proxy) pcvEnabled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.PCV
+}
+
 // ServeHTTP implements http.Handler. Non-GET requests pass through
 // uncached. Every request records a "httpproxy.request" trace span into
 // the flight recorder, carrying the cache outcome (hit, miss,
@@ -317,7 +337,7 @@ func (p *Proxy) originGet(ctx context.Context, key string, since time.Time, now 
 	if err != nil {
 		return nil, nil, err
 	}
-	if p.PCV {
+	if p.pcvEnabled() {
 		p.piggyback(now)
 	}
 	return resp, body, nil
@@ -379,7 +399,7 @@ func (p *Proxy) piggyback(now time.Time) {
 // validation. Call it periodically (the simulation's Tick analogue); the
 // example wires it to a time.Ticker.
 func (p *Proxy) Sweep() {
-	if !p.PCV {
+	if !p.pcvEnabled() {
 		return
 	}
 	now := p.Now()

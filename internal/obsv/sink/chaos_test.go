@@ -1,0 +1,356 @@
+package sink
+
+// The sink chaos suite: the export path under injected transport faults.
+// Acceptance (ISSUE 6): with 20% drop plus resets on the sink transport,
+// collection keeps ticking (the pipeline never blocks on a dead sink),
+// and after recovery + WAL replay the receiver's deduplicated counter
+// totals equal the in-process registry snapshot exactly — zero loss
+// within budget. A kill-and-restart case proves the WAL carries the
+// backlog across process incarnations.
+//
+// On failure, set SINK_CHAOS_ARTIFACTS=<dir> (the chaos-smoke CI job
+// does) to capture the WAL and the flight-recorder tail for post-mortem.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netaware/netcluster/internal/faultnet"
+	"github.com/netaware/netcluster/internal/obsv"
+	"github.com/netaware/netcluster/internal/retry"
+)
+
+// httpReceiver is the collector side of the exactness contract: it
+// deduplicates batches by Seq (delivery is at-least-once) and sums
+// counter deltas.
+type httpReceiver struct {
+	mu       sync.Mutex
+	seen     map[uint64]bool
+	counters map[string]float64
+	gauges   map[string]float64
+	batches  int
+	dups     int
+}
+
+func newHTTPReceiver() *httpReceiver {
+	return &httpReceiver{
+		seen:     make(map[uint64]bool),
+		counters: make(map[string]float64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+func (r *httpReceiver) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var b Batch
+	if err := json.Unmarshal(body, &b); err != nil {
+		http.Error(w, "bad batch", http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.batches++
+	if r.seen[b.Seq] {
+		r.dups++
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	r.seen[b.Seq] = true
+	for _, s := range b.Samples {
+		if s.Kind == "counter" {
+			r.counters[s.Name] += s.Value
+		} else {
+			r.gauges[s.Name] = s.Value
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (r *httpReceiver) counter(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+func (r *httpReceiver) stats() (batches, dups int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.batches, r.dups
+}
+
+// chaosArtifacts copies the WAL and dumps the flight-recorder tail when
+// the test failed and SINK_CHAOS_ARTIFACTS names a directory.
+func chaosArtifacts(t *testing.T, walPaths ...string) {
+	t.Helper()
+	dir := os.Getenv("SINK_CHAOS_ARTIFACTS")
+	if dir == "" || !t.Failed() {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	for i, p := range walPaths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Logf("artifacts: reading %s: %v", p, err)
+			continue
+		}
+		dst := filepath.Join(dir, fmt.Sprintf("%s-%d%s", t.Name(), i, ".wal"))
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			t.Logf("artifacts: %v", err)
+		}
+	}
+	if err := obsv.WriteTraceFile(filepath.Join(dir, t.Name()+"-flight.json")); err != nil {
+		t.Logf("artifacts: flight recorder: %v", err)
+	}
+}
+
+// chaosPolicy keeps retries fast enough for a test run while still
+// exercising the backoff machinery.
+func chaosPolicy() *retry.Policy {
+	return &retry.Policy{
+		MaxAttempts: 3,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+		Jitter:      0.5,
+		PerAttempt:  2 * time.Second,
+		SpanName:    "sink.export.attempt",
+	}
+}
+
+// TestSinkChaosExactTotalsUnderFaults is the headline acceptance: 20%
+// drop + 10% reset + corruption + jitter on the sink transport while
+// concurrent writers hammer the registry; after the faults heal, the
+// receiver's totals match the registry snapshot exactly.
+func TestSinkChaosExactTotalsUnderFaults(t *testing.T) {
+	recv := newHTTPReceiver()
+	srv := httptest.NewServer(recv)
+	defer srv.Close()
+
+	inj := faultnet.New(faultnet.Symmetric(42, faultnet.Faults{
+		Drop:    0.20,
+		Reset:   0.10,
+		Corrupt: 0.05,
+		Jitter:  2 * time.Millisecond,
+	}))
+
+	reg := obsv.NewRegistry()
+	walPath := filepath.Join(t.TempDir(), "push.wal")
+	defer chaosArtifacts(t, walPath)
+
+	ex, err := NewExporter(
+		NewHTTPSink("push", srv.URL, inj.RoundTripper(nil)),
+		walPath,
+		Config{
+			Interval: 10 * time.Millisecond,
+			Registry: reg,
+			Policy:   chaosPolicy(),
+			Breaker:  retry.NewBreaker(5, 20*time.Millisecond),
+			Logf:     t.Logf,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The "pipeline": concurrent writers on counters and a histogram,
+	// exactly how instrumented packages feed obsv. They never touch the
+	// export path, so a dead sink cannot slow them.
+	const writers, perWriter = 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter(fmt.Sprintf("pipeline.records.%d", w))
+			h := reg.Histogram("pipeline.latency.ns")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(int64(i%1000 + 1))
+				if i%64 == 0 {
+					time.Sleep(time.Millisecond) // spread increments across ticks
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Keep the hostile window open past the writers: a few more forced
+	// collections while the transport still drops and resets, so plenty
+	// of batches are born under fire.
+	aftermath := reg.Counter("pipeline.aftermath")
+	for i := 0; i < 8; i++ {
+		aftermath.Inc()
+		ex.CollectNow()
+		ex.Kick()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if b, _ := recv.stats(); b == 0 && ex.Depth() == 0 {
+		t.Fatal("no batches collected during the fault phase")
+	}
+	if b, _ := recv.stats(); b == 0 && ex.Depth() == 0 {
+		t.Fatal("no batches collected during the fault phase")
+	}
+
+	// Heal the transport, then flush everything — queue and WAL both.
+	inj.SetProfile(faultnet.Profile{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if left := ex.Flush(ctx); left != 0 {
+		t.Fatalf("flush after recovery left %d batches undelivered", left)
+	}
+	if err := ex.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactness: every counter's delivered sum equals the registry value.
+	snap := reg.Snapshot()
+	for name, want := range snap.Counters {
+		if got := recv.counter(name); got != float64(want) {
+			t.Errorf("counter %s: receiver has %v, registry has %d", name, got, want)
+		}
+	}
+	if got, want := recv.counter("pipeline.latency.ns.count"), float64(writers*perWriter); got != want {
+		t.Errorf("histogram count: receiver has %v, want %v", got, want)
+	}
+
+	// The suite must actually have injected faults to mean anything.
+	st := inj.Stats()
+	if st.Drops == 0 && st.Resets == 0 {
+		t.Errorf("fault schedule never fired: %+v", st)
+	}
+	batches, dups := recv.stats()
+	t.Logf("chaos: %d ops, %d drops, %d resets, %d corrupts; receiver: %d batches (%d duplicates deduped)",
+		st.Ops, st.Drops, st.Resets, st.Corrupts, batches, dups)
+}
+
+// TestSinkChaosKillAndRestartReplaysWAL proves durability across process
+// incarnations: incarnation 1 collects against a fully dead sink (every
+// batch parks in the WAL), is killed without flushing, and incarnation 2
+// — fresh registry, same WAL — replays the backlog. Receiver totals
+// equal the sum of both incarnations' snapshots exactly.
+func TestSinkChaosKillAndRestartReplaysWAL(t *testing.T) {
+	recv := newHTTPReceiver()
+	srv := httptest.NewServer(recv)
+	defer srv.Close()
+
+	walPath := filepath.Join(t.TempDir(), "push.wal")
+	defer chaosArtifacts(t, walPath)
+
+	// Incarnation 1: transport black-holes everything.
+	inj := faultnet.New(faultnet.Symmetric(7, faultnet.Faults{Drop: 1.0}))
+	reg1 := obsv.NewRegistry()
+	ex1, err := NewExporter(
+		NewHTTPSink("push", srv.URL, inj.RoundTripper(nil)),
+		walPath,
+		Config{Interval: time.Hour, Registry: reg1, Policy: chaosPolicy(),
+			Breaker: retry.NewBreaker(2, time.Hour), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := reg1.Counter("pipeline.records")
+	for i := 0; i < 5; i++ {
+		c1.Add(10)
+		ex1.CollectNow()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	ex1.drainOnce(ctx) // burns attempts into the dead transport, spills
+	cancel()
+	if d := ex1.Depth(); d != 5 {
+		t.Fatalf("incarnation 1 depth = %d, want 5 parked batches", d)
+	}
+	want1 := float64(reg1.Counter("pipeline.records").Value())
+	ex1.Kill() // no flush: the crash
+
+	if recv.counter("pipeline.records") != 0 {
+		t.Fatal("dead transport delivered anyway; test premise broken")
+	}
+
+	// Incarnation 2: healthy transport, fresh registry (a real process
+	// restart resets in-memory metrics), same WAL.
+	reg2 := obsv.NewRegistry()
+	ex2, err := NewExporter(
+		NewHTTPSink("push", srv.URL, nil),
+		walPath,
+		Config{Interval: time.Hour, Registry: reg2, Policy: chaosPolicy(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ex2.Depth(); d != 5 {
+		t.Fatalf("restart recovered %d batches from WAL, want 5", d)
+	}
+	c2 := reg2.Counter("pipeline.records")
+	c2.Add(3)
+	fctx, fcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer fcancel()
+	if left := ex2.Flush(fctx); left != 0 {
+		t.Fatalf("flush left %d", left)
+	}
+	if err := ex2.Close(fctx); err != nil {
+		t.Fatal(err)
+	}
+
+	want := want1 + float64(reg2.Counter("pipeline.records").Value())
+	if got := recv.counter("pipeline.records"); got != want {
+		t.Errorf("after replay: receiver has %v, want %v (incarnation1 %v + incarnation2 3)", got, want, want1)
+	}
+}
+
+// TestSinkChaosEndpointRetargetKeepsBacklog covers the hot-reload
+// interaction: batches parked against a dead endpoint must deliver to
+// the new endpoint after a SetEndpoint retarget, with nothing lost.
+func TestSinkChaosEndpointRetargetKeepsBacklog(t *testing.T) {
+	recv := newHTTPReceiver()
+	srv := httptest.NewServer(recv)
+	defer srv.Close()
+
+	reg := obsv.NewRegistry()
+	walPath := filepath.Join(t.TempDir(), "push.wal")
+	defer chaosArtifacts(t, walPath)
+
+	// Point at a port that refuses connections.
+	s := NewHTTPSink("push", "http://127.0.0.1:1/write", nil)
+	ex, err := NewExporter(s, walPath,
+		Config{Interval: time.Hour, Registry: reg, Policy: chaosPolicy(),
+			Breaker: retry.NewBreaker(10, time.Millisecond), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := reg.Counter("pipeline.records")
+	for i := 0; i < 3; i++ {
+		c.Add(2)
+		ex.CollectNow()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	ex.drainOnce(ctx)
+	cancel()
+	if ex.Depth() == 0 {
+		t.Fatal("batches delivered to a refused endpoint?")
+	}
+
+	s.SetEndpoint(srv.URL)
+	fctx, fcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer fcancel()
+	if left := ex.Flush(fctx); left != 0 {
+		t.Fatalf("flush left %d after retarget", left)
+	}
+	if err := ex.Close(fctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv.counter("pipeline.records"); got != 6 {
+		t.Errorf("receiver has %v, want 6", got)
+	}
+}

@@ -1,0 +1,101 @@
+package sink
+
+import (
+	"sort"
+
+	"github.com/netaware/netcluster/internal/obsv"
+)
+
+// DeltaState turns successive registry snapshots into delta batches.
+// Counters export the increment since the previous collection (the first
+// collection exports the full value — the delta from zero); gauges
+// export their level whenever it changes (and once on first sight);
+// histograms export their count and sum as counter-kind deltas plus the
+// interpolated p50/p95/p99 as gauges. Samples are emitted in sorted name
+// order so a batch's JSON is deterministic for a given pair of
+// snapshots.
+//
+// A counter that moves backwards (a registry Reset between collections)
+// re-baselines: the new value is exported as if from zero and the event
+// is tallied so the discontinuity is visible downstream.
+type DeltaState struct {
+	prevCounters map[string]uint64
+	prevGauges   map[string]int64
+	rebaselines  uint64
+}
+
+// NewDeltaState returns a collector with a zero baseline.
+func NewDeltaState() *DeltaState {
+	return &DeltaState{
+		prevCounters: make(map[string]uint64),
+		prevGauges:   make(map[string]int64),
+	}
+}
+
+// Rebaselines reports how many counter resets the collector has absorbed.
+func (d *DeltaState) Rebaselines() uint64 { return d.rebaselines }
+
+// Collect diffs cur against the previous collection and advances the
+// baseline. It returns nil when nothing changed.
+func (d *DeltaState) Collect(cur obsv.Snapshot) []Sample {
+	var out []Sample
+
+	names := make([]string, 0, len(cur.Counters))
+	for name := range cur.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := cur.Counters[name]
+		prev := d.prevCounters[name]
+		if v < prev {
+			d.rebaselines++
+			prev = 0
+		}
+		if v != prev {
+			out = append(out, Sample{Name: name, Kind: "counter", Value: float64(v - prev)})
+		}
+		d.prevCounters[name] = v
+	}
+
+	names = names[:0]
+	for name := range cur.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := cur.Gauges[name]
+		prev, seen := d.prevGauges[name]
+		if !seen || v != prev {
+			out = append(out, Sample{Name: name, Kind: "gauge", Value: float64(v)})
+		}
+		d.prevGauges[name] = v
+	}
+
+	names = names[:0]
+	for name := range cur.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := cur.Histograms[name]
+		// Count and sum ride the counter machinery (delta export, exact
+		// totals); quantiles are levels.
+		cname, sname := name+".count", name+".sum"
+		if c, prev := h.Count, d.prevCounters[cname]; c != prev {
+			if c < prev {
+				d.rebaselines++
+				prev = 0
+			}
+			out = append(out, Sample{Name: cname, Kind: "counter", Value: float64(c - prev)})
+			out = append(out, Sample{Name: sname, Kind: "counter", Value: float64(h.Sum) - float64(d.prevGauges[sname])})
+			out = append(out,
+				Sample{Name: name + ".p50", Kind: "gauge", Value: h.P50},
+				Sample{Name: name + ".p95", Kind: "gauge", Value: h.P95},
+				Sample{Name: name + ".p99", Kind: "gauge", Value: h.P99})
+			d.prevCounters[cname] = c
+			d.prevGauges[sname] = h.Sum
+		}
+	}
+	return out
+}

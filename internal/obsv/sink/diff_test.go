@@ -1,0 +1,109 @@
+package sink
+
+import (
+	"testing"
+
+	"github.com/netaware/netcluster/internal/obsv"
+)
+
+func sampleByName(samples []Sample, name string) (Sample, bool) {
+	for _, s := range samples {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+func TestDeltaCounters(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := reg.Counter("x")
+	d := NewDeltaState()
+
+	c.Add(5)
+	s1 := d.Collect(reg.Snapshot())
+	if got, ok := sampleByName(s1, "x"); !ok || got.Value != 5 || got.Kind != "counter" {
+		t.Fatalf("first collect: %+v", s1)
+	}
+
+	// Unchanged: no sample.
+	if s2 := d.Collect(reg.Snapshot()); len(s2) != 0 {
+		t.Fatalf("no-change collect emitted %+v", s2)
+	}
+
+	c.Add(3)
+	s3 := d.Collect(reg.Snapshot())
+	if got, _ := sampleByName(s3, "x"); got.Value != 3 {
+		t.Fatalf("delta = %v, want 3", got.Value)
+	}
+
+	// Reset: re-baseline from zero, tallied.
+	reg.Reset()
+	c.Add(2)
+	s4 := d.Collect(reg.Snapshot())
+	if got, _ := sampleByName(s4, "x"); got.Value != 2 {
+		t.Fatalf("post-reset delta = %v, want 2", got.Value)
+	}
+	if d.Rebaselines() != 1 {
+		t.Fatalf("rebaselines = %d, want 1", d.Rebaselines())
+	}
+}
+
+func TestDeltaGaugesEmitOnChange(t *testing.T) {
+	reg := obsv.NewRegistry()
+	g := reg.Gauge("depth")
+	d := NewDeltaState()
+
+	// First sight: emitted even at zero (the sink needs the level).
+	s1 := d.Collect(reg.Snapshot())
+	if got, ok := sampleByName(s1, "depth"); !ok || got.Kind != "gauge" || got.Value != 0 {
+		t.Fatalf("first gauge collect: %+v", s1)
+	}
+	if s2 := d.Collect(reg.Snapshot()); len(s2) != 0 {
+		t.Fatalf("unchanged gauge emitted %+v", s2)
+	}
+	g.Set(7)
+	s3 := d.Collect(reg.Snapshot())
+	if got, _ := sampleByName(s3, "depth"); got.Value != 7 {
+		t.Fatalf("gauge level = %v, want 7", got.Value)
+	}
+}
+
+func TestDeltaHistograms(t *testing.T) {
+	reg := obsv.NewRegistry()
+	h := reg.Histogram("lat")
+	d := NewDeltaState()
+
+	h.Observe(100)
+	h.Observe(200)
+	s1 := d.Collect(reg.Snapshot())
+	if got, _ := sampleByName(s1, "lat.count"); got.Value != 2 || got.Kind != "counter" {
+		t.Fatalf("count sample: %+v", s1)
+	}
+	if got, _ := sampleByName(s1, "lat.sum"); got.Value != 300 {
+		t.Fatalf("sum sample: %+v", s1)
+	}
+	if _, ok := sampleByName(s1, "lat.p99"); !ok {
+		t.Fatalf("missing p99: %+v", s1)
+	}
+
+	h.Observe(50)
+	s2 := d.Collect(reg.Snapshot())
+	if got, _ := sampleByName(s2, "lat.count"); got.Value != 1 {
+		t.Fatalf("count delta = %v, want 1", got.Value)
+	}
+	if got, _ := sampleByName(s2, "lat.sum"); got.Value != 50 {
+		t.Fatalf("sum delta = %v, want 50", got.Value)
+	}
+}
+
+func TestDeltaDeterministicOrder(t *testing.T) {
+	reg := obsv.NewRegistry()
+	reg.Counter("b").Add(1)
+	reg.Counter("a").Add(1)
+	reg.Counter("c").Add(1)
+	s := NewDeltaState().Collect(reg.Snapshot())
+	if len(s) != 3 || s[0].Name != "a" || s[1].Name != "b" || s[2].Name != "c" {
+		t.Fatalf("samples not name-sorted: %+v", s)
+	}
+}

@@ -1,0 +1,333 @@
+package sink
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netaware/netcluster/internal/obsv"
+	"github.com/netaware/netcluster/internal/retry"
+)
+
+// memSink is an in-process backend with scriptable failures and a
+// deduplicating tally — the receiver model every exactness assertion in
+// this package uses.
+type memSink struct {
+	mu       sync.Mutex
+	seen     map[uint64]bool
+	counters map[string]float64
+	gauges   map[string]float64
+	failNext int   // fail this many upcoming exports
+	failWith error // the error to fail with (default: a transient one)
+	exports  int
+	dups     int
+}
+
+func newMemSink() *memSink {
+	return &memSink{
+		seen:     make(map[uint64]bool),
+		counters: make(map[string]float64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+func (m *memSink) Name() string { return "mem" }
+func (m *memSink) Close() error { return nil }
+
+func (m *memSink) Export(ctx context.Context, b Batch) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.exports++
+	if m.failNext > 0 {
+		m.failNext--
+		if m.failWith != nil {
+			return m.failWith
+		}
+		return errors.New("memsink: transient")
+	}
+	if m.seen[b.Seq] {
+		m.dups++
+		return nil
+	}
+	m.seen[b.Seq] = true
+	for _, s := range b.Samples {
+		if s.Kind == "counter" {
+			m.counters[s.Name] += s.Value
+		} else {
+			m.gauges[s.Name] = s.Value
+		}
+	}
+	return nil
+}
+
+func (m *memSink) counter(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+func (m *memSink) setFail(n int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failNext = n
+	m.failWith = err
+}
+
+// fastCfg is an exporter config tuned for test speed: manual ticks
+// (long interval + Kick), no real backoff sleeps.
+func fastCfg(reg *obsv.Registry) Config {
+	return Config{
+		Interval: time.Hour,
+		Registry: reg,
+		Policy: &retry.Policy{
+			MaxAttempts: 2,
+			BaseDelay:   time.Millisecond,
+			Sleep:       func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+		},
+		Breaker: retry.NewBreaker(3, 10*time.Millisecond),
+	}
+}
+
+func TestExporterDeliversDeltas(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := reg.Counter("pipeline.records")
+	ms := newMemSink()
+	ex, err := NewExporter(ms, filepath.Join(t.TempDir(), "mem.wal"), fastCfg(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(10)
+	if left := ex.Flush(context.Background()); left != 0 {
+		t.Fatalf("flush left %d", left)
+	}
+	c.Add(7)
+	if left := ex.Flush(context.Background()); left != 0 {
+		t.Fatalf("flush left %d", left)
+	}
+	if got := ms.counter("pipeline.records"); got != 17 {
+		t.Fatalf("delivered total = %v, want 17", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := ex.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExporterRetriesTransientAndSpills(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := reg.Counter("x")
+	ms := newMemSink()
+	ex, err := NewExporter(ms, filepath.Join(t.TempDir(), "mem.wal"), fastCfg(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Kill()
+
+	c.Add(4)
+	ms.setFail(2, nil) // first flush wave burns both policy attempts
+	ex.CollectNow()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	ex.drainOnce(ctx)
+	cancel()
+	if ex.Depth() != 1 {
+		t.Fatalf("depth = %d after failed delivery, want 1 (spilled, not lost)", ex.Depth())
+	}
+	// Sink recovers: the queued batch delivers.
+	if left := ex.Flush(context.Background()); left != 0 {
+		t.Fatalf("flush left %d after recovery", left)
+	}
+	if got := ms.counter("x"); got != 4 {
+		t.Fatalf("delivered = %v, want 4", got)
+	}
+}
+
+// drainOnce exposes one delivery wave for tests.
+func (e *Exporter) drainOnce(ctx context.Context) error {
+	e.opMu.Lock()
+	defer e.opMu.Unlock()
+	return e.drain(ctx)
+}
+
+func TestExporterFatalBatchDropped(t *testing.T) {
+	reg := obsv.NewRegistry()
+	reg.Counter("x").Add(1)
+	ms := newMemSink()
+	ex, err := NewExporter(ms, filepath.Join(t.TempDir(), "mem.wal"), fastCfg(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Kill()
+
+	ms.setFail(1, Fatal(errors.New("schema rejected")))
+	ex.CollectNow()
+	if err := ex.drainOnce(context.Background()); err != nil {
+		t.Fatalf("fatal rejection should settle the batch, got %v", err)
+	}
+	if ex.Depth() != 0 {
+		t.Fatalf("depth = %d, want 0 (fatal batch dropped)", ex.Depth())
+	}
+	if got := ms.counter("x"); got != 0 {
+		t.Fatalf("fatal batch delivered anyway: %v", got)
+	}
+}
+
+func TestExporterBreakerFastFailsWhileOpen(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := reg.Counter("x")
+	ms := newMemSink()
+	cfg := fastCfg(reg)
+	cfg.Breaker = retry.NewBreaker(1, time.Hour) // one strike, never cools in-test
+	ex, err := NewExporter(ms, filepath.Join(t.TempDir(), "mem.wal"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Kill()
+
+	c.Add(1)
+	ms.setFail(1000, nil)
+	ex.CollectNow()
+	ex.drainOnce(context.Background()) // trips the breaker
+	if st := ex.BreakerState(); st != "open" {
+		t.Fatalf("breaker state %q, want open", st)
+	}
+	before := ms.exports
+	c.Add(1)
+	ex.CollectNow()
+	if err := ex.drainOnce(context.Background()); !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("drain with open breaker = %v, want ErrOpen", err)
+	}
+	if ms.exports != before {
+		t.Fatal("open breaker still hit the sink")
+	}
+	if ex.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2 (batches parked, not lost)", ex.Depth())
+	}
+}
+
+func TestExporterLossBudgetDropsOldestLoudly(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := reg.Counter("x")
+	ms := newMemSink()
+	cfg := fastCfg(reg)
+	cfg.BudgetBytes = 200 // a couple of small batches
+	ex, err := NewExporter(ms, filepath.Join(t.TempDir(), "mem.wal"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Kill()
+
+	dropped0 := mDropped.Value()
+	ms.setFail(1<<30, nil) // sink dead
+	for i := 0; i < 20; i++ {
+		c.Add(1)
+		ex.CollectNow()
+	}
+	if ex.Depth() >= 20 {
+		t.Fatalf("depth = %d, budget never enforced", ex.Depth())
+	}
+	if mDropped.Value() == dropped0 {
+		t.Fatal("budget drops not counted on sink.dropped.batches")
+	}
+}
+
+func TestExporterQueueCapEvictsToWALAndRefills(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := reg.Counter("x")
+	ms := newMemSink()
+	cfg := fastCfg(reg)
+	cfg.QueueCap = 2
+	ex, err := NewExporter(ms, filepath.Join(t.TempDir(), "mem.wal"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Kill()
+
+	ms.setFail(1<<30, nil)
+	for i := 0; i < 6; i++ {
+		c.Add(1)
+		ex.CollectNow()
+	}
+	if ex.Depth() != 6 {
+		t.Fatalf("depth = %d, want 6", ex.Depth())
+	}
+	ms.setFail(0, nil)
+	if left := ex.Flush(context.Background()); left != 0 {
+		t.Fatalf("flush left %d (WAL refill failed?)", left)
+	}
+	if got := ms.counter("x"); got != 6 {
+		t.Fatalf("delivered = %v, want 6 — payload eviction lost increments", got)
+	}
+}
+
+func TestManagerApplyReconciles(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(dir, Options{Defaults: Config{Interval: time.Hour, Registry: obsv.NewRegistry()}})
+	specs := []Spec{
+		{Name: "a", Type: "file", Path: filepath.Join(dir, "a.ndjson")},
+		{Name: "b", Type: "udp", Endpoint: "127.0.0.1:9"},
+	}
+	if err := m.Apply(specs); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Status(); len(st) != 2 || st[0].Name != "a" || st[1].Name != "b" {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Invalid batch of specs: wholesale rejection, running set untouched.
+	if err := m.Apply([]Spec{{Name: "a", Type: "nope"}}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if st := m.Status(); len(st) != 2 {
+		t.Fatalf("running set disturbed by rejected specs: %+v", st)
+	}
+
+	// Remove one, retarget the other.
+	if err := m.Apply([]Spec{{Name: "b", Type: "udp", Endpoint: "127.0.0.1:10"}}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	if len(st) != 1 || st[0].Name != "b" || st[0].Endpoint != "127.0.0.1:10" {
+		t.Fatalf("status after retarget = %+v", st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(specs); err == nil {
+		t.Fatal("Apply after Close should fail")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Name: "p", Type: "http", Endpoint: "http://h:1/write"}, true},
+		{Spec{Name: "p", Type: "http", Endpoint: "ftp://h:1"}, false},
+		{Spec{Name: "p", Type: "http", Endpoint: ""}, false},
+		{Spec{Name: "", Type: "file", Path: "x"}, false},
+		{Spec{Name: "f", Type: "file", Path: "x"}, true},
+		{Spec{Name: "f", Type: "file"}, false},
+		{Spec{Name: "u", Type: "udp", Endpoint: "h:1"}, true},
+		{Spec{Name: "u", Type: "udp"}, false},
+		{Spec{Name: "z", Type: "carrier-pigeon"}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+	if err := ValidateSpecs([]Spec{
+		{Name: "dup", Type: "udp", Endpoint: "h:1"},
+		{Name: "dup", Type: "udp", Endpoint: "h:2"},
+	}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package sink
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+)
+
+// FileSink journals each batch as one JSON line appended to a file — the
+// zero-infrastructure backend: tail -f it, ship it with any log
+// forwarder, or post-process it to reconcile pushed totals against a
+// -metrics-out snapshot. The file is opened lazily and reopened after
+// any write error, so log rotation (rename + recreate) just works.
+type FileSink struct {
+	name string
+
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// NewFileSink returns a newline-JSON journal sink writing to path.
+func NewFileSink(name, path string) *FileSink {
+	return &FileSink{name: name, path: path}
+}
+
+// Name identifies the sink in logs and WAL file names.
+func (s *FileSink) Name() string { return s.name }
+
+// SetPath retargets the journal; the next Export reopens at the new path.
+func (s *FileSink) SetPath(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if path == s.path {
+		return
+	}
+	s.path = path
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// Export appends the batch as one JSON line and syncs it to disk (the
+// journal is itself the durable copy once the exporter acks the batch).
+func (s *FileSink) Export(ctx context.Context, b Batch) error {
+	line, err := json.Marshal(b)
+	if err != nil {
+		return Fatal(err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		s.f = f
+	}
+	if _, err := s.f.Write(line); err != nil {
+		s.f.Close()
+		s.f = nil
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		s.f = nil
+		return err
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// maxUDPBatch bounds a datagram payload below the common 64 KiB UDP
+// limit; larger batches are a configuration error (shorten the interval)
+// and are rejected as Fatal rather than fragmented.
+const maxUDPBatch = 60 << 10
+
+// UDPSink fires each batch as one JSON datagram — the statsd-style
+// fire-toward-a-collector transport. Unlike the HTTP sink there is no
+// acknowledgment: a send that the local stack accepts counts as
+// delivered, so the durability guarantee is only as strong as UDP.
+// Operators choose it for lowest overhead, not for exactness.
+type UDPSink struct {
+	name string
+
+	mu   sync.Mutex
+	addr string
+	conn net.Conn
+}
+
+// NewUDPSink returns a datagram sink for addr (host:port).
+func NewUDPSink(name, addr string) *UDPSink {
+	return &UDPSink{name: name, addr: addr}
+}
+
+// Name identifies the sink in logs and WAL file names.
+func (s *UDPSink) Name() string { return s.name }
+
+// SetAddr retargets the sink; the next Export redials.
+func (s *UDPSink) SetAddr(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if addr == s.addr {
+		return
+	}
+	s.addr = addr
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// Export sends the batch as one datagram, dialing lazily.
+func (s *UDPSink) Export(ctx context.Context, b Batch) error {
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return Fatal(err)
+	}
+	if len(payload) > maxUDPBatch {
+		return Fatal(fmt.Errorf("sink: batch of %d bytes exceeds the %d-byte UDP limit", len(payload), maxUDPBatch))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "udp", s.addr)
+		if err != nil {
+			return err
+		}
+		s.conn = conn
+	}
+	if _, err := s.conn.Write(payload); err != nil {
+		s.conn.Close()
+		s.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Close closes the datagram socket.
+func (s *UDPSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return nil
+	}
+	err := s.conn.Close()
+	s.conn = nil
+	return err
+}

@@ -1,0 +1,93 @@
+package sink
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPSink pushes each batch as one JSON POST to an endpoint — the
+// remote-write shape without the protobuf: a collector that accepts the
+// body and answers 2xx owns the batch. The endpoint is swappable at
+// runtime (config hot-reload points a live exporter at a new collector
+// without disturbing its queue or WAL), and the transport is injectable
+// so the chaos suite can wrap it in a faultnet RoundTripper.
+type HTTPSink struct {
+	name     string
+	endpoint atomic.Value // string
+	client   *http.Client
+}
+
+// NewHTTPSink returns a push sink for the endpoint URL. rt overrides the
+// transport (nil = http.DefaultTransport).
+func NewHTTPSink(name, endpoint string, rt http.RoundTripper) *HTTPSink {
+	s := &HTTPSink{
+		name:   name,
+		client: &http.Client{Transport: rt, Timeout: 10 * time.Second},
+	}
+	s.endpoint.Store(endpoint)
+	return s
+}
+
+// Name identifies the sink in logs and WAL file names.
+func (s *HTTPSink) Name() string { return s.name }
+
+// Endpoint returns the current push URL.
+func (s *HTTPSink) Endpoint() string { return s.endpoint.Load().(string) }
+
+// SetEndpoint atomically retargets the sink; in-flight and queued
+// batches deliver to the new endpoint on their next attempt.
+func (s *HTTPSink) SetEndpoint(url string) { s.endpoint.Store(url) }
+
+// HTTPStatusError reports a non-2xx push response.
+type HTTPStatusError struct {
+	Code int
+	Body string
+}
+
+func (e *HTTPStatusError) Error() string {
+	return fmt.Sprintf("sink: push rejected: %d %s", e.Code, e.Body)
+}
+
+// Export POSTs the batch as JSON. A 4xx answer (other than 408 and 429,
+// which signal pressure rather than rejection) is Fatal: the collector
+// has looked at the batch and refused it, so retrying cannot help.
+func (s *HTTPSink) Export(ctx context.Context, b Batch) error {
+	body, err := json.Marshal(b)
+	if err != nil {
+		return Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.Endpoint(), bytes.NewReader(body))
+	if err != nil {
+		return Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// Drain so the transport can reuse the connection; cap the read in
+	// case a fault injector mangled the response into garbage.
+	snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	if resp.StatusCode/100 == 2 {
+		return nil
+	}
+	serr := &HTTPStatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(snippet))}
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 &&
+		resp.StatusCode != http.StatusRequestTimeout && resp.StatusCode != http.StatusTooManyRequests {
+		return Fatal(serr)
+	}
+	return serr
+}
+
+// Close releases idle transport connections.
+func (s *HTTPSink) Close() error {
+	s.client.CloseIdleConnections()
+	return nil
+}

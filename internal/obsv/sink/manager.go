@@ -1,0 +1,265 @@
+package sink
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Defaults seeds every exporter's Config (per-spec Interval
+	// overrides Defaults.Interval).
+	Defaults Config
+	// Transport, when set, underlies every HTTP sink — the chaos suite
+	// injects a faultnet RoundTripper here.
+	Transport http.RoundTripper
+}
+
+// Manager owns the live set of exporters and reconciles it against
+// operator configuration: Apply diffs the desired specs against the
+// running set, starting new exporters, retargeting changed endpoints in
+// place (queue and WAL untouched — a retarget must not lose the
+// backlog), and draining removed ones. WAL files live under one
+// directory, keyed by sink name, so a restart reconnects each exporter
+// to its own backlog.
+type Manager struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	exporters map[string]*Exporter
+	specs     map[string]Spec
+	closed    bool
+}
+
+// NewManager returns a manager storing WALs under dir.
+func NewManager(dir string, opts Options) *Manager {
+	if opts.Defaults.Logf == nil {
+		opts.Defaults.Logf = func(string, ...any) {}
+	}
+	return &Manager{
+		dir:       dir,
+		opts:      opts,
+		exporters: make(map[string]*Exporter),
+		specs:     make(map[string]Spec),
+	}
+}
+
+// ValidateSpecs checks a spec list as a unit (each spec plus name
+// uniqueness) without touching the running set — config validation calls
+// it before a reload is accepted.
+func ValidateSpecs(specs []Spec) error {
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("sink: duplicate sink name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+// build constructs the backend for a spec.
+func (m *Manager) build(s Spec) Sink {
+	switch s.Type {
+	case "http":
+		return NewHTTPSink(s.Name, s.Endpoint, m.opts.Transport)
+	case "udp":
+		return NewUDPSink(s.Name, s.Endpoint)
+	default:
+		return NewFileSink(s.Name, s.Path)
+	}
+}
+
+// Apply reconciles the running exporters with specs. Invalid specs are
+// rejected wholesale (the running set is untouched). Removed exporters
+// get a short drain; their WALs stay on disk, so re-adding the name
+// later resumes the backlog.
+func (m *Manager) Apply(specs []Spec) error {
+	if err := ValidateSpecs(specs); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("sink: manager closed")
+	}
+
+	desired := make(map[string]Spec, len(specs))
+	for _, s := range specs {
+		desired[s.Name] = s
+	}
+
+	// Drop exporters whose spec vanished or changed type/path (an
+	// endpoint change retargets in place below).
+	for name, ex := range m.exporters {
+		spec, ok := desired[name]
+		old := m.specs[name]
+		if ok && spec.Type == old.Type && (spec.Type != "file" || spec.Path == old.Path) {
+			continue
+		}
+		delete(m.exporters, name)
+		delete(m.specs, name)
+		go func(ex *Exporter) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := ex.Close(ctx); err != nil {
+				m.opts.Defaults.Logf("sink: closing %s: %v", ex.Name(), err)
+			}
+		}(ex)
+	}
+
+	for name, spec := range desired {
+		if ex, ok := m.exporters[name]; ok {
+			// Same backend: retarget endpoint and cadence in place.
+			old := m.specs[name]
+			if spec.Endpoint != old.Endpoint {
+				switch s := ex.Sink().(type) {
+				case *HTTPSink:
+					s.SetEndpoint(spec.Endpoint)
+				case *UDPSink:
+					s.SetAddr(spec.Endpoint)
+				}
+			}
+			if iv := m.interval(spec); iv != ex.Interval() {
+				ex.SetInterval(iv)
+			}
+			m.specs[name] = spec
+			continue
+		}
+		cfg := m.opts.Defaults
+		cfg.Interval = m.interval(spec)
+		if err := os.MkdirAll(m.dir, 0o755); err != nil {
+			return fmt.Errorf("sink: WAL dir %s: %w", m.dir, err)
+		}
+		ex, err := NewExporter(m.build(spec), m.walPath(name), cfg)
+		if err != nil {
+			return fmt.Errorf("sink: starting %s: %w", name, err)
+		}
+		m.exporters[name] = ex
+		m.specs[name] = spec
+	}
+	return nil
+}
+
+func (m *Manager) interval(s Spec) time.Duration {
+	if s.Interval > 0 {
+		return s.Interval
+	}
+	if m.opts.Defaults.Interval > 0 {
+		return m.opts.Defaults.Interval
+	}
+	return 5 * time.Second
+}
+
+func (m *Manager) walPath(name string) string {
+	return filepath.Join(m.dir, name+".wal")
+}
+
+// Depth returns the total unacknowledged backlog across exporters.
+func (m *Manager) Depth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, ex := range m.exporters {
+		total += ex.Depth()
+	}
+	return total
+}
+
+// Healthy reports whether every exporter's backlog is at or below its
+// high-water mark — one readiness input for the serving process.
+func (m *Manager) Healthy() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ex := range m.exporters {
+		if !ex.Healthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// SinkStatus is one exporter's operational position, for /debug surfaces.
+type SinkStatus struct {
+	Name     string `json:"name"`
+	Type     string `json:"type"`
+	Endpoint string `json:"endpoint,omitempty"`
+	Path     string `json:"path,omitempty"`
+	Interval string `json:"interval"`
+	Depth    int    `json:"queue_depth"`
+	Breaker  string `json:"breaker"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+// Status reports every exporter, sorted by name.
+func (m *Manager) Status() []SinkStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SinkStatus, 0, len(m.exporters))
+	for name, ex := range m.exporters {
+		spec := m.specs[name]
+		st := SinkStatus{
+			Name:     name,
+			Type:     spec.Type,
+			Endpoint: spec.Endpoint,
+			Path:     spec.Path,
+			Interval: ex.Interval().String(),
+			Depth:    ex.Depth(),
+			Breaker:  ex.BreakerState(),
+		}
+		if err := ex.LastError(); err != nil {
+			st.LastErr = err.Error()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Kick nudges every exporter to collect and deliver now.
+func (m *Manager) Kick() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ex := range m.exporters {
+		ex.Kick()
+	}
+}
+
+// Close flushes every exporter within ctx's deadline (concurrently — a
+// wedged sink must not starve the others' drain time) and shuts the set
+// down. The returned error aggregates undelivered backlogs, which remain
+// persisted in their WALs.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	exporters := make([]*Exporter, 0, len(m.exporters))
+	for _, ex := range m.exporters {
+		exporters = append(exporters, ex)
+	}
+	m.exporters = make(map[string]*Exporter)
+	m.specs = make(map[string]Spec)
+	m.closed = true
+	m.mu.Unlock()
+
+	errs := make(chan error, len(exporters))
+	for _, ex := range exporters {
+		go func(ex *Exporter) { errs <- ex.Close(ctx) }(ex)
+	}
+	var all []error
+	for range exporters {
+		if err := <-errs; err != nil {
+			all = append(all, err)
+		}
+	}
+	return errors.Join(all...)
+}

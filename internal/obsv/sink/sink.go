@@ -1,0 +1,148 @@
+// Package sink is the push half of the observability substrate: durable
+// delta export of the obsv registry to external collectors. The pull
+// surface (/metrics, /debug/vars) answers "what is the state now"; sink
+// answers "ship every change somewhere else, and do not lose it when the
+// somewhere-else is down".
+//
+// The shape follows the statssink daemons this repo's roadmap names as
+// exemplars: a small Sink interface with interchangeable backends (an
+// HTTP push endpoint in the remote-write spirit, a newline-JSON file
+// journal, a UDP datagram feed), fed by a per-sink Exporter that diffs
+// registry snapshots into delta batches on an interval. Durability is
+// write-ahead: every batch is appended (and fsynced) to a WAL before the
+// first delivery attempt, deliveries are retried with backoff and a
+// circuit breaker from internal/retry, and acknowledged batches are
+// compacted away. A dead sink therefore never blocks the pipeline — the
+// hot paths only ever touch obsv counters — and a kill -9 loses at most
+// the increments since the last collection tick, never a collected
+// batch. The only deliberate loss is the configured budget: when the
+// backlog of unacknowledged batches exceeds Config.BudgetBytes the
+// oldest are dropped, loudly, onto sink.dropped.* counters.
+//
+// Delivery is at-least-once: batches carry a per-exporter sequence
+// number that survives restarts (the WAL preserves the high-water mark
+// across compactions), so receivers deduplicate by Seq and summing
+// counter deltas reproduces the in-process totals exactly.
+package sink
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"time"
+
+	"github.com/netaware/netcluster/internal/obsv"
+)
+
+// Aggregate operational metrics for the export path itself. They live in
+// the same registry they describe, so a scrape of /metrics shows whether
+// push export is healthy; totals are summed across every exporter in the
+// process.
+var (
+	mBatches    = obsv.C("sink.export.batches")  // batches delivered
+	mSamples    = obsv.C("sink.export.samples")  // samples delivered
+	mFailures   = obsv.C("sink.export.failures") // delivery attempts that exhausted retries
+	mFatal      = obsv.C("sink.export.fatal")    // batches dropped on fatal (4xx-style) rejection
+	mDropped    = obsv.C("sink.dropped.batches") // batches dropped to the loss budget
+	mDroppedB   = obsv.C("sink.dropped.bytes")   // bytes dropped to the loss budget
+	mReplayed   = obsv.C("sink.replay.batches")  // unacked batches reloaded from the WAL
+	mCorrupt    = obsv.C("sink.wal.corrupt_records")
+	mQueueDepth = obsv.G("sink.queue.depth") // unacked batches across all exporters
+	mWALBytes   = obsv.G("sink.wal.bytes")   // WAL file bytes across all exporters
+)
+
+// Sample is one exported metric observation. Counter-kind samples carry
+// a delta since the previous batch (summing them reproduces the total);
+// gauge-kind samples carry the current level (last write wins).
+type Sample struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // "counter" | "gauge"
+	Value float64 `json:"value"`
+}
+
+// Batch is one collection tick's worth of samples. Seq is unique and
+// monotonically increasing per exporter stream — across restarts too —
+// so receivers deduplicate redelivered batches by Seq.
+type Batch struct {
+	Seq     uint64   `json:"seq"`
+	UnixMs  int64    `json:"unix_ms"`
+	Samples []Sample `json:"samples"`
+}
+
+// Sink delivers batches to one backend. Export must be safe for
+// sequential reuse; it is never called concurrently for one sink.
+// Transient delivery failures are ordinary errors (they will be retried
+// and eventually spilled to the WAL); a backend that definitively
+// rejects a batch wraps the error with Fatal so the exporter drops it
+// instead of retrying forever.
+type Sink interface {
+	Name() string
+	Export(ctx context.Context, b Batch) error
+	Close() error
+}
+
+// fatalError marks a delivery failure as not-retryable.
+type fatalError struct{ err error }
+
+func (e fatalError) Error() string { return e.err.Error() }
+func (e fatalError) Unwrap() error { return e.err }
+
+// Fatal wraps err so the exporter treats the batch as definitively
+// rejected: it is acknowledged (dropped) and counted on
+// sink.export.fatal rather than retried.
+func Fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fatalError{err}
+}
+
+// IsFatal reports whether err (or anything it wraps) was marked Fatal.
+func IsFatal(err error) bool {
+	var fe fatalError
+	return errors.As(err, &fe)
+}
+
+// Spec declares one sink in operator configuration (the watched config
+// file's "sinks" array, the facade, tests). Interval zero means the
+// manager default.
+type Spec struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // "http" | "file" | "udp"
+	// Endpoint is the http(s) URL (http type) or host:port (udp type).
+	Endpoint string `json:"endpoint,omitempty"`
+	// Path is the newline-JSON journal file (file type).
+	Path string `json:"path,omitempty"`
+	// Interval between collection ticks; 0 uses the manager default.
+	Interval time.Duration `json:"-"`
+}
+
+// Validate checks a spec in isolation. The manager additionally rejects
+// duplicate names.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return errors.New("sink: spec needs a name")
+	}
+	switch s.Type {
+	case "http":
+		u, err := url.Parse(s.Endpoint)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("sink %q: http endpoint %q is not an http(s) URL", s.Name, s.Endpoint)
+		}
+	case "udp":
+		if s.Endpoint == "" {
+			return fmt.Errorf("sink %q: udp endpoint (host:port) required", s.Name)
+		}
+	case "file":
+		if s.Path == "" {
+			return fmt.Errorf("sink %q: file path required", s.Name)
+		}
+	default:
+		return fmt.Errorf("sink %q: unknown type %q (want http, file or udp)", s.Name, s.Type)
+	}
+	if s.Interval < 0 {
+		return fmt.Errorf("sink %q: negative interval", s.Name)
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package sink
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WAL is the write-ahead log behind one exporter: an append-only text
+// file of batch and acknowledgment records. Every batch is appended (and
+// by default fsynced) before its first delivery attempt, so the set of
+// batches that ever existed survives kill -9; an ack record marks a
+// batch delivered (or deliberately dropped), and compaction rewrites the
+// file without acked pairs once they dominate.
+//
+// Record grammar, one per line:
+//
+//	B <seq> <crc32c-hex> <batch-json>   a collected batch
+//	A <seq>                             batch <seq> is settled
+//	M <seq>                             seq high-water mark (written by
+//	                                    compaction so sequence numbers
+//	                                    never regress across restarts)
+//
+// Recovery tolerates a torn or corrupted tail: a line whose CRC does not
+// match its payload (or that does not parse at all) is skipped and
+// counted on sink.wal.corrupt_records — the batch it carried is the loss
+// the crash already paid for, never silently doubled.
+type WAL struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	w      *bufio.Writer
+	fsync  bool
+	bytes  int64 // current file size (approximate during buffered writes)
+	acked  int   // ack records since last compaction
+	stored int   // batch records since last compaction
+}
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// OpenWAL opens (creating if absent) the WAL at path and recovers its
+// state: the unacknowledged batches in seq order and the highest seq
+// ever issued. fsync controls whether batch appends are synced
+// immediately; recovery is identical either way, only the crash window
+// differs.
+func OpenWAL(path string, fsync bool) (w *WAL, unacked []Batch, maxSeq uint64, err error) {
+	unacked, maxSeq, corrupt, err := readWAL(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if corrupt > 0 {
+		mCorrupt.Add(uint64(corrupt))
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("sink: opening WAL %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	wal := &WAL{path: path, f: f, w: bufio.NewWriter(f), fsync: fsync, bytes: st.Size()}
+	return wal, unacked, maxSeq, nil
+}
+
+// readWAL parses the records at path. A missing file is an empty WAL.
+func readWAL(path string) (unacked []Batch, maxSeq uint64, corrupt int, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("sink: reading WAL %s: %w", path, err)
+	}
+	defer f.Close()
+
+	batches := make(map[uint64]Batch)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(line, " ")
+		switch kind {
+		case "B":
+			seqStr, rest, ok := cut2(rest)
+			if !ok {
+				corrupt++
+				continue
+			}
+			crcStr, payload, _ := strings.Cut(rest, " ")
+			seq, err1 := strconv.ParseUint(seqStr, 10, 64)
+			want, err2 := strconv.ParseUint(crcStr, 16, 32)
+			if err1 != nil || err2 != nil || crc32.Checksum([]byte(payload), walCRC) != uint32(want) {
+				corrupt++
+				continue
+			}
+			var b Batch
+			if json.Unmarshal([]byte(payload), &b) != nil || b.Seq != seq {
+				corrupt++
+				continue
+			}
+			batches[seq] = b
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		case "A", "M":
+			seq, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				corrupt++
+				continue
+			}
+			if kind == "A" {
+				delete(batches, seq)
+			}
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		default:
+			corrupt++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, corrupt, fmt.Errorf("sink: reading WAL %s: %w", path, err)
+	}
+	unacked = make([]Batch, 0, len(batches))
+	for _, b := range batches {
+		unacked = append(unacked, b)
+	}
+	sort.Slice(unacked, func(i, j int) bool { return unacked[i].Seq < unacked[j].Seq })
+	return unacked, maxSeq, corrupt, nil
+}
+
+// cut2 splits "a rest..." returning ok only when both halves exist.
+func cut2(s string) (first, rest string, ok bool) {
+	first, rest, ok = strings.Cut(s, " ")
+	return first, rest, ok && first != "" && rest != ""
+}
+
+// AppendBatch durably records a batch before its first delivery attempt.
+func (w *WAL) AppendBatch(b Batch) (size int64, err error) {
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return 0, err
+	}
+	line := fmt.Sprintf("B %d %08x %s\n", b.Seq, crc32.Checksum(payload, walCRC), payload)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.WriteString(line); err != nil {
+		return 0, err
+	}
+	if err := w.w.Flush(); err != nil {
+		return 0, err
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	w.bytes += int64(len(line))
+	w.stored++
+	return int64(len(line)), nil
+}
+
+// Ack records that a batch is settled (delivered or deliberately
+// dropped). Acks are not individually fsynced: losing one in a crash
+// only causes a redelivery, which receivers deduplicate by Seq.
+func (w *WAL) Ack(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	line := "A " + strconv.FormatUint(seq, 10) + "\n"
+	if _, err := w.w.WriteString(line); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	w.bytes += int64(len(line))
+	w.acked++
+	return nil
+}
+
+// Sync flushes and fsyncs the file — the drain path calls it so the
+// final state (including trailing acks) is durable before exit.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Size returns the current file size in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}
+
+// ShouldCompact reports whether settled records dominate the file enough
+// to be worth rewriting.
+func (w *WAL) ShouldCompact() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.acked >= 64 && w.acked*2 >= w.stored
+}
+
+// Compact atomically rewrites the WAL to hold only the given unacked
+// batches plus an M record preserving maxSeq, then reopens for append.
+// The rewrite goes through a temp file and rename, so a crash mid-compact
+// leaves either the old or the new file, never a mix.
+func (w *WAL) Compact(unacked []Batch, maxSeq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(w.path), ".wal-*")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(tmp)
+	fmt.Fprintf(bw, "M %d\n", maxSeq)
+	for _, b := range unacked {
+		payload, err := json.Marshal(b)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		fmt.Fprintf(bw, "B %d %08x %s\n", b.Seq, crc32.Checksum(payload, walCRC), payload)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), w.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	w.f.Close()
+	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, _ := f.Stat()
+	w.f = f
+	w.w = bufio.NewWriter(f)
+	w.bytes = 0
+	if st != nil {
+		w.bytes = st.Size()
+	}
+	w.acked, w.stored = 0, len(unacked)
+	return nil
+}
+
+// Reload re-reads the file's unacked batches — the exporter uses it to
+// refill payloads it evicted from memory under queue pressure.
+func (w *WAL) Reload() ([]Batch, error) {
+	w.mu.Lock()
+	if err := w.w.Flush(); err != nil {
+		w.mu.Unlock()
+		return nil, err
+	}
+	path := w.path
+	w.mu.Unlock()
+	unacked, _, corrupt, err := readWAL(path)
+	if corrupt > 0 {
+		mCorrupt.Add(uint64(corrupt))
+	}
+	return unacked, err
+}
+
+// Close flushes, fsyncs and closes the file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	w.w.Flush()
+	w.f.Sync()
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// Path returns the WAL file path (tests and failure artifacts use it).
+func (w *WAL) Path() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.path
+}

@@ -1,0 +1,122 @@
+package sink
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func walBatch(seq uint64, names ...string) Batch {
+	b := Batch{Seq: seq, UnixMs: int64(seq) * 1000}
+	for _, n := range names {
+		b.Samples = append(b.Samples, Sample{Name: n, Kind: "counter", Value: 1})
+	}
+	return b
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wal")
+	w, unacked, maxSeq, err := OpenWAL(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unacked) != 0 || maxSeq != 0 {
+		t.Fatalf("fresh WAL reports unacked=%d maxSeq=%d", len(unacked), maxSeq)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := w.AppendBatch(walBatch(seq, "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Ack(2); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	_, unacked, maxSeq, err = OpenWAL(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeq != 3 {
+		t.Fatalf("maxSeq = %d, want 3", maxSeq)
+	}
+	if len(unacked) != 2 || unacked[0].Seq != 1 || unacked[1].Seq != 3 {
+		t.Fatalf("unacked = %+v, want seqs 1,3", unacked)
+	}
+}
+
+func TestWALTornTailAndCorruptRecordsSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wal")
+	w, _, _, err := OpenWAL(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := w.AppendBatch(walBatch(seq, "a", "b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Corrupt the middle record's payload and tear the tail — the crash
+	// signature recovery must shrug off.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = strings.Replace(lines[1], `"kind":"counter"`, `"kind":"CORRUPT"`, 1)
+	mangled := lines[0] + lines[1] + lines[2][:len(lines[2])/2]
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, unacked, maxSeq, err := OpenWAL(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unacked) != 1 || unacked[0].Seq != 1 {
+		t.Fatalf("recovered %+v, want only seq 1", unacked)
+	}
+	if maxSeq != 1 {
+		t.Fatalf("maxSeq = %d, want 1 (corrupt records cannot vouch for seqs)", maxSeq)
+	}
+}
+
+func TestWALCompactPreservesMaxSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wal")
+	w, _, _, err := OpenWAL(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if _, err := w.AppendBatch(walBatch(seq, "a")); err != nil {
+			t.Fatal(err)
+		}
+		if seq != 4 {
+			if err := w.Ack(seq); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Compact([]Batch{walBatch(4, "a")}, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Appends still work after the reopen-for-append.
+	if _, err := w.AppendBatch(walBatch(6, "a")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	_, unacked, maxSeq, err := OpenWAL(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeq != 6 {
+		t.Fatalf("maxSeq = %d, want 6 (M record + post-compact append)", maxSeq)
+	}
+	if len(unacked) != 2 || unacked[0].Seq != 4 || unacked[1].Seq != 6 {
+		t.Fatalf("unacked = %+v, want seqs 4,6", unacked)
+	}
+}

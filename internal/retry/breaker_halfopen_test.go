@@ -1,0 +1,152 @@
+package retry
+
+// Half-open concurrency: when the cooldown elapses, exactly one caller
+// wins the trial slot; every concurrent loser fails fast. This is the
+// contract the sink exporter leans on — a recovering push endpoint gets
+// probed by one batch, not stampeded by the whole backlog.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tripOpen drives b to the open state and returns a clock the test
+// controls.
+func tripOpen(t *testing.T, b *Breaker) *time.Time {
+	t.Helper()
+	now := time.Unix(1000, 0)
+	b.Now = func() time.Time { return now }
+	for i := 0; i < b.Threshold; i++ {
+		b.Record(errors.New("down"))
+	}
+	if st := b.State(); st != "open" {
+		t.Fatalf("state after %d failures = %q, want open", b.Threshold, st)
+	}
+	return &now
+}
+
+func TestBreakerHalfOpenAdmitsExactlyOneConcurrentProbe(t *testing.T) {
+	b := NewBreaker(3, time.Second)
+	now := tripOpen(t, b)
+	*now = now.Add(2 * time.Second) // cooldown elapsed: next Allow is the trial
+
+	const callers = 32
+	var admitted, rejected atomic.Int32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() {
+				admitted.Add(1)
+			} else {
+				rejected.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if admitted.Load() != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", admitted.Load())
+	}
+	if rejected.Load() != callers-1 {
+		t.Fatalf("rejected %d, want %d", rejected.Load(), callers-1)
+	}
+	if ff := b.FastFails(); ff < callers-1 {
+		t.Fatalf("fast-fails = %d, want >= %d (losers must not touch the network)", ff, callers-1)
+	}
+	if st := b.State(); st != "half-open" {
+		t.Fatalf("state = %q, want half-open while the trial is in flight", st)
+	}
+}
+
+func TestBreakerHalfOpenTrialFailureReopensAndRearms(t *testing.T) {
+	b := NewBreaker(2, time.Second)
+	now := tripOpen(t, b)
+	*now = now.Add(time.Second)
+
+	if !b.Allow() {
+		t.Fatal("trial not admitted after cooldown")
+	}
+	b.Record(errors.New("still down"))
+	if st := b.State(); st != "open" {
+		t.Fatalf("state after failed trial = %q, want open", st)
+	}
+	// The failed trial restarts the cooldown from its failure time: an
+	// immediate retry fails fast, a later one gets the next trial slot.
+	if b.Allow() {
+		t.Fatal("probe admitted immediately after failed trial")
+	}
+	*now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("next trial not admitted after second cooldown")
+	}
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("opens = %d, want 2 (initial trip + failed trial)", got)
+	}
+}
+
+func TestBreakerHalfOpenTrialSuccessClosesForAll(t *testing.T) {
+	b := NewBreaker(2, time.Second)
+	now := tripOpen(t, b)
+	*now = now.Add(time.Second)
+
+	if !b.Allow() {
+		t.Fatal("trial not admitted")
+	}
+	b.Record(nil)
+	if st := b.State(); st != "closed" {
+		t.Fatalf("state after successful trial = %q, want closed", st)
+	}
+	// Closed circuit admits everyone again, concurrently.
+	var admitted atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Load() != 16 {
+		t.Fatalf("closed breaker admitted %d/16", admitted.Load())
+	}
+}
+
+// TestBreakerHalfOpenStampede hammers the full open → half-open →
+// resolve cycle from many goroutines with a racing wall clock, checking
+// the one-trial invariant on every lap. Run under -race this doubles as
+// the breaker's memory-safety audit.
+func TestBreakerHalfOpenStampede(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond)
+	for lap := 0; lap < 50; lap++ {
+		b.Record(errors.New("down")) // trip (threshold 1)
+		time.Sleep(2 * time.Millisecond)
+
+		var admitted atomic.Int32
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if n := admitted.Load(); n != 1 {
+			t.Fatalf("lap %d: %d probes admitted, want 1", lap, n)
+		}
+		b.Record(nil) // trial succeeds, circuit closes for the next lap
+	}
+}

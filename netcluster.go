@@ -45,6 +45,7 @@ import (
 	"github.com/netaware/netcluster/internal/inet"
 	"github.com/netaware/netcluster/internal/netutil"
 	"github.com/netaware/netcluster/internal/obsv"
+	"github.com/netaware/netcluster/internal/obsv/sink"
 	"github.com/netaware/netcluster/internal/placement"
 	"github.com/netaware/netcluster/internal/selfcorrect"
 	"github.com/netaware/netcluster/internal/tracesim"
@@ -375,6 +376,30 @@ func TraceHandler() http.Handler { return obsv.TraceHandler() }
 // Chrome trace_event JSON (what clusterctl and experiments emit for
 // -trace-out).
 func WriteTrace(path string) error { return obsv.WriteTraceFile(path) }
+
+// Push export: the durable counterpart to the pull surfaces above. A
+// SinkManager ships metric deltas to declared backends (HTTP push, a
+// newline-JSON file journal, UDP) with write-ahead durability — batches
+// are WAL-journaled before the first delivery attempt, retried with
+// backoff and a circuit breaker, and deduplicable by sequence number at
+// the receiver — so a dead collector never blocks the pipeline and
+// never silently loses more than the configured budget.
+type (
+	// SinkSpec declares one push sink (name, type "http"|"file"|"udp",
+	// endpoint or path).
+	SinkSpec = sink.Spec
+	// SinkManager reconciles a live set of exporters against specs;
+	// Apply hot-swaps endpoints without losing queued backlog.
+	SinkManager = sink.Manager
+	// SinkOptions configures a SinkManager.
+	SinkOptions = sink.Options
+	// SinkStatus is one exporter's operational position.
+	SinkStatus = sink.SinkStatus
+)
+
+// NewSinkManager returns a push-export manager whose per-sink WALs live
+// under dir. Declare sinks with Apply; flush and stop with Close.
+func NewSinkManager(dir string, opts SinkOptions) *SinkManager { return sink.NewManager(dir, opts) }
 
 // Synthetic world: the offline substitute for the paper's live data
 // sources. Generate a world once, derive BGP views, logs, DNS and
