@@ -7,9 +7,10 @@
 
 GO ?= go
 
-# Benchmarks of the compiled lookup table, parallel clustering engines and
-# CLF fast path; bench-json freezes their numbers into BENCH_clustering.json.
-PERF_BENCH = LongestPrefixMatch|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF|Churn
+# Benchmarks of the compiled lookup table, batch lookup kernel, snapshot
+# loader, parallel clustering engines and CLF fast path; bench-json
+# freezes their numbers into BENCH_clustering.json.
+PERF_BENCH = LongestPrefixMatch|LookupBatch|SnapshotLoad|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF|Churn
 
 # Every fuzz target in the tree, as pkg-dir:FuzzName pairs. fuzz-smoke
 # runs each for FUZZTIME so corpus-breaking regressions (and fresh
@@ -20,13 +21,14 @@ FUZZ_TARGETS = \
 	internal/weblog:FuzzParseCLFLineFast \
 	internal/bgp:FuzzParsePrefixEntry \
 	internal/bgp:FuzzReadSnapshot \
+	internal/bgp:FuzzReadTable \
 	internal/dnswire:FuzzDecode
 FUZZTIME ?= 20s
 
 # Advisory statement-coverage floor for the cover target.
 COVER_MIN ?= 70
 
-.PHONY: all build test test-short race vet fmt fmt-check chaos chaos-smoke bench-json bench-gate bench-smoke trace-smoke fuzz-smoke cover check clean
+.PHONY: all build test test-short race vet fmt fmt-check chaos chaos-smoke bench-json bench-gate bench-smoke snapshot-smoke trace-smoke fuzz-smoke cover check clean
 
 all: build
 
@@ -116,6 +118,19 @@ cover:
 	cat bin/cover-summary.txt; \
 	if [ "$$(printf '%s\n' "$$total" "$(COVER_MIN)" | sort -g | head -1)" != "$(COVER_MIN)" ]; then \
 		echo "WARNING: coverage $$total% below advisory floor $(COVER_MIN)%"; fi
+
+# End-to-end table-snapshot smoke: generate the standard dump collection,
+# compile it into an on-disk snapshot with tabletool, checksum-verify the
+# file, and prove it byte-identical to a fresh compile of the same dumps
+# (the strongest load/save equivalence there is). Artifacts stay in
+# bin/snapshot-smoke for CI to archive on failure.
+snapshot-smoke:
+	@mkdir -p bin/snapshot-smoke
+	$(GO) build -o bin/bgpgen ./cmd/bgpgen
+	$(GO) build -o bin/tabletool ./cmd/tabletool
+	./bin/bgpgen -all -dir bin/snapshot-smoke -seed 1 -scale 0.02
+	./bin/tabletool compile -o bin/snapshot-smoke/table.nct bin/snapshot-smoke/*.txt
+	./bin/tabletool verify bin/snapshot-smoke/table.nct bin/snapshot-smoke/*.txt
 
 # End-to-end tracing smoke: run the perf experiment with the flight
 # recorder draining to a Chrome trace file, then validate the schema and

@@ -72,6 +72,51 @@ func BenchmarkLongestPrefixMatchCompiled(b *testing.B) {
 	}
 }
 
+// BenchmarkLookupBatch is the batch lookup kernel over the same client
+// population as BenchmarkLongestPrefixMatchCompiled, in 4096-address
+// batches with a reused result buffer. b.N counts addresses, so ns/op
+// here divided into the compiled single-probe bench's ns/op is the
+// aggregate speedup the level-synchronous kernel buys (gated at >=3x in
+// cmd/benchdiff).
+func BenchmarkLookupBatch(b *testing.B) {
+	f := setup(b)
+	compiled := f.table.Compile()
+	clients := f.log.Clients()
+	const batchLen = 4096
+	addrs := make([]netutil.Addr, batchLen)
+	for i := range addrs {
+		addrs[i] = clients[i%len(clients)]
+	}
+	dst := compiled.LookupBatch(addrs, nil)
+	b.ReportMetric(batchLen, "addrs/batch")
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batchLen {
+		dst = compiled.LookupBatch(addrs, dst)
+	}
+	_ = dst
+}
+
+// BenchmarkSnapshotLoad measures opening the on-disk table snapshot —
+// mmap fast path where the platform allows — against the fixture table,
+// the cost a snapshot-booted clusterd pays instead of merge+compile.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	f := setup(b)
+	compiled := f.table.Compile()
+	path := b.TempDir() + "/table.nct"
+	if err := netcluster.SaveTable(path, compiled); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(compiled.Len()), "prefixes/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tf, err := netcluster.OpenTable(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tf.Close()
+	}
+}
+
 // BenchmarkTableCompile measures the one-time cost of building the
 // compiled snapshot, the price paid to make every later lookup cheap.
 func BenchmarkTableCompile(b *testing.B) {

@@ -5,13 +5,17 @@
 //
 // Every benchmark present in both recordings is reported with its ns/op
 // and allocs/op deltas. Rows matching -gate (default: the compiled
-// lookup table and the CLF ingestion fast path, the two hot paths the
-// observability layer must not tax) additionally enforce -threshold: a
-// gated row whose ns/op or allocs/op grew by more than the threshold
-// fraction exits nonzero. `make bench-gate` wires this up; CI runs it as
-// a non-blocking job because single-run timings on shared runners are
-// noisy — the committed-machine numbers in BENCH_clustering.json remain
-// the authoritative record.
+// lookup table, the CLF ingestion fast path, the batch lookup kernel and
+// the snapshot loader — the hot paths the observability layer must not
+// tax) additionally enforce -threshold: a gated row whose ns/op or
+// allocs/op grew by more than the threshold fraction exits nonzero.
+// When the fresh recording carries both the single-probe compiled bench
+// and the batch kernel bench, -min-batch-speedup additionally enforces
+// the kernel's raison d'être: per-address batch cost at least that many
+// times cheaper than a single-probe loop. `make bench-gate` wires this
+// up; CI runs it as a non-blocking job because single-run timings on
+// shared runners are noisy — the committed-machine numbers in
+// BENCH_clustering.json remain the authoritative record.
 package main
 
 import (
@@ -27,8 +31,10 @@ func main() {
 	oldPath := flag.String("old", "BENCH_clustering.json", "baseline recording")
 	newPath := flag.String("new", "", "fresh recording to compare (required)")
 	threshold := flag.Float64("threshold", 0.25, "max allowed fractional regression on gated rows")
-	gate := flag.String("gate", "^Benchmark(LongestPrefixMatchCompiled|CLFParseStream)$",
+	gate := flag.String("gate", "^Benchmark(LongestPrefixMatchCompiled|CLFParseStream|LookupBatch|SnapshotLoad)$",
 		"regexp of benchmark names whose regressions fail the gate")
+	minBatchSpeedup := flag.Float64("min-batch-speedup", 3,
+		"minimum single-probe-ns / batch-ns-per-address ratio in the fresh recording (0 disables)")
 	flag.Parse()
 
 	if *newPath == "" {
@@ -83,6 +89,19 @@ func main() {
 	}
 	if compared == 0 {
 		fatal(fmt.Errorf("no benchmarks in common between %s and %s", *oldPath, *newPath))
+	}
+	if *minBatchSpeedup > 0 {
+		single, ok1 := newRec.Find("BenchmarkLongestPrefixMatchCompiled")
+		batch, ok2 := newRec.Find("BenchmarkLookupBatch")
+		if ok1 && ok2 && batch.NsPerOp > 0 {
+			ratio := single.NsPerOp / batch.NsPerOp
+			fmt.Printf("\nbatch kernel speedup: %.1fx single-probe per-address cost (floor %.1fx)\n",
+				ratio, *minBatchSpeedup)
+			if ratio < *minBatchSpeedup {
+				failed++
+				fmt.Println("FAIL: batch kernel below required aggregate speedup")
+			}
+		}
 	}
 	if failed > 0 {
 		fatal(fmt.Errorf("%d gated benchmark(s) regressed beyond %.0f%%", failed, *threshold*100))

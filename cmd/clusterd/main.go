@@ -152,24 +152,26 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	table := s.table.Load()
 	gen := s.table.Generation()
 
+	// Parse the whole list first, then resolve it with one batched walk
+	// against the pinned table — every answer from the same generation,
+	// amortized lookup cost (bgp.Compiled.LookupBatch).
 	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, tun.MaxBodyBytes))
-	results := make([]lookupResult, 0, 256)
-	n := 0
+	addrs := make([]netutil.Addr, 0, 256)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
-		if n++; n > tun.MaxBatch {
+		if len(addrs) >= tun.MaxBatch {
 			http.Error(w, fmt.Sprintf("batch exceeds %d addresses", tun.MaxBatch), http.StatusRequestEntityTooLarge)
 			return
 		}
 		addr, err := netutil.ParseAddr(line)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("line %d: bad addr %q", n, line), http.StatusBadRequest)
+			http.Error(w, fmt.Sprintf("line %d: bad addr %q", len(addrs)+1, line), http.StatusBadRequest)
 			return
 		}
-		results = append(results, s.resolve(table, gen, addr))
+		addrs = append(addrs, addr)
 	}
 	if err := sc.Err(); err != nil {
 		var tooLarge *http.MaxBytesError
@@ -179,6 +181,17 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	matches := table.LookupBatch(addrs, nil)
+	results := make([]lookupResult, len(addrs))
+	for i, addr := range addrs {
+		res := lookupResult{Addr: addr.String(), Generation: gen}
+		if m := matches[i]; !m.Prefix.IsZero() {
+			res.Clustered = true
+			res.Prefix = m.Prefix.String()
+			res.Kind = m.Kind.String()
+		}
+		results[i] = res
 	}
 	batchAddrs.Add(uint64(len(results)))
 	w.Header().Set("Content-Type", "application/json")
@@ -272,6 +285,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 8<<20, "request body cap in bytes for /cluster")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests and sink flush on shutdown")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on shutdown")
+	tableSnapshot := flag.String("table-snapshot", "", "boot the prefix table from a compiled snapshot file (see tabletool compile) instead of generating a synthetic world; the table is static, so churn is disabled")
 	configPath := flag.String("config", "", "watched JSON config file; its keys override flags and hot-reload")
 	configPoll := flag.Duration("config-poll", 2*time.Second, "poll interval for -config changes")
 	sinkDir := flag.String("sink-dir", "", "directory for push-sink WALs (default: <tmp>/clusterd-sinks)")
@@ -283,21 +297,42 @@ func main() {
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	wcfg := inet.DefaultConfig()
-	wcfg.NumASes = *ases
-	wcfg.Seed = *seed
-	world, err := inet.Generate(wcfg)
-	if err != nil {
-		fatal(err)
+	var (
+		table *churn.Table
+		coll  *bgpsim.Collection // nil when booted from a snapshot
+	)
+	if *tableSnapshot != "" {
+		tf, err := bgp.OpenTable(*tableSnapshot)
+		if err != nil {
+			fatal(fmt.Errorf("table snapshot %s: %w", *tableSnapshot, err))
+		}
+		defer tf.Close()
+		table = churn.NewStatic(tf.Table())
+		mode := "copied"
+		if tf.Mapped() {
+			mode = "mmapped"
+		}
+		c0 := table.Load()
+		fmt.Fprintf(os.Stderr, "clusterd: table snapshot %s (%s): %s BGP + %s registry prefixes, %s nodes\n",
+			*tableSnapshot, mode,
+			report.FmtInt(c0.NumPrimary()), report.FmtInt(c0.NumSecondary()), report.FmtInt(c0.NumNodes()))
+	} else {
+		wcfg := inet.DefaultConfig()
+		wcfg.NumASes = *ases
+		wcfg.Seed = *seed
+		world, err := inet.Generate(wcfg)
+		if err != nil {
+			fatal(err)
+		}
+		scfg := bgpsim.DefaultConfig()
+		scfg.Seed = *seed
+		sim := bgpsim.New(world, scfg)
+		coll = sim.Collect()
+		table = churn.New(bgpsim.Merge(coll))
+		c0 := table.Load()
+		fmt.Fprintf(os.Stderr, "clusterd: table generation 0: %s BGP + %s registry prefixes, %s nodes\n",
+			report.FmtInt(c0.NumPrimary()), report.FmtInt(c0.NumSecondary()), report.FmtInt(c0.NumNodes()))
 	}
-	scfg := bgpsim.DefaultConfig()
-	scfg.Seed = *seed
-	sim := bgpsim.New(world, scfg)
-	coll := sim.Collect()
-	table := churn.New(bgpsim.Merge(coll))
-	c0 := table.Load()
-	fmt.Fprintf(os.Stderr, "clusterd: table generation 0: %s BGP + %s registry prefixes, %s nodes\n",
-		report.FmtInt(c0.NumPrimary()), report.FmtInt(c0.NumSecondary()), report.FmtInt(c0.NumNodes()))
 
 	flagTun := tunables{
 		MaxInflight:  *maxInflight,
@@ -349,47 +384,54 @@ func main() {
 		s.watcher = w
 	}
 
-	// The churn universe is the union of every BGP vantage's entries; the
-	// registry (secondary) prefixes stay static, as the paper's network
-	// dumps did across its testing periods.
-	universe := &bgp.Snapshot{Name: "bgpsim-churn", Kind: bgp.SourceBGP}
-	for _, v := range coll.Views {
-		universe.Entries = append(universe.Entries, v.Entries...)
-	}
-	ccfg := bgpsim.DefaultChurnConfig()
-	ccfg.Seed = *seed
-	ccfg.MeanBatch = *meanBatch
-	ccfg.Burstiness = *burstiness
-	gen := bgpsim.NewChurnGen(universe, ccfg)
-
-	// The churn loop re-reads its cadence each lap, so a config reload
-	// retunes (or pauses) it without a restart. While disabled it idles
-	// on a 1 s re-check instead of exiting, so churn can be hot-enabled.
 	churnCtx, stopChurn := context.WithCancel(context.Background())
 	churnDone := make(chan struct{})
-	go func() {
-		defer close(churnDone)
-		for {
-			every := s.tun.Load().ChurnEvery.Std()
-			wait := every
-			if every <= 0 {
-				wait = time.Second
-			}
-			select {
-			case <-churnCtx.Done():
-				return
-			case <-time.After(wait):
-			}
-			if every <= 0 {
-				continue
-			}
-			st := table.Apply(gen.Next())
-			fmt.Fprintf(os.Stderr,
-				"clusterd: swap gen %d: +%d -%d ops; stability: %d carryover %d splits %d merges %d moved %d gained %d lost\n",
-				st.Generation, st.Announced, st.Withdrawn,
-				st.Carryover, st.Splits, st.Merges, st.Moved, st.Gained, st.Lost)
+	if table.Static() {
+		// Snapshot-booted tables have no delta compiler behind them; the
+		// service serves generation 0 until restarted with a new snapshot.
+		fmt.Fprintln(os.Stderr, "clusterd: snapshot-booted table is static, churn disabled")
+		close(churnDone)
+	} else {
+		// The churn universe is the union of every BGP vantage's entries; the
+		// registry (secondary) prefixes stay static, as the paper's network
+		// dumps did across its testing periods.
+		universe := &bgp.Snapshot{Name: "bgpsim-churn", Kind: bgp.SourceBGP}
+		for _, v := range coll.Views {
+			universe.Entries = append(universe.Entries, v.Entries...)
 		}
-	}()
+		ccfg := bgpsim.DefaultChurnConfig()
+		ccfg.Seed = *seed
+		ccfg.MeanBatch = *meanBatch
+		ccfg.Burstiness = *burstiness
+		gen := bgpsim.NewChurnGen(universe, ccfg)
+
+		// The churn loop re-reads its cadence each lap, so a config reload
+		// retunes (or pauses) it without a restart. While disabled it idles
+		// on a 1 s re-check instead of exiting, so churn can be hot-enabled.
+		go func() {
+			defer close(churnDone)
+			for {
+				every := s.tun.Load().ChurnEvery.Std()
+				wait := every
+				if every <= 0 {
+					wait = time.Second
+				}
+				select {
+				case <-churnCtx.Done():
+					return
+				case <-time.After(wait):
+				}
+				if every <= 0 {
+					continue
+				}
+				st := table.Apply(gen.Next())
+				fmt.Fprintf(os.Stderr,
+					"clusterd: swap gen %d: +%d -%d ops; stability: %d carryover %d splits %d merges %d moved %d gained %d lost\n",
+					st.Generation, st.Announced, st.Withdrawn,
+					st.Carryover, st.Splits, st.Merges, st.Moved, st.Gained, st.Lost)
+			}
+		}()
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/lookup", s.handleLookup)

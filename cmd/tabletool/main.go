@@ -6,9 +6,21 @@
 //	tabletool diff day0.txt day14.txt         withdrawn/announced/common (BGP dynamics)
 //	tabletool merge *.txt                     union size and per-source contributions
 //	tabletool aggregate aads.txt              CIDR aggregation compression ratio
+//	tabletool compile -o table.nct *.txt      merge + compile dumps into a table snapshot
+//	tabletool verify table.nct [*.txt]        checksum/structure check (+ dump equivalence)
+//
+// compile produces the versioned, checksummed on-disk form of the
+// compiled longest-prefix-match table (see internal/bgp table snapshot
+// format); clusterd boots from it with -table-snapshot, skipping the
+// merge/compile work at startup, and loads it zero-copy via mmap where
+// the platform allows. verify re-validates a snapshot end to end and,
+// when given the source dumps, proves the file byte-identical to a fresh
+// compile of those dumps.
 package main
 
 import (
+	"bytes"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -38,13 +50,17 @@ func main() {
 			fatal(fmt.Errorf("aggregate needs exactly one file"))
 		}
 		cmdAggregate(files[0])
+	case "compile":
+		cmdCompile(files)
+	case "verify":
+		cmdVerify(files[0], files[1:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tabletool stats|diff|merge|aggregate <file>...")
+	fmt.Fprintln(os.Stderr, "usage: tabletool stats|diff|merge|aggregate|compile|verify <file>...")
 	os.Exit(2)
 }
 
@@ -145,6 +161,65 @@ func cmdMerge(files []string) {
 	fmt.Println(t)
 	fmt.Printf("union: %s unique prefixes (%s BGP-sourced, %s registry-sourced)\n",
 		report.FmtInt(len(seen)), report.FmtInt(m.NumPrimary()), report.FmtInt(m.NumSecondary()))
+}
+
+// compileMerged merges dump files in argument order — marshal output is
+// deterministic for a given file order, which is what lets verify prove
+// byte-identity against a fresh compile.
+func compileMerged(files []string) *bgp.Compiled {
+	m := bgp.NewMerged()
+	for _, path := range files {
+		m.Add(load(path))
+	}
+	return m.Compile()
+}
+
+func cmdCompile(args []string) {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	out := fs.String("o", "table.nct", "output snapshot path")
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) == 0 {
+		fatal(fmt.Errorf("compile needs at least one dump file"))
+	}
+	c := compileMerged(files)
+	if err := bgp.SaveTable(*out, c); err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %s prefixes (%s BGP, %s registry), %s trie nodes, %s bytes\n",
+		*out, report.FmtInt(c.Len()), report.FmtInt(c.NumPrimary()),
+		report.FmtInt(c.NumSecondary()), report.FmtInt(c.NumNodes()),
+		report.FmtInt(int(st.Size())))
+}
+
+func cmdVerify(path string, dumps []string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := bgp.VerifyTable(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	fmt.Printf("%s: ok — %s prefixes (%s BGP, %s registry), %s trie nodes, %s bytes\n",
+		path, report.FmtInt(c.Len()), report.FmtInt(c.NumPrimary()),
+		report.FmtInt(c.NumSecondary()), report.FmtInt(c.NumNodes()),
+		report.FmtInt(len(data)))
+	if len(dumps) == 0 {
+		return
+	}
+	want, err := bgp.MarshalTable(compileMerged(dumps))
+	if err != nil {
+		fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		fatal(fmt.Errorf("%s differs from a fresh compile of %d dump(s)", path, len(dumps)))
+	}
+	fmt.Printf("%s: byte-identical to a fresh compile of %d dump(s)\n", path, len(dumps))
 }
 
 func cmdAggregate(path string) {

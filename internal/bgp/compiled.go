@@ -2,6 +2,8 @@ package bgp
 
 import (
 	"context"
+	"sync"
+	"unsafe"
 
 	"github.com/netaware/netcluster/internal/netutil"
 	"github.com/netaware/netcluster/internal/obsv"
@@ -37,13 +39,21 @@ type Compiled struct {
 	// Provenance and KindOf then read the compiler's live store (under
 	// its RWMutex) instead of per-generation maps. The match structure
 	// (frozen) and the class counts are still immutable per generation.
-	inc                      *Incremental
+	inc *Incremental
+	// snap is set on tables loaded from a snapshot file; Provenance and
+	// KindOf then binary-search the (possibly memory-mapped) provenance
+	// sidecar instead of maps — see tablefile.go.
+	snap                     *snapTable
 	numPrimary, numSecondary int
 }
 
+// compiledValue is the per-entry payload of the match structure: just the
+// winning source class. Provenance is deliberately not stored per row —
+// exact-prefix provenance queries go through the per-generation maps, the
+// incremental store, or a snapshot's lazy sidecar — which keeps the value
+// array one byte of information per row and makes it serializable.
 type compiledValue struct {
 	kind SourceKind
-	prov *Provenance
 }
 
 // Precedence ranks: any primary (BGP) prefix must beat any secondary
@@ -77,7 +87,7 @@ func (m *Merged) CompileCtx(ctx context.Context) *Compiled {
 		c.prov[p] = prov
 		c.kinds[p] = SourceBGP
 		if p.Bits() > 0 {
-			mb.InsertRanked(p, compiledValue{kind: SourceBGP, prov: prov}, compiledPrimaryBias+p.Bits())
+			mb.InsertRanked(p, compiledValue{kind: SourceBGP}, compiledPrimaryBias+p.Bits())
 		}
 		return true
 	})
@@ -87,7 +97,7 @@ func (m *Merged) CompileCtx(ctx context.Context) *Compiled {
 			c.kinds[p] = SourceNetworkDump
 		}
 		if p.Bits() > 0 {
-			mb.InsertRanked(p, compiledValue{kind: SourceNetworkDump, prov: prov}, p.Bits())
+			mb.InsertRanked(p, compiledValue{kind: SourceNetworkDump}, p.Bits())
 		}
 		return true
 	})
@@ -111,6 +121,71 @@ func (c *Compiled) Lookup(addr netutil.Addr) (Match, bool) {
 	return Match{Prefix: p, Kind: v.kind}, true
 }
 
+// batchState holds a reusable entry-row buffer; a sync.Pool keeps it
+// warm across LookupBatch calls so the caller-reuse path (dst with
+// sufficient capacity) allocates nothing in steady state, even with
+// many concurrent batch callers.
+type batchState struct {
+	rows []int32
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchState) }}
+
+// LookupBatch is Lookup over a whole probe set: dst[i] is the match for
+// addrs[i], with a zero Match (dst[i].Prefix.IsZero()) marking an
+// unclusterable address — the zero value is unambiguous because the bare
+// default route is never part of the match structure. Results are
+// exactly what per-address Lookup returns; the win is throughput, not
+// semantics: the radix kernel's packed-slot walk strips the per-level
+// instruction overhead of the sequential loop (see
+// radix.Frozen.LookupBatch). dst is reused when its capacity suffices,
+// making steady-state batches allocation-free.
+func (c *Compiled) LookupBatch(addrs []netutil.Addr, dst []Match) []Match {
+	n := len(addrs)
+	if cap(dst) < n {
+		dst = make([]Match, n)
+	} else {
+		dst = dst[:n]
+	}
+	if n == 0 {
+		return dst
+	}
+	st := batchPool.Get().(*batchState)
+	st.rows = c.frozen.LookupBatch(addrs, st.rows)
+	// Resolve rows against the raw entry tables directly: a generic
+	// method call per row would cost more than the resolution itself,
+	// and the loads skip bounds checks because the kernel only emits
+	// rows in [-1, len(prefixes)) — see resolveRows.
+	_, _, prefixes, _, values, _ := c.frozen.Raw()
+	resolveRows(st.rows, prefixes, values, dst)
+	batchPool.Put(st)
+	return dst
+}
+
+// resolveRows turns kernel entry rows into Matches. Row values come
+// from radix.Frozen.LookupBatch, whose construction invariants
+// (NewFrozen/Freeze validation) bound every non-negative row below
+// len(prefixes) == len(values); that is what justifies the unchecked
+// loads. A miss (-1) yields the zero Match.
+func resolveRows(rows []int32, prefixes []netutil.Prefix, values []compiledValue, dst []Match) {
+	if len(prefixes) == 0 {
+		for i := range rows {
+			dst[i] = Match{}
+		}
+		return
+	}
+	pp := unsafe.Pointer(&prefixes[0])
+	vv := unsafe.Pointer(&values[0])
+	for i, row := range rows {
+		var m Match
+		if row >= 0 {
+			m.Prefix = *(*netutil.Prefix)(unsafe.Add(pp, uintptr(uint32(row))*unsafe.Sizeof(netutil.Prefix{})))
+			m.Kind = (*(*compiledValue)(unsafe.Add(vv, uintptr(uint32(row))*unsafe.Sizeof(compiledValue{})))).kind
+		}
+		dst[i] = m
+	}
+}
+
 // LookupDepth is Lookup plus the number of stride-8 levels the walk
 // descended (1–4). The clustering layer samples it to feed the
 // "bgp.lookup.depth" histogram; Lookup itself stays uninstrumented.
@@ -129,6 +204,9 @@ func (c *Compiled) Provenance(p netutil.Prefix) (*Provenance, bool) {
 	if c.inc != nil {
 		return c.inc.provenance(p)
 	}
+	if c.snap != nil {
+		return c.snap.provenance(p)
+	}
 	prov, ok := c.prov[p]
 	return prov, ok
 }
@@ -138,6 +216,9 @@ func (c *Compiled) Provenance(p netutil.Prefix) (*Provenance, bool) {
 func (c *Compiled) KindOf(p netutil.Prefix) (SourceKind, bool) {
 	if c.inc != nil {
 		return c.inc.kindOf(p)
+	}
+	if c.snap != nil {
+		return c.snap.kindOf(p)
 	}
 	k, ok := c.kinds[p]
 	return k, ok

@@ -104,14 +104,14 @@ func NewIncremental(m *Merged) *Incremental {
 	m.primary.Walk(func(p netutil.Prefix, prov *Provenance) bool {
 		inc.prov[0][p] = prov
 		if p.Bits() > 0 {
-			inc.dyn.InsertRanked(p, compiledValue{kind: SourceBGP, prov: prov}, rankFor(SourceBGP, p.Bits()))
+			inc.dyn.InsertRanked(p, compiledValue{kind: SourceBGP}, rankFor(SourceBGP, p.Bits()))
 		}
 		return true
 	})
 	m.secondary.Walk(func(p netutil.Prefix, prov *Provenance) bool {
 		inc.prov[1][p] = prov
 		if p.Bits() > 0 {
-			inc.dyn.InsertRanked(p, compiledValue{kind: SourceNetworkDump, prov: prov}, rankFor(SourceNetworkDump, p.Bits()))
+			inc.dyn.InsertRanked(p, compiledValue{kind: SourceNetworkDump}, rankFor(SourceNetworkDump, p.Bits()))
 		}
 		return true
 	})
@@ -178,7 +178,7 @@ func (inc *Incremental) ApplyCtx(ctx context.Context, d Delta) *Compiled {
 		}
 		inc.mu.Unlock()
 		if p.Bits() > 0 {
-			inc.dyn.InsertRanked(p, compiledValue{kind: op.Kind, prov: pv}, rankFor(op.Kind, p.Bits()))
+			inc.dyn.InsertRanked(p, compiledValue{kind: op.Kind}, rankFor(op.Kind, p.Bits()))
 		}
 	}
 	deltaAnnounced.Add(uint64(announced))

@@ -21,8 +21,12 @@ import (
 )
 
 // SourceKind classifies where a snapshot's entries come from, which decides
-// their priority during clustering.
-type SourceKind int
+// their priority during clustering. The underlying type is uint8 on
+// purpose: the kind is the entire per-entry payload of the compiled match
+// structure, and at one byte per row the entry value column is exactly
+// its on-disk form — the snapshot loader can alias a memory-mapped file
+// instead of copying a million rows (see tablefile_zerocopy.go).
+type SourceKind uint8
 
 const (
 	// SourceBGP marks routing/forwarding table dumps: the primary source.

@@ -1,0 +1,64 @@
+package bgp
+
+import (
+	"testing"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// fuzzSeedTable builds a small but fully featured snapshot: both source
+// classes, a shared prefix, a default route, multi-source provenance.
+func fuzzSeedTable() []byte {
+	m := NewMerged()
+	m.Add(snap("AADS", SourceBGP, "10.0.0.0/8", "12.65.128.0/19"))
+	m.Add(snap("MAE", SourceBGP, "12.65.128.0/19"))
+	m.Add(snap("ARIN", SourceNetworkDump, "10.0.0.0/8", "0.0.0.0/0"))
+	data, err := MarshalTable(m.Compile())
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// FuzzReadTable hammers the snapshot loader: truncated, bit-flipped,
+// version-skewed or wholly synthetic inputs must produce a clean error —
+// never a panic, never an over-read. Anything the loader does accept
+// must behave as a table: lookups on probe addresses cannot fault, and
+// the accepted table must survive a marshal round trip.
+func FuzzReadTable(f *testing.F) {
+	seed := fuzzSeedTable()
+	f.Add(seed)
+	f.Add(seed[:0])
+	f.Add(seed[:7])
+	f.Add(seed[:tableHeaderLen-1])
+	f.Add(seed[:tableHeaderLen])
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:len(seed)-1])
+	for _, i := range []int{0, 8, 16, 20, 24, 32, 72, tableHeaderLen, len(seed) - 1} {
+		mut := append([]byte(nil), seed...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	verskew := append([]byte(nil), seed...)
+	verskew[8] = 2
+	f.Add(verskew)
+	f.Add([]byte("NCTABLE\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadTable(data)
+		if err != nil {
+			return
+		}
+		// Accepted: the table must be fully usable.
+		for _, ip := range []string{"10.1.2.3", "12.65.147.94", "255.255.255.255", "0.0.0.0"} {
+			a := netutil.MustParseAddr(ip)
+			if m, ok := c.Lookup(a); ok && m.Prefix.IsZero() {
+				t.Fatalf("Lookup(%s) returned ok with zero prefix", ip)
+			}
+			c.Provenance(netutil.PrefixFrom(a, 32))
+		}
+		if _, err := MarshalTable(c); err != nil {
+			t.Fatalf("accepted table failed to marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package bgp
+
+// mapFile on platforms without a wired-up mmap: always report
+// unavailability so OpenTable takes the portable copying loader.
+func mapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, errNoZeroCopy
+}

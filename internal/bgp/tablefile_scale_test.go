@@ -1,0 +1,97 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// TestSnapshotLoadMillionPrefixes is the load-time acceptance bar: a
+// snapshot holding over a million prefixes — the dense /16 sweep plus
+// /24 fill that stresses the entry tables far beyond 1999 table sizes —
+// must open in under 10 ms (best of several attempts, to dodge cold
+// page-cache noise) and answer lookups identically to the table it was
+// saved from. The bound is what makes snapshot boot qualitatively
+// different from merge+compile, which takes seconds at this scale.
+func TestSnapshotLoadMillionPrefixes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and compiles a >1M-prefix table")
+	}
+	if raceEnabled {
+		t.Skip("timing bound is a claim about production builds")
+	}
+
+	s := &Snapshot{Name: "dense", Kind: SourceBGP}
+	// Every /16: 65,536 prefixes.
+	for hi := 0; hi < 256; hi++ {
+		for mid := 0; mid < 256; mid++ {
+			s.Entries = append(s.Entries, Entry{
+				Prefix: netutil.PrefixFrom(netutil.AddrFrom4(byte(hi), byte(mid), 0, 0), 16),
+			})
+		}
+	}
+	// Every /24 under 1.0.0.0/8 through 15.0.0.0/8: 983,040 prefixes.
+	for hi := 1; hi <= 15; hi++ {
+		for mid := 0; mid < 256; mid++ {
+			for lo := 0; lo < 256; lo++ {
+				s.Entries = append(s.Entries, Entry{
+					Prefix: netutil.PrefixFrom(netutil.AddrFrom4(byte(hi), byte(mid), byte(lo), 0), 24),
+				})
+			}
+		}
+	}
+	m := NewMerged()
+	m.Add(s)
+	c := m.Compile()
+	if c.Len() < 1_000_000 {
+		t.Fatalf("fixture holds %d prefixes, want >= 1M", c.Len())
+	}
+
+	path := t.TempDir() + "/dense.nct"
+	if err := SaveTable(path, c); err != nil {
+		t.Fatal(err)
+	}
+
+	best := time.Duration(1 << 62)
+	var loaded *Compiled
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		tf, err := OpenTable(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := time.Since(start)
+		if d < best {
+			best = d
+		}
+		loaded = tf.Table()
+		if i < 4 {
+			tf.Close()
+		} else {
+			defer tf.Close()
+		}
+	}
+	t.Logf("best load of %d prefixes: %v", c.Len(), best)
+	if best > 10*time.Millisecond {
+		t.Errorf("loading a %d-prefix snapshot took %v, want < 10ms", c.Len(), best)
+	}
+
+	rng := rand.New(rand.NewSource(1_000_000))
+	probes := make([]netutil.Addr, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		probes = append(probes, netutil.Addr(rng.Uint32()))
+	}
+	// Boundary addresses of the densest region.
+	probes = append(probes,
+		netutil.AddrFrom4(1, 0, 0, 0), netutil.AddrFrom4(15, 255, 255, 255),
+		netutil.AddrFrom4(16, 0, 0, 0), netutil.AddrFrom4(0, 255, 255, 255))
+	for _, a := range probes {
+		wm, wok := c.Lookup(a)
+		gm, gok := loaded.Lookup(a)
+		if wok != gok || wm != gm {
+			t.Fatalf("lookup(%v): loaded %+v %v, original %+v %v", a, gm, gok, wm, wok)
+		}
+	}
+}

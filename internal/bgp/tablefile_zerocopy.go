@@ -1,0 +1,141 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"unsafe"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// The zero-copy loader: reinterpret the mmap'd file's little-endian
+// columns as live Go slices. All unsafe in the codec is confined to this
+// file, and every cast is gated on the conditions that make it sound —
+// the host stores integers little-endian (the on-disk order), the
+// section start is aligned for the element type, and for the compound
+// element types (netutil.Prefix, compiledValue) a runtime probe proves
+// the Go struct layout is byte-identical to the on-disk record. All are
+// guaranteed on the mmap path of a conforming toolchain (page-aligned
+// base, 8-aligned sections, no padding to reorder) but checked anyway;
+// when any fails, OpenTable falls back to the portable copying loader.
+
+// errNoZeroCopy tells OpenTable the file may be fine but this host (or
+// this buffer) cannot alias it in place.
+var errNoZeroCopy = errors.New("zero-copy table load unavailable on this host")
+
+func nativeLittleEndian() bool {
+	var b [2]byte
+	binary.NativeEndian.PutUint16(b[:], 0x0102)
+	return b[0] == 0x02
+}
+
+// prefixLayoutMatchesDisk reports whether netutil.Prefix's in-memory
+// layout equals the on-disk 8-byte entry record (addr uint32 LE at
+// offset 0, bits at offset 4). Proven by casting a known record rather
+// than assumed from the struct definition, so a compiler that ever laid
+// the struct out differently would route loads to the copying path
+// instead of silently misreading every prefix.
+var prefixLayoutMatchesDisk = func() bool {
+	if unsafe.Sizeof(netutil.Prefix{}) != 8 || unsafe.Sizeof(compiledValue{}) != 1 {
+		return false
+	}
+	raw := [8]byte{0x04, 0x03, 0x02, 0x01, 31, 0, 0, 0}
+	p := *(*netutil.Prefix)(unsafe.Pointer(&raw[0]))
+	return p == netutil.PrefixFrom(0x01020304, 31)
+}()
+
+func castI32(b []byte) ([]int32, bool) {
+	if len(b) == 0 {
+		return nil, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+func castU32(b []byte) ([]uint32, bool) {
+	if len(b) == 0 {
+		return nil, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+func castI16(b []byte) ([]int16, bool) {
+	if len(b) == 0 {
+		return nil, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%2 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*int16)(unsafe.Pointer(&b[0])), len(b)/2), true
+}
+
+func castPrefixes(b []byte) ([]netutil.Prefix, bool) {
+	if len(b) == 0 {
+		return nil, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(netutil.Prefix{}) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*netutil.Prefix)(unsafe.Pointer(&b[0])), len(b)/8), true
+}
+
+// castValues aliases the one-byte-per-row kind column as the entry value
+// slice; sizeof(compiledValue)==1 is part of the layout probe above.
+func castValues(b []byte) []compiledValue {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*compiledValue)(unsafe.Pointer(&b[0])), len(b))
+}
+
+// loadMapped decodes a snapshot in place: the match structure's node
+// arrays and all three entry columns alias data, and the provenance
+// sidecar is served by binary search directly over the mapping — nothing
+// proportional to the row count is copied or even touched, which is what
+// keeps a million-prefix boot under the 10 ms budget. Validation here is
+// what memory safety requires and no more: header checksum, section
+// bounds, and the child/slot structural invariants the lookup walk
+// indexes by (NewFrozen). Entry and sidecar *content* is trusted —
+// a corrupt body that survives the header checks can yield wrong
+// answers, never a panic or an out-of-bounds read (the sidecar
+// accessors bounds-check every file-supplied index; MaskOf clamps any
+// bits value). The full-integrity check lives in ReadTable and
+// `tabletool verify`. The caller owns data's lifetime.
+func loadMapped(data []byte) (*Compiled, error) {
+	if !nativeLittleEndian() || !prefixLayoutMatchesDisk {
+		return nil, errNoZeroCopy
+	}
+	h, err := parseTableHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	children, ok1 := castI32(h.sec[secChildren])
+	slots, ok2 := castI32(h.sec[secSlots])
+	ranks, ok3 := castI16(h.sec[secEntryRank])
+	prefixes, ok4 := castPrefixes(h.sec[secEntryPrefix])
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return nil, errNoZeroCopy
+	}
+	values := castValues(h.sec[secEntryKind])
+	var misaligned bool
+	snap, err := buildSnapTable(h, func(sec int, n int) ([]uint32, error) {
+		u, ok := castU32(h.sec[sec])
+		if !ok {
+			misaligned = true
+			return nil, errNoZeroCopy
+		}
+		return u, nil
+	})
+	if err != nil {
+		if misaligned {
+			return nil, errNoZeroCopy
+		}
+		return nil, err
+	}
+	return assembleCompiled(h, children, slots, prefixes, ranks, values, snap)
+}

@@ -86,6 +86,23 @@ func New(m *bgp.Merged) *Table {
 	return t
 }
 
+// NewStatic wraps an already compiled table — typically one loaded from
+// a snapshot file — as generation 0 of a churn table with no delta
+// compiler behind it. Readers get the same wait-free Load/Lookup
+// surface; Apply is a no-op (the stream has nowhere to patch into), so
+// a snapshot-booted service serves a fixed table until it is restarted
+// with a fresh snapshot or a live feed.
+func NewStatic(c *bgp.Compiled) *Table {
+	t := &Table{}
+	t.cur.Store(c)
+	gaugeGeneration.Set(0)
+	return t
+}
+
+// Static reports whether the table was built by NewStatic and therefore
+// ignores Apply.
+func (t *Table) Static() bool { return t.inc == nil }
+
 // Load returns the current generation. It is wait-free: one atomic
 // pointer load, safe from any number of goroutines, and the returned
 // table remains valid (and immutable) however many swaps follow.
@@ -97,6 +114,21 @@ func (t *Table) Generation() uint64 { return t.gen.Load() }
 // Lookup is shorthand for Load().Lookup — the service hot path.
 func (t *Table) Lookup(addr netutil.Addr) (bgp.Match, bool) {
 	return t.cur.Load().Lookup(addr)
+}
+
+// LookupBatch resolves a whole probe set against one pinned generation:
+// a single Load covers the entire batch, so every result is from the
+// same table even while swaps land mid-batch. It returns the generation
+// the batch ran against along with the matches (dst conventions as in
+// bgp.Compiled.LookupBatch: reused when capacity allows, zero Match =
+// unclusterable).
+func (t *Table) LookupBatch(addrs []netutil.Addr, dst []bgp.Match) ([]bgp.Match, uint64) {
+	// Generation is read before the table: if a swap lands between the
+	// two loads the batch runs against a generation at least as new as
+	// the label, never older — the label is advisory, matching how
+	// clusterd pairs Load() with Generation().
+	gen := t.gen.Load()
+	return t.cur.Load().LookupBatch(addrs, dst), gen
 }
 
 // Apply patches the table with d, publishes the new generation, and
@@ -111,6 +143,11 @@ func (t *Table) Apply(d bgp.Delta) SwapStats {
 // records a "bgp.delta.apply" span and the whole swap a "churn.swap"
 // span.
 func (t *Table) ApplyCtx(ctx context.Context, d bgp.Delta) SwapStats {
+	if t.inc == nil {
+		// Static table (NewStatic): there is no compiler to patch, so the
+		// delta is dropped and the generation stands.
+		return SwapStats{Generation: t.gen.Load()}
+	}
 	sctx, sp := obsv.StartTraceSpan(ctx, "churn.swap")
 	t.mu.Lock()
 	old := t.cur.Load()

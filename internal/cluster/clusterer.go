@@ -14,6 +14,8 @@
 package cluster
 
 import (
+	"sync"
+
 	"github.com/netaware/netcluster/internal/bgp"
 	"github.com/netaware/netcluster/internal/netutil"
 )
@@ -24,6 +26,17 @@ import (
 type Clusterer interface {
 	Cluster(addr netutil.Addr) (prefix netutil.Prefix, ok bool)
 	Name() string
+}
+
+// BatchClusterer is a Clusterer that can resolve many addresses in one
+// call — same answers as per-address Cluster, amortized table walks (see
+// bgp.Compiled.LookupBatch). ClusterBatch fills prefixes[i], ok[i] for
+// addrs[i]; all three slices must have equal length. The parallel
+// clustering engines detect this interface and feed their per-shard
+// client sets through it.
+type BatchClusterer interface {
+	Clusterer
+	ClusterBatch(addrs []netutil.Addr, prefixes []netutil.Prefix, ok []bool)
 }
 
 // NetworkAware clusters through a merged routing table. When Compiled is
@@ -70,6 +83,56 @@ func (n NetworkAware) Cluster(addr netutil.Addr) (netutil.Prefix, bool) {
 		lookupMiss.Inc()
 	}
 	return m.Prefix, ok
+}
+
+// matchBufPool recycles the []bgp.Match staging buffer across
+// ClusterBatch calls, keeping the batch path allocation-free in steady
+// state even with many concurrent engine workers.
+var matchBufPool = sync.Pool{New: func() any { return new([]bgp.Match) }}
+
+// ClusterBatch implements BatchClusterer: one batched table walk for the
+// whole probe set, with the same observability semantics as per-address
+// Cluster — every address counts toward "bgp.lookup.count", misses
+// toward "bgp.lookup.nomatch", and exactly the lookups whose global
+// sequence number crosses a 64-boundary re-run the depth-reporting walk,
+// so the 1-in-64 "bgp.lookup.depth" sampling rate survives batching.
+// Without a compiled table it degrades to the per-address path.
+func (n NetworkAware) ClusterBatch(addrs []netutil.Addr, prefixes []netutil.Prefix, ok []bool) {
+	if n.Compiled == nil {
+		for i, a := range addrs {
+			prefixes[i], ok[i] = n.Cluster(a)
+		}
+		return
+	}
+	if len(addrs) == 0 {
+		return
+	}
+	buf := matchBufPool.Get().(*[]bgp.Match)
+	*buf = n.Compiled.LookupBatch(addrs, *buf)
+	miss := 0
+	for i, m := range *buf {
+		if m.Prefix.IsZero() {
+			prefixes[i] = netutil.Prefix{}
+			ok[i] = false
+			miss++
+			continue
+		}
+		prefixes[i] = m.Prefix
+		ok[i] = true
+	}
+	matchBufPool.Put(buf)
+	base := lookupCount.Add(uint64(len(addrs)))
+	if miss > 0 {
+		lookupMiss.Add(uint64(miss))
+	}
+	// Depth sampling: Cluster samples whenever the running lookup count
+	// hits a multiple of depthSampleMask+1; replay that rule over the
+	// count interval this batch just claimed.
+	prev := base - uint64(len(addrs))
+	for k := (prev/(depthSampleMask+1) + 1) * (depthSampleMask + 1); k <= base; k += depthSampleMask + 1 {
+		_, depth, _ := n.Compiled.LookupDepth(addrs[k-prev-1])
+		lookupDepth.Observe(int64(depth))
+	}
 }
 
 // Name implements Clusterer.

@@ -137,37 +137,11 @@ func ClusterLogParallelCtx(ctx context.Context, l *weblog.Log, c Clusterer, opts
 			wsp.SetAttrInt("hi", int64(hi))
 			local := make([]map[netutil.Addr]*pclient, shards)
 			parts := make(map[netutil.Prefix]*pcluster)
-			total := 0
-			for i := lo; i < hi; i++ {
-				r := &l.Requests[i]
-				if r.Client.IsUnspecified() {
-					continue
-				}
-				total++
-				s := shardOf(r.Client, mask)
-				m := local[s]
-				if m == nil {
-					m = make(map[netutil.Addr]*pclient)
-					local[s] = m
-				}
-				pc := m[r.Client]
-				if pc == nil {
-					p, ok := c.Cluster(r.Client)
-					pc = &pclient{prefix: p, ok: ok, first: i}
-					m[r.Client] = pc
-				}
-				if !pc.ok {
-					continue
-				}
-				pc.count++
-				part := parts[pc.prefix]
-				if part == nil {
-					part = &pcluster{urls: make(map[int32]struct{})}
-					parts[pc.prefix] = part
-				}
-				part.requests++
-				part.bytes += int64(l.Resources[r.URL].Size)
-				part.urls[r.URL] = struct{}{}
+			var total int
+			if bc, isBatch := c.(BatchClusterer); isBatch {
+				total = clusterRangeBatched(l, bc, lo, hi, mask, local, parts)
+			} else {
+				total = clusterRangeSequential(l, c, lo, hi, mask, local, parts)
 			}
 			perWorker[w] = local
 			clustersBy[w] = parts
@@ -293,6 +267,121 @@ func ClusterLogParallelCtx(ctx context.Context, l *weblog.Log, c Clusterer, opts
 // goroutine startup and merge overhead would dominate.
 const minRequestsPerWorker = 1024
 
+// batchResolveLen is how many distinct unresolved clients a worker
+// gathers before one ClusterBatch call. Large enough to amortize the
+// batch kernel's bucketing passes, small enough to stay cache-resident.
+const batchResolveLen = 1024
+
+// clusterRangeSequential is the phase-1 worker loop of
+// ClusterLogParallel: one pass over [lo,hi), resolving each distinct
+// client inline via c.Cluster and accumulating per-client and
+// per-cluster tallies.
+func clusterRangeSequential(l *weblog.Log, c Clusterer, lo, hi int, mask uint32, local []map[netutil.Addr]*pclient, parts map[netutil.Prefix]*pcluster) int {
+	total := 0
+	for i := lo; i < hi; i++ {
+		r := &l.Requests[i]
+		if r.Client.IsUnspecified() {
+			continue
+		}
+		total++
+		s := shardOf(r.Client, mask)
+		m := local[s]
+		if m == nil {
+			m = make(map[netutil.Addr]*pclient)
+			local[s] = m
+		}
+		pc := m[r.Client]
+		if pc == nil {
+			p, ok := c.Cluster(r.Client)
+			pc = &pclient{prefix: p, ok: ok, first: i}
+			m[r.Client] = pc
+		}
+		if !pc.ok {
+			continue
+		}
+		pc.count++
+		part := parts[pc.prefix]
+		if part == nil {
+			part = &pcluster{urls: make(map[int32]struct{})}
+			parts[pc.prefix] = part
+		}
+		part.requests++
+		part.bytes += int64(l.Resources[r.URL].Size)
+		part.urls[r.URL] = struct{}{}
+	}
+	return total
+}
+
+// clusterRangeBatched is the same phase-1 loop restructured around the
+// batch kernel: a discovery pass registers each distinct client once and
+// resolves them in batchResolveLen groups through one ClusterBatch call
+// each, then an accumulation pass tallies requests against the resolved
+// clients. Tallies, first-request indexes and the resulting Result are
+// identical to the sequential loop's — only the lookup cost changes.
+func clusterRangeBatched(l *weblog.Log, bc BatchClusterer, lo, hi int, mask uint32, local []map[netutil.Addr]*pclient, parts map[netutil.Prefix]*pcluster) int {
+	addrs := make([]netutil.Addr, 0, batchResolveLen)
+	pcs := make([]*pclient, 0, batchResolveLen)
+	prefixes := make([]netutil.Prefix, batchResolveLen)
+	oks := make([]bool, batchResolveLen)
+	flush := func() {
+		if len(addrs) == 0 {
+			return
+		}
+		bc.ClusterBatch(addrs, prefixes[:len(addrs)], oks[:len(addrs)])
+		for j, pc := range pcs {
+			pc.prefix, pc.ok = prefixes[j], oks[j]
+		}
+		addrs = addrs[:0]
+		pcs = pcs[:0]
+	}
+
+	total := 0
+	for i := lo; i < hi; i++ {
+		r := &l.Requests[i]
+		if r.Client.IsUnspecified() {
+			continue
+		}
+		total++
+		s := shardOf(r.Client, mask)
+		m := local[s]
+		if m == nil {
+			m = make(map[netutil.Addr]*pclient)
+			local[s] = m
+		}
+		if m[r.Client] == nil {
+			pc := &pclient{first: i}
+			m[r.Client] = pc
+			addrs = append(addrs, r.Client)
+			pcs = append(pcs, pc)
+			if len(addrs) == batchResolveLen {
+				flush()
+			}
+		}
+	}
+	flush()
+
+	for i := lo; i < hi; i++ {
+		r := &l.Requests[i]
+		if r.Client.IsUnspecified() {
+			continue
+		}
+		pc := local[shardOf(r.Client, mask)][r.Client]
+		if !pc.ok {
+			continue
+		}
+		pc.count++
+		part := parts[pc.prefix]
+		if part == nil {
+			part = &pcluster{urls: make(map[int32]struct{})}
+			parts[pc.prefix] = part
+		}
+		part.requests++
+		part.bytes += int64(l.Resources[r.URL].Size)
+		part.urls[r.URL] = struct{}{}
+	}
+	return total
+}
+
 // streamRec is the per-line payload the stream dispatcher hands a shard
 // worker: everything clustering needs, nothing it does not.
 type streamRec struct {
@@ -302,6 +391,12 @@ type streamRec struct {
 }
 
 const streamBatchLen = 512
+
+// streamPendingMark is the placeholder a stream worker stores in byClient
+// between discovering a new client and batch-resolving it — distinct from
+// nil (resolved unclusterable) and from any real cluster. It never
+// survives past the resolve step of the batch that created it.
+var streamPendingMark = &StreamCluster{}
 
 // ClusterStreamParallel is ClusterStream with the accumulation sharded
 // across opts.Workers goroutines: one reader parses the CLF stream (the
@@ -351,9 +446,63 @@ func ClusterStreamParallelCtx(ctx context.Context, r io.Reader, c Clusterer, opt
 			_, wsp := obsv.StartTraceSpan(pctx, "cluster.stream.parallel.shard")
 			wsp.SetAttrInt("worker", int64(w))
 			wrecords, wbatches := 0, 0
+			bc, isBatch := c.(BatchClusterer)
+			var pend []netutil.Addr
+			var prefixes []netutil.Prefix
+			var oks []bool
+			if isBatch {
+				pend = make([]netutil.Addr, 0, streamBatchLen)
+				prefixes = make([]netutil.Prefix, streamBatchLen)
+				oks = make([]bool, streamBatchLen)
+			}
 			for batch := range ch {
 				wbatches++
 				wrecords += len(batch)
+				if isBatch {
+					// Discovery pass: mark each client unseen so far in this
+					// delivery as pending, resolve them all with one batched
+					// lookup, then accumulate. Identical outcome to the
+					// per-record path below — clusters are keyed by prefix and
+					// tallies are order-independent.
+					pend = pend[:0]
+					for _, rec := range batch {
+						if _, seen := st.byClient[rec.client]; !seen {
+							st.byClient[rec.client] = streamPendingMark
+							pend = append(pend, rec.client)
+						}
+					}
+					if len(pend) > 0 {
+						bc.ClusterBatch(pend, prefixes[:len(pend)], oks[:len(pend)])
+						for j, a := range pend {
+							if !oks[j] {
+								st.unclustered[a] = struct{}{}
+								st.byClient[a] = nil
+								continue
+							}
+							cl := st.clusters[prefixes[j]]
+							if cl == nil {
+								cl = &StreamCluster{
+									Prefix:  prefixes[j],
+									Clients: make(map[netutil.Addr]int),
+									urls:    make(map[int32]struct{}),
+								}
+								st.clusters[prefixes[j]] = cl
+							}
+							st.byClient[a] = cl
+						}
+					}
+					for _, rec := range batch {
+						cl := st.byClient[rec.client]
+						if cl == nil {
+							continue
+						}
+						cl.Clients[rec.client]++
+						cl.Requests++
+						cl.Bytes += int64(rec.size)
+						cl.urls[rec.url] = struct{}{}
+					}
+					continue
+				}
 				for _, rec := range batch {
 					cl, seen := st.byClient[rec.client]
 					if !seen {

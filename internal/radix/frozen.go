@@ -1,6 +1,8 @@
 package radix
 
 import (
+	"sync"
+
 	"github.com/netaware/netcluster/internal/netutil"
 )
 
@@ -23,6 +25,12 @@ type Frozen[V any] struct {
 	ranks    []int16
 	values   []V
 	size     int
+	// packed is the batch kernel's derived slot array — see
+	// frozen_batch.go. Built lazily on the first LookupBatch (packOnce
+	// publishes it to concurrent callers); nil until then, so sequential
+	// lookups and snapshot loads never pay for it.
+	packOnce sync.Once
+	packed   []int64
 }
 
 // Freeze flattens the table. The Multibit remains usable; the Frozen form

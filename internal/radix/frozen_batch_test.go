@@ -1,0 +1,192 @@
+package radix
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// batchFixture builds a random ranked table plus a probe set that covers
+// every /0–/32 boundary address around the inserted prefixes — the same
+// decision-flipping address family the sequential property test uses —
+// padded with uniform random interior probes.
+func batchFixture(rng *rand.Rand, nPrefixes, nRandom int) (*Frozen[int], []netutil.Addr) {
+	mb := NewMultibit[int]()
+	inserted := make([]netutil.Prefix, 0, nPrefixes)
+	for i := 0; i < nPrefixes; i++ {
+		bits := rng.Intn(33)
+		addr := netutil.Addr(rng.Uint32()) & netutil.Addr(netutil.MaskOf(bits))
+		p := netutil.PrefixFrom(addr, bits)
+		rank := bits
+		if rng.Intn(2) == 0 {
+			rank += 64
+		}
+		mb.InsertRanked(p, rng.Int(), rank)
+		inserted = append(inserted, p)
+	}
+	var probes []netutil.Addr
+	for _, p := range inserted {
+		for bits := 0; bits <= 32; bits++ {
+			q := netutil.PrefixFrom(p.Addr()&netutil.Addr(netutil.MaskOf(bits)), bits)
+			probes = append(probes, q.First(), q.Last(), q.First()-1, q.Last()+1)
+		}
+	}
+	for i := 0; i < nRandom; i++ {
+		probes = append(probes, netutil.Addr(rng.Uint32()))
+	}
+	rng.Shuffle(len(probes), func(i, j int) { probes[i], probes[j] = probes[j], probes[i] })
+	return mb.Freeze(), probes
+}
+
+// TestLookupBatchMatchesSequential is the batch kernel's equivalence
+// property: for random ranked tables, LookupBatch must return for every
+// probe exactly the entry row the sequential Lookup resolves to —
+// including miss (-1), rank ties, and boundary addresses at every
+// prefix length.
+func TestLookupBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	var dst []int32
+	for trial := 0; trial < 20; trial++ {
+		f, probes := batchFixture(rng, 1+rng.Intn(200), 500)
+		dst = f.LookupBatch(probes, dst)
+		if len(dst) != len(probes) {
+			t.Fatalf("trial %d: got %d rows for %d probes", trial, len(dst), len(probes))
+		}
+		for i, a := range probes {
+			wp, wv, wok := f.Lookup(a)
+			if row := dst[i]; row < 0 {
+				if wok {
+					t.Fatalf("trial %d: batch missed %v, sequential matched %v", trial, a, wp)
+				}
+			} else {
+				gp, gv := f.Entry(row)
+				if !wok || gp != wp || gv != wv {
+					t.Fatalf("trial %d: batch(%v) = %v %d, sequential = %v %d ok=%v",
+						trial, a, gp, gv, wp, wv, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestLookupBatchEdgeShapes covers the shapes the main property test can
+// under-sample: empty batches, a single probe, all probes identical, a
+// batch with every probe in one first-byte bucket, and a table whose
+// only entry is the default route.
+func TestLookupBatchEdgeShapes(t *testing.T) {
+	mb := NewMultibit[int]()
+	mb.InsertRanked(netutil.PrefixFrom(0, 0), 7, 64)
+	mb.InsertRanked(netutil.PrefixFrom(netutil.AddrFrom4(10, 0, 0, 0), 8), 8, 64+8)
+	mb.InsertRanked(netutil.PrefixFrom(netutil.AddrFrom4(10, 1, 0, 0), 16), 16, 64+16)
+	mb.InsertRanked(netutil.PrefixFrom(netutil.AddrFrom4(10, 1, 2, 0), 24), 24, 64+24)
+	mb.InsertRanked(netutil.PrefixFrom(netutil.AddrFrom4(10, 1, 2, 3), 32), 32, 64+32)
+	f := mb.Freeze()
+
+	check := func(name string, probes []netutil.Addr) {
+		t.Helper()
+		rows := f.LookupBatch(probes, nil)
+		for i, a := range probes {
+			wp, _, wok := f.Lookup(a)
+			if row := rows[i]; row < 0 {
+				if wok {
+					t.Fatalf("%s: probe %v: batch miss, sequential %v", name, a, wp)
+				}
+			} else if gp, _ := f.Entry(row); !wok || gp != wp {
+				t.Fatalf("%s: probe %v: batch %v, sequential %v ok=%v", name, a, gp, wp, wok)
+			}
+		}
+	}
+
+	check("empty", nil)
+	check("single", []netutil.Addr{netutil.AddrFrom4(10, 1, 2, 3)})
+	same := make([]netutil.Addr, 100)
+	for i := range same {
+		same[i] = netutil.AddrFrom4(10, 1, 2, 3)
+	}
+	check("identical", same)
+	oneBucket := make([]netutil.Addr, 256)
+	for i := range oneBucket {
+		oneBucket[i] = netutil.AddrFrom4(10, 1, 2, byte(i))
+	}
+	check("one-bucket", oneBucket)
+
+	// Default-route-only table: every probe matches at level 0 with no
+	// descent, exercising the walk's earliest exit exclusively.
+	mb2 := NewMultibit[int]()
+	mb2.InsertRanked(netutil.PrefixFrom(0, 0), 1, 64)
+	f2 := mb2.Freeze()
+	rows := f2.LookupBatch(oneBucket, nil)
+	for i := range rows {
+		if rows[i] < 0 {
+			t.Fatalf("default-route table: probe %d missed", i)
+		}
+	}
+}
+
+// TestLookupBatchReusesDst asserts the zero-allocation contract: with a
+// big-enough dst, repeated batches neither allocate (the packed array
+// is built once, on the first call) nor reallocate the result slice.
+func TestLookupBatchReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f, probes := batchFixture(rng, 100, 1000)
+	dst := f.LookupBatch(probes, nil)
+	allocs := testing.AllocsPerRun(20, func() {
+		out := f.LookupBatch(probes, dst)
+		if &out[0] != &dst[0] {
+			t.Fatal("dst was reallocated despite sufficient capacity")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("reuse path allocated %.1f times per batch, want 0", allocs)
+	}
+}
+
+// TestNewFrozenValidates exercises the structural validation that keeps
+// a corrupt snapshot from becoming a panicking table.
+func TestNewFrozenValidates(t *testing.T) {
+	mb := NewMultibit[int]()
+	mb.InsertRanked(netutil.PrefixFrom(netutil.AddrFrom4(10, 0, 0, 0), 8), 1, 64+8)
+	mb.InsertRanked(netutil.PrefixFrom(netutil.AddrFrom4(10, 1, 0, 0), 16), 2, 64+16)
+	f := mb.Freeze()
+	children, slots, prefixes, ranks, values, size := f.Raw()
+
+	if g, err := NewFrozen(children, slots, prefixes, ranks, values, size); err != nil {
+		t.Fatalf("valid arrays rejected: %v", err)
+	} else {
+		a := netutil.AddrFrom4(10, 1, 2, 3)
+		gp, gv, gok := g.Lookup(a)
+		wp, wv, wok := f.Lookup(a)
+		if gok != wok || gp != wp || gv != wv {
+			t.Fatalf("rebuilt table disagrees: %v %d %v vs %v %d %v", gp, gv, gok, wp, wv, wok)
+		}
+	}
+
+	corrupt := func(name string, mutate func(c, s []int32) ([]int32, []int32, int)) {
+		t.Helper()
+		c := append([]int32(nil), children...)
+		s := append([]int32(nil), slots...)
+		c2, s2, sz := mutate(c, s)
+		if _, err := NewFrozen(c2, s2, prefixes, ranks, values, sz); err == nil {
+			t.Fatalf("%s: corrupt arrays accepted", name)
+		}
+	}
+	corrupt("child-out-of-range", func(c, s []int32) ([]int32, []int32, int) {
+		c[0] = int32(len(c) / 256)
+		return c, s, size
+	})
+	corrupt("child-backward", func(c, s []int32) ([]int32, []int32, int) {
+		c[257] = 1 // node 1 pointing at itself: cycle
+		return c, s, size
+	})
+	corrupt("slot-out-of-range", func(c, s []int32) ([]int32, []int32, int) {
+		s[0] = int32(len(prefixes))
+		return c, s, size
+	})
+	corrupt("misaligned", func(c, s []int32) ([]int32, []int32, int) {
+		return c[:255], s[:255], size
+	})
+	corrupt("negative-size", func(c, s []int32) ([]int32, []int32, int) {
+		return c, s, -1
+	})
+}

@@ -103,6 +103,40 @@ func NewTable() *Table { return bgp.NewMerged() }
 // populated.
 type CompiledTable = bgp.Compiled
 
+// TableMatch is one longest-prefix-match answer from a CompiledTable:
+// the winning prefix and which source class supplied it. The zero
+// TableMatch (Prefix.IsZero()) means no prefix covered the address.
+type TableMatch = bgp.Match
+
+// Table snapshots: the versioned, checksummed on-disk form of a
+// CompiledTable. Save once (or with `tabletool compile`), then boot any
+// process from the file — OpenTable maps it zero-copy where the platform
+// allows and falls back to a validated copying load elsewhere, and
+// clusterd's -table-snapshot flag serves straight from one.
+type TableFile = bgp.TableFile
+
+// SaveTable atomically writes c's snapshot to path.
+func SaveTable(path string, c *CompiledTable) error { return bgp.SaveTable(path, c) }
+
+// OpenTable opens a table snapshot, preferring the zero-copy mmap load.
+// Close the returned TableFile when the table is no longer referenced.
+func OpenTable(path string) (*TableFile, error) { return bgp.OpenTable(path) }
+
+// MarshalTable serializes c to its snapshot wire form. Output is
+// deterministic: the same compiled table always marshals to the same
+// bytes.
+func MarshalTable(c *CompiledTable) ([]byte, error) { return bgp.MarshalTable(c) }
+
+// ReadTable decodes a marshaled snapshot with full checksum and
+// structural validation; corrupt or version-skewed input returns an
+// error, never a panic.
+func ReadTable(data []byte) (*CompiledTable, error) { return bgp.ReadTable(data) }
+
+// NewStaticChurnTable wraps a snapshot-loaded CompiledTable as a
+// generation-0 ChurnTable with no delta stream behind it — the
+// serving surface of a snapshot-booted service.
+func NewStaticChurnTable(c *CompiledTable) *ChurnTable { return churn.NewStatic(c) }
+
 // Online churn: a long-running table that absorbs BGP announce/withdraw
 // deltas without recompiling, publishing each new generation RCU-style
 // (immutable CompiledTable snapshots behind an atomic pointer). This is
@@ -166,6 +200,11 @@ func WriteLog(w io.Writer, l *Log) error { return weblog.WriteCLF(w, l) }
 type (
 	// Clusterer assigns a client address to its cluster prefix.
 	Clusterer = cluster.Clusterer
+	// BatchClusterer resolves many addresses in one call with the same
+	// answers as per-address Cluster; the parallel engines detect it and
+	// route their per-shard client sets through the batch lookup kernel.
+	// NetworkAware implements it.
+	BatchClusterer = cluster.BatchClusterer
 	// NetworkAware is the paper's method: longest-prefix match against a
 	// merged routing table.
 	NetworkAware = cluster.NetworkAware

@@ -97,6 +97,11 @@ func TestInstrumentationOverheadBudget(t *testing.T) {
 	}{
 		// Compiled.Lookup itself: instrumented nowhere, on purpose.
 		{"BenchmarkLongestPrefixMatchCompiled", 0, 0, 0, 0},
+		// The batch lookup kernel: like the single-probe walk it carries
+		// zero instrumentation ops — counting and 1-in-64 depth sampling
+		// are replayed by the memoized cluster layer (ClusterBatch), never
+		// inside the kernel, so batching cannot tax the per-address cost.
+		{"BenchmarkLookupBatch", 0, 0, 0, 0},
 		// StreamCLF: one parseTally flush (fast+strict+bytes counters)
 		// and one "weblog.stream" trace span wrapping the whole pass.
 		{"BenchmarkCLFParseStream", 3, 0, 0, 1},
