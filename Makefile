@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the full pre-merge gate:
 # vet + race-enabled tests (including the chaos suite and the
-# parallel/sequential equivalence tests) + a short smoke run of the
-# performance benchmarks. The chaos suite (root-level TestChaos*) runs
+# parallel/sequential equivalence tests) + the sharded-cluster
+# verification lane + a short smoke run of the performance benchmarks. The chaos suite (root-level TestChaos*) runs
 # live wire exchanges under injected faults and takes several seconds;
 # `make test-short` skips it via -short.
 
@@ -10,7 +10,7 @@ GO ?= go
 # Benchmarks of the compiled lookup table, batch lookup kernel, snapshot
 # loader, parallel clustering engines and CLF fast path; bench-json
 # freezes their numbers into BENCH_clustering.json.
-PERF_BENCH = LongestPrefixMatch|LookupBatch|SnapshotLoad|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF|Churn
+PERF_BENCH = LongestPrefixMatch|LookupBatch|SnapshotLoad|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF|Churn|RouterFanout|RouterSingleShard|DeltaBroadcast
 
 # Every fuzz target in the tree, as pkg-dir:FuzzName pairs. fuzz-smoke
 # runs each for FUZZTIME so corpus-breaking regressions (and fresh
@@ -28,7 +28,7 @@ FUZZTIME ?= 20s
 # Advisory statement-coverage floor for the cover target.
 COVER_MIN ?= 70
 
-.PHONY: all build test test-short race vet fmt fmt-check chaos chaos-smoke bench-json bench-gate bench-smoke snapshot-smoke trace-smoke fuzz-smoke cover check clean
+.PHONY: all build test test-short race vet fmt fmt-check chaos chaos-smoke cluster-smoke bench-json bench-gate bench-smoke snapshot-smoke trace-smoke fuzz-smoke cover check clean
 
 all: build
 
@@ -68,6 +68,17 @@ chaos-smoke:
 	@mkdir -p bin/chaos-artifacts
 	SINK_CHAOS_ARTIFACTS=$(CURDIR)/bin/chaos-artifacts \
 		$(GO) test -count=1 -race -run 'TestSinkChaos' -v ./internal/obsv/sink
+
+# The sharded-cluster acceptance suite: a 3-node in-process cluster
+# (compiler feed + follower shards + router over real loopback HTTP)
+# proven byte-equivalent to the single-node table across 100 churn
+# generations, plus kill-one-node degradation and warm-start rejoin,
+# all under -race. On failure the flight-recorder tail lands in
+# bin/cluster-artifacts (CLUSTER_SMOKE_ARTIFACTS) for CI to upload.
+cluster-smoke:
+	@mkdir -p bin/cluster-artifacts
+	CLUSTER_SMOKE_ARTIFACTS=$(CURDIR)/bin/cluster-artifacts \
+		$(GO) test -count=1 -race -run 'TestCluster' -v ./internal/shard
 
 # Record lookup/cluster/parse benchmark results machine-readably. The
 # bench run and the JSON conversion are separate steps on an intermediate
@@ -142,7 +153,7 @@ trace-smoke:
 	./bin/experiments -scale 0.02 -trace-out bin/trace.json perf
 	./bin/tracecheck bin/trace.json
 
-check: vet fmt-check race chaos-smoke bench-smoke
+check: vet fmt-check race chaos-smoke cluster-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,7 @@ import (
 	"github.com/netaware/netcluster/internal/detect"
 	"github.com/netaware/netcluster/internal/netutil"
 	"github.com/netaware/netcluster/internal/radix"
+	"github.com/netaware/netcluster/internal/shard"
 	"github.com/netaware/netcluster/internal/stats"
 	"github.com/netaware/netcluster/internal/tracesim"
 	"github.com/netaware/netcluster/internal/validate"
@@ -698,5 +699,89 @@ func BenchmarkChurnLookup(b *testing.B) {
 			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 			b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
 		})
+	}
+}
+
+// ---- Sharded cluster benchmarks (internal/shard) ---------------------------
+
+var (
+	shardOnce      sync.Once
+	shardCluster   *shard.Cluster
+	shardErr       error
+	shardMixed     []netutil.Addr // spread across all three shards
+	shardFirstOnly []netutil.Addr // all owned by shard 0
+)
+
+// shardSetup stands up one in-process 3-shard cluster (compiler feed,
+// three follower nodes, router — real HTTP on loopback) shared by every
+// router/feed benchmark, plus two probe sets: one spread across the
+// shard map and one confined to shard 0.
+func shardSetup(b testing.TB) {
+	shardOnce.Do(func() {
+		shardCluster, shardErr = shard.NewCluster(shard.ClusterConfig{Shards: 3})
+		if shardErr != nil {
+			return
+		}
+		rng := rand.New(rand.NewSource(99))
+		firstMax := uint32(shardCluster.Map.Shards[0].LastBlock) + 1
+		for i := 0; i < 4096; i++ {
+			shardMixed = append(shardMixed, netutil.Addr(rng.Uint32()))
+			shardFirstOnly = append(shardFirstOnly, netutil.Addr(
+				rng.Uint32()%(firstMax<<24)))
+		}
+	})
+	if shardErr != nil {
+		b.Fatalf("shard cluster: %v", shardErr)
+	}
+}
+
+// BenchmarkRouterFanout measures a routed batch spread across all three
+// shards: group, three concurrent shard POSTs, merge back into input
+// order. The ns/addr metric is the router's per-address overhead.
+func BenchmarkRouterFanout(b *testing.B) {
+	shardSetup(b)
+	const batch = 512
+	addrs := shardMixed[:batch]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := shardCluster.Router.Batch(addrs)
+		if len(resp.Degradation) != 0 {
+			b.Fatalf("degraded: %v", resp.Degradation)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/addr")
+}
+
+// BenchmarkRouterSingleShard is the same batch size confined to one
+// shard — the no-parallelism baseline. benchdiff's -min-shard-scaling
+// gate is the ratio of this bench's ns/op to BenchmarkRouterFanout's:
+// fanning out must not cost more than the floor says.
+func BenchmarkRouterSingleShard(b *testing.B) {
+	shardSetup(b)
+	const batch = 512
+	addrs := shardFirstOnly[:batch]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := shardCluster.Router.Batch(addrs)
+		if len(resp.Degradation) != 0 {
+			b.Fatalf("degraded: %v", resp.Degradation)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/addr")
+}
+
+// BenchmarkDeltaBroadcast measures one full delta distribution round:
+// the compiler sequences and applies a churn delta, and every follower
+// fetches and applies it over HTTP until the whole cluster stands at
+// the new generation.
+func BenchmarkDeltaBroadcast(b *testing.B) {
+	shardSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := shardCluster.Step(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

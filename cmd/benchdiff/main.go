@@ -12,8 +12,11 @@
 // When the fresh recording carries both the single-probe compiled bench
 // and the batch kernel bench, -min-batch-speedup additionally enforces
 // the kernel's raison d'être: per-address batch cost at least that many
-// times cheaper than a single-probe loop. `make bench-gate` wires this
-// up; CI runs it as a non-blocking job because single-run timings on
+// times cheaper than a single-probe loop. Likewise -min-shard-scaling
+// bounds the router's fan-out overhead against the single-shard
+// baseline when both router benches are present. `make bench-gate`
+// wires this up; CI runs it as a non-blocking job because single-run
+// timings on
 // shared runners are noisy — the committed-machine numbers in
 // BENCH_clustering.json remain the authoritative record.
 package main
@@ -31,10 +34,12 @@ func main() {
 	oldPath := flag.String("old", "BENCH_clustering.json", "baseline recording")
 	newPath := flag.String("new", "", "fresh recording to compare (required)")
 	threshold := flag.Float64("threshold", 0.25, "max allowed fractional regression on gated rows")
-	gate := flag.String("gate", "^Benchmark(LongestPrefixMatchCompiled|CLFParseStream|LookupBatch|SnapshotLoad)$",
+	gate := flag.String("gate", "^Benchmark(LongestPrefixMatchCompiled|CLFParseStream|LookupBatch|SnapshotLoad|RouterFanout|DeltaBroadcast)$",
 		"regexp of benchmark names whose regressions fail the gate")
 	minBatchSpeedup := flag.Float64("min-batch-speedup", 3,
 		"minimum single-probe-ns / batch-ns-per-address ratio in the fresh recording (0 disables)")
+	minShardScaling := flag.Float64("min-shard-scaling", 0.3,
+		"minimum single-shard-ns / fanned-out-ns ratio for an equal-size routed batch in the fresh recording (0 disables); >1 means fan-out wins, the floor bounds its worst-case overhead")
 	flag.Parse()
 
 	if *newPath == "" {
@@ -100,6 +105,19 @@ func main() {
 			if ratio < *minBatchSpeedup {
 				failed++
 				fmt.Println("FAIL: batch kernel below required aggregate speedup")
+			}
+		}
+	}
+	if *minShardScaling > 0 {
+		single, ok1 := newRec.Find("BenchmarkRouterSingleShard")
+		fanout, ok2 := newRec.Find("BenchmarkRouterFanout")
+		if ok1 && ok2 && fanout.NsPerOp > 0 {
+			ratio := single.NsPerOp / fanout.NsPerOp
+			fmt.Printf("\nrouter fan-out scaling: %.2fx the single-shard batch cost (floor %.2fx)\n",
+				ratio, *minShardScaling)
+			if ratio < *minShardScaling {
+				failed++
+				fmt.Println("FAIL: routed fan-out costs more than the allowed multiple of a single-shard batch")
 			}
 		}
 	}

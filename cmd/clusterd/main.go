@@ -18,6 +18,8 @@
 //	GET  /debug/config               live config generation + sink status
 //	GET  /metrics, /debug/...        obsv debug surface (Prometheus
 //	                                 text, expvar, pprof, flight trace)
+//	GET  /feed/deltas, /feed/snapshot, /feed/status
+//	                                 delta distribution (with -feed-serve)
 //
 // The batch endpoint is admission-controlled: at most max-inflight
 // batches run concurrently; beyond that clusterd answers 503 with
@@ -45,6 +47,24 @@
 // Churn is synthetic: the same bgpsim world that seeds the table also
 // drives a bursty announce/withdraw schedule (-churn-every, -mean-batch,
 // -burstiness), so a deployment-shaped soak run needs no external feed.
+//
+// Cluster roles. A clusterd can also be one node of a sharded cluster
+// (internal/shard, cmd/clusterrouter):
+//
+//   - Compiler node: -feed-serve assigns every churn delta a sequence
+//     number and publishes it at /feed/ (deltas, catch-up snapshot,
+//     status), so follower nodes advance generation-for-generation in
+//     lockstep with this table.
+//   - Shard node: -feed http://compiler:8349 follows that stream
+//     instead of churning locally; -shard-index/-shard-count restrict
+//     the local table to the node's slice of the /8 shard map.
+//
+// A -table-snapshot boot is a warm start, not a frozen table: the
+// snapshot's .meta sidecar (written by tabletool compile and by
+// -snapshot-out on drain) records the stream position, the compiler is
+// rebuilt around the loaded table, and the node either rejoins the
+// delta feed from that position (-feed) or resumes local synthetic
+// churn over the snapshot's own BGP prefixes.
 package main
 
 import (
@@ -72,6 +92,7 @@ import (
 	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/obsv/sink"
 	"github.com/netaware/netcluster/internal/report"
+	"github.com/netaware/netcluster/internal/shard"
 )
 
 var (
@@ -94,24 +115,6 @@ type server struct {
 	sinks    *sink.Manager
 }
 
-type lookupResult struct {
-	Addr       string `json:"addr"`
-	Clustered  bool   `json:"clustered"`
-	Prefix     string `json:"prefix,omitempty"`
-	Kind       string `json:"kind,omitempty"`
-	Generation uint64 `json:"generation"`
-}
-
-func (s *server) resolve(c *bgp.Compiled, gen uint64, addr netutil.Addr) lookupResult {
-	res := lookupResult{Addr: addr.String(), Generation: gen}
-	if m, ok := c.Lookup(addr); ok {
-		res.Clustered = true
-		res.Prefix = m.Prefix.String()
-		res.Kind = m.Kind.String()
-	}
-	return res
-}
-
 func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("addr")
 	addr, err := netutil.ParseAddr(q)
@@ -120,7 +123,9 @@ func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res := s.resolve(s.table.Load(), s.table.Generation(), addr)
+	gen := s.table.Generation()
+	m, _ := s.table.Load().Lookup(addr)
+	res := shard.ResolveMatch(addr, m, gen)
 	lookupNS.Observe(time.Since(start).Nanoseconds())
 	lookupCount.Inc()
 	w.Header().Set("Content-Type", "application/json")
@@ -183,22 +188,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	matches := table.LookupBatch(addrs, nil)
-	results := make([]lookupResult, len(addrs))
+	resp := shard.BatchResponse{Generation: gen, Results: make([]shard.LookupResult, len(addrs))}
 	for i, addr := range addrs {
-		res := lookupResult{Addr: addr.String(), Generation: gen}
-		if m := matches[i]; !m.Prefix.IsZero() {
-			res.Clustered = true
-			res.Prefix = m.Prefix.String()
-			res.Kind = m.Kind.String()
-		}
-		results[i] = res
+		resp.Results[i] = shard.ResolveMatch(addr, matches[i], gen)
 	}
-	batchAddrs.Add(uint64(len(results)))
+	batchAddrs.Add(uint64(len(resp.Results)))
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
-		Generation uint64         `json:"generation"`
-		Results    []lookupResult `json:"results"`
-	}{gen, results})
+	json.NewEncoder(w).Encode(resp)
 }
 
 // handleHealthz is liveness: the process is up and the table is
@@ -285,7 +281,13 @@ func main() {
 	maxBody := flag.Int64("max-body", 8<<20, "request body cap in bytes for /cluster")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests and sink flush on shutdown")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on shutdown")
-	tableSnapshot := flag.String("table-snapshot", "", "boot the prefix table from a compiled snapshot file (see tabletool compile) instead of generating a synthetic world; the table is static, so churn is disabled")
+	tableSnapshot := flag.String("table-snapshot", "", "warm-start the prefix table from a compiled snapshot file (see tabletool compile) instead of generating a synthetic world; the .meta sidecar restores the generation/stream position and the table keeps absorbing deltas")
+	snapshotOut := flag.String("snapshot-out", "", "write the final table + .meta sidecar to this file on shutdown, ready for a -table-snapshot warm start")
+	feedServe := flag.Bool("feed-serve", false, "publish this node's churn deltas at /feed/ (compiler node of a sharded cluster)")
+	feedURL := flag.String("feed", "", "follow a compiler node's delta feed at this base URL instead of churning locally (shard/replica node)")
+	feedPoll := flag.Duration("feed-poll", shard.DefaultPollEvery, "delta-fetch cadence when following a feed")
+	shardIndex := flag.Int("shard-index", 0, "this node's shard id in the cluster map (with -shard-count)")
+	shardCount := flag.Int("shard-count", 0, "total shards in the cluster map; restricts the local table to this node's /8 range (0: keep the full table)")
 	configPath := flag.String("config", "", "watched JSON config file; its keys override flags and hot-reload")
 	configPoll := flag.Duration("config-poll", 2*time.Second, "poll interval for -config changes")
 	sinkDir := flag.String("sink-dir", "", "directory for push-sink WALs (default: <tmp>/clusterd-sinks)")
@@ -297,26 +299,86 @@ func main() {
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
+	// keep restricts the local table to this node's shard range when the
+	// shard flags are set; nil keeps the full table.
+	var keep func(p netutil.Prefix) bool
+	if *shardCount > 0 {
+		if *shardIndex < 0 || *shardIndex >= *shardCount {
+			fatal(fmt.Errorf("-shard-index %d out of range for -shard-count %d", *shardIndex, *shardCount))
+		}
+		keep = shard.NewMap(*shardCount).Keep(*shardIndex)
+		fmt.Fprintf(os.Stderr, "clusterd: shard %d/%d of the /8 map\n", *shardIndex, *shardCount)
+	}
+	if *feedServe && *feedURL != "" {
+		fatal(fmt.Errorf("-feed-serve and -feed are mutually exclusive (no relay tier)"))
+	}
+
 	var (
-		table *churn.Table
-		coll  *bgpsim.Collection // nil when booted from a snapshot
+		table    *churn.Table
+		follower *shard.Follower // non-nil when following a feed
+		universe *bgp.Snapshot   // local-churn universe; nil in follower mode
+		logf     = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	)
-	if *tableSnapshot != "" {
+	switch {
+	case *feedURL != "" && *tableSnapshot != "":
+		// Warm start from disk, then rejoin the stream from the sidecar's
+		// position — a stale snapshot costs one resync, never a wrong table.
 		tf, err := bgp.OpenTable(*tableSnapshot)
 		if err != nil {
 			fatal(fmt.Errorf("table snapshot %s: %w", *tableSnapshot, err))
 		}
-		defer tf.Close()
-		table = churn.NewStatic(tf.Table())
+		meta, ok, err := bgp.LoadTableMeta(*tableSnapshot)
+		if err != nil {
+			fatal(fmt.Errorf("table snapshot %s: %w", *tableSnapshot, err))
+		}
+		if !ok {
+			logf("clusterd: no .meta sidecar for %s, rejoining from seq 0 (expect a resync)", *tableSnapshot)
+		}
+		follower = shard.RejoinFromSnapshot(*feedURL, nil, tf.Table(), meta, keep)
+		if err := tf.Close(); err != nil { // the rebuild copied everything
+			fatal(err)
+		}
+		table = follower.Table
+		logf("clusterd: warm start from %s at generation %d (stream seq %d), following feed %s",
+			*tableSnapshot, meta.Generation, meta.Seq, *feedURL)
+	case *feedURL != "":
+		// Cold join: seed from the feed's catch-up snapshot.
+		fl, err := shard.Join(*feedURL, nil, keep)
+		if err != nil {
+			fatal(fmt.Errorf("feed join %s: %w", *feedURL, err))
+		}
+		follower = fl
+		table = follower.Table
+		logf("clusterd: joined feed %s at seq %d", *feedURL, follower.Seq())
+	case *tableSnapshot != "":
+		// Warm start with no upstream: rebuild the compiler around the
+		// snapshot and keep churning locally over its own BGP prefixes.
+		tf, err := bgp.OpenTable(*tableSnapshot)
+		if err != nil {
+			fatal(fmt.Errorf("table snapshot %s: %w", *tableSnapshot, err))
+		}
+		meta, ok, err := bgp.LoadTableMeta(*tableSnapshot)
+		if err != nil {
+			fatal(fmt.Errorf("table snapshot %s: %w", *tableSnapshot, err))
+		}
 		mode := "copied"
 		if tf.Mapped() {
 			mode = "mmapped"
 		}
+		table = churn.NewFromCompiled(tf.Table(), keep, meta.Generation)
+		universe = bgp.UniverseOf(tf.Table(), "snapshot-churn")
+		if err := tf.Close(); err != nil { // the rebuild copied everything
+			fatal(err)
+		}
 		c0 := table.Load()
-		fmt.Fprintf(os.Stderr, "clusterd: table snapshot %s (%s): %s BGP + %s registry prefixes, %s nodes\n",
-			*tableSnapshot, mode,
+		sidecar := fmt.Sprintf("generation %d", meta.Generation)
+		if !ok {
+			sidecar = "no sidecar, generation 0"
+		}
+		fmt.Fprintf(os.Stderr, "clusterd: table snapshot %s (%s, %s): %s BGP + %s registry prefixes, %s nodes\n",
+			*tableSnapshot, mode, sidecar,
 			report.FmtInt(c0.NumPrimary()), report.FmtInt(c0.NumSecondary()), report.FmtInt(c0.NumNodes()))
-	} else {
+	default:
 		wcfg := inet.DefaultConfig()
 		wcfg.NumASes = *ases
 		wcfg.Seed = *seed
@@ -327,8 +389,22 @@ func main() {
 		scfg := bgpsim.DefaultConfig()
 		scfg.Seed = *seed
 		sim := bgpsim.New(world, scfg)
-		coll = sim.Collect()
-		table = churn.New(bgpsim.Merge(coll))
+		coll := sim.Collect()
+		merged := bgpsim.Merge(coll)
+		// The churn universe is the union of every BGP vantage's entries;
+		// the registry (secondary) prefixes stay static, as the paper's
+		// network dumps did across its testing periods.
+		universe = &bgp.Snapshot{Name: "bgpsim-churn", Kind: bgp.SourceBGP}
+		for _, v := range coll.Views {
+			universe.Entries = append(universe.Entries, v.Entries...)
+		}
+		if keep == nil {
+			table = churn.New(merged)
+		} else {
+			// Sharded but self-churning (mostly a test rig): compile the
+			// full world, then cut the table down to the owned range.
+			table = churn.NewFromCompiled(bgp.NewIncremental(merged).Compiled(), keep, 0)
+		}
 		c0 := table.Load()
 		fmt.Fprintf(os.Stderr, "clusterd: table generation 0: %s BGP + %s registry prefixes, %s nodes\n",
 			report.FmtInt(c0.NumPrimary()), report.FmtInt(c0.NumSecondary()), report.FmtInt(c0.NumNodes()))
@@ -348,7 +424,6 @@ func main() {
 	}
 	s.tun.Store(&flagTun)
 
-	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	if *sinkDir == "" {
 		*sinkDir = os.TempDir() + "/clusterd-sinks"
 	}
@@ -386,18 +461,21 @@ func main() {
 
 	churnCtx, stopChurn := context.WithCancel(context.Background())
 	churnDone := make(chan struct{})
-	if table.Static() {
-		// Snapshot-booted tables have no delta compiler behind them; the
-		// service serves generation 0 until restarted with a new snapshot.
-		fmt.Fprintln(os.Stderr, "clusterd: snapshot-booted table is static, churn disabled")
-		close(churnDone)
-	} else {
-		// The churn universe is the union of every BGP vantage's entries; the
-		// registry (secondary) prefixes stay static, as the paper's network
-		// dumps did across its testing periods.
-		universe := &bgp.Snapshot{Name: "bgpsim-churn", Kind: bgp.SourceBGP}
-		for _, v := range coll.Views {
-			universe.Entries = append(universe.Entries, v.Entries...)
+	var feed *shard.Feed // non-nil with -feed-serve
+	switch {
+	case follower != nil:
+		// Follower mode: the delta stream replaces local churn. Run polls
+		// until drain, resyncing through partitions and log-retention gaps.
+		follower.PollEvery = *feedPoll
+		follower.Logf = logf
+		go func() {
+			defer close(churnDone)
+			follower.Run(churnCtx)
+		}()
+	default:
+		if *feedServe {
+			feed = shard.NewFeed(table, 0)
+			logf("clusterd: serving delta feed at %s (head seq %d)", shard.DeltasPath, feed.Head())
 		}
 		ccfg := bgpsim.DefaultChurnConfig()
 		ccfg.Seed = *seed
@@ -424,7 +502,15 @@ func main() {
 				if every <= 0 {
 					continue
 				}
-				st := table.Apply(gen.Next())
+				// A compiler node publishes through the feed so the delta is
+				// sequenced and retained for followers before anything else
+				// observes the new generation.
+				var st churn.SwapStats
+				if feed != nil {
+					st, _ = feed.Apply(gen.Next())
+				} else {
+					st = table.Apply(gen.Next())
+				}
 				fmt.Fprintf(os.Stderr,
 					"clusterd: swap gen %d: +%d -%d ops; stability: %d carryover %d splits %d merges %d moved %d gained %d lost\n",
 					st.Generation, st.Announced, st.Withdrawn,
@@ -439,6 +525,12 @@ func main() {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/config", s.handleDebugConfig)
+	if feed != nil {
+		fh := feed.Handler()
+		mux.Handle(shard.DeltasPath, fh)
+		mux.Handle(shard.SnapshotPath, fh)
+		mux.Handle(shard.StatusPath, fh)
+	}
 	debug := obsv.DebugHandler()
 	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/", debug)
@@ -499,6 +591,25 @@ loop:
 	}
 	if err := s.sinks.Close(dctx); err != nil {
 		fmt.Fprintf(os.Stderr, "clusterd: sink flush: %v\n", err)
+	}
+	if *snapshotOut != "" {
+		// Churn is stopped and requests are drained, so this is the final
+		// table; the sidecar records where in the stream it stands so the
+		// next boot warm-starts instead of recompiling the world.
+		seq := table.Generation()
+		if follower != nil {
+			seq = follower.Seq()
+		} else if feed != nil {
+			seq = feed.Head()
+		}
+		if err := bgp.SaveTable(*snapshotOut, table.Load()); err != nil {
+			fatal(fmt.Errorf("table snapshot: %w", err))
+		}
+		if err := bgp.SaveTableMeta(*snapshotOut, bgp.TableMeta{Generation: table.Generation(), Seq: seq}); err != nil {
+			fatal(fmt.Errorf("table snapshot sidecar: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "clusterd: table snapshot written to %s (generation %d, seq %d)\n",
+			*snapshotOut, table.Generation(), seq)
 	}
 	if *metricsOut != "" {
 		if err := obsv.WriteFile(*metricsOut); err != nil {

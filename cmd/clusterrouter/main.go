@@ -1,0 +1,128 @@
+// Command clusterrouter fronts a sharded clusterd deployment: it owns
+// the versioned /8 shard map, fans batch clustering requests out to the
+// shard nodes, and merges the answers back into input order. One router
+// plus N shard clusterds (each running with -feed and -shard-index)
+// serves the same wire format as a single clusterd, so clients migrate
+// by repointing a URL.
+//
+//	clusterrouter -addr 127.0.0.1:8350 \
+//	    -shards http://127.0.0.1:8361,http://127.0.0.1:8362,http://127.0.0.1:8363
+//
+// Endpoints:
+//
+//	POST /cluster    fan-out batch; results in input order, Degradation
+//	                 map when shards are down (partial, never wrong)
+//	GET  /lookup     single-address proxy to the owning shard
+//	GET  /shardmap   the live shard map (version, block ranges, addrs)
+//	GET  /healthz    fan-out probe; 200 with a degraded report
+//	GET  /metrics, /debug/...  obsv debug surface
+//
+// Failure is partial by design: a dead shard costs only its own rows,
+// which come back with an Error annotation and a zero answer, and the
+// batch reports the outage in its Degradation map instead of failing.
+// SIGTERM/SIGINT drain in-flight fan-outs before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/netaware/netcluster/internal/obsv"
+	"github.com/netaware/netcluster/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8350", "listen address (use :0 to pick a free port)")
+	shards := flag.String("shards", "", "comma-separated shard node base URLs, in shard-id order (required)")
+	timeout := flag.Duration("timeout", shard.DefaultRouterTimeout, "per-shard request budget within a batch")
+	maxBatch := flag.Int("max-batch", shard.DefaultMaxBatch, "addresses per routed /cluster batch")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight fan-outs on shutdown")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on shutdown")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fatal(fmt.Errorf("-shards is required: comma-separated shard node URLs"))
+	}
+
+	// The shard map is derived from the node count: shard i owns its
+	// equal slice of the 256 /8 blocks, same as the nodes' own
+	// -shard-index/-shard-count flags derive theirs.
+	m := shard.NewMap(len(urls))
+	for i := range m.Shards {
+		m.Shards[i].Addr = urls[i]
+	}
+	rt, err := shard.NewRouter(shard.RouterConfig{
+		Map:      m,
+		Timeout:  *timeout,
+		MaxBatch: *maxBatch,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range m.Shards {
+		fmt.Fprintf(os.Stderr, "clusterrouter: shard %d: blocks %d-%d -> %s\n",
+			s.ID, s.FirstBlock, s.LastBlock, s.Addr)
+	}
+
+	mux := http.NewServeMux()
+	rh := rt.Handler()
+	mux.Handle("/cluster", rh)
+	mux.Handle("/lookup", rh)
+	mux.Handle("/shardmap", rh)
+	mux.Handle("/healthz", rh)
+	debug := obsv.DebugHandler()
+	mux.Handle("/metrics", debug)
+	mux.Handle("/debug/", debug)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "clusterrouter: serving on http://%s (%d shards, map version %d)\n",
+		ln.Addr(), m.NumShards(), m.Version)
+
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "clusterrouter: %v, draining\n", sig)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterrouter: drain: %v\n", err)
+	}
+	if *metricsOut != "" {
+		if err := obsv.WriteFile(*metricsOut); err != nil {
+			fatal(fmt.Errorf("metrics snapshot: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "clusterrouter: metrics snapshot written to %s\n", *metricsOut)
+	}
+	fmt.Fprintln(os.Stderr, "clusterrouter: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "clusterrouter: %v\n", err)
+	os.Exit(1)
+}

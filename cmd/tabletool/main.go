@@ -186,6 +186,11 @@ func cmdCompile(args []string) {
 	if err := bgp.SaveTable(*out, c); err != nil {
 		fatal(err)
 	}
+	// A fresh compile stands at the start of the delta stream; the sidecar
+	// lets clusterd -table-snapshot warm-start at the right position.
+	if err := bgp.SaveTableMeta(*out, bgp.TableMeta{}); err != nil {
+		fatal(err)
+	}
 	st, err := os.Stat(*out)
 	if err != nil {
 		fatal(err)

@@ -257,7 +257,7 @@ func validateSnapTable(h *tableHeader, s *snapTable) error {
 		if s.class[i] > 1 || s.recKind[i] > 1 {
 			return fmt.Errorf("table snapshot: provenance row %d: unknown class/kind", i)
 		}
-		if i > 0 && !provRowLess(s.addr[i-1], s.bits[i-1], s.addr[i], s.bits[i]) {
+		if i > 0 && !provRowOrdered(s.addr[i-1], s.bits[i-1], s.class[i-1], s.addr[i], s.bits[i], s.class[i]) {
 			return fmt.Errorf("table snapshot: provenance rows %d/%d out of order", i-1, i)
 		}
 	}
@@ -287,6 +287,14 @@ func validateSnapTable(h *tableHeader, s *snapTable) error {
 
 func provRowLess(a1 uint32, b1 byte, a2 uint32, b2 byte) bool {
 	return a1 < a2 || (a1 == a2 && b1 < b2)
+}
+
+// provRowOrdered is the strict row order of the provenance section:
+// (addr, bits, class) ascending. Class is the tiebreak — a dual-class
+// prefix stores two rows, primary first, so find()'s first hit is the
+// primary record.
+func provRowOrdered(a1 uint32, b1, c1 byte, a2 uint32, b2, c2 byte) bool {
+	return provRowLess(a1, b1, a2, b2) || (a1 == a2 && b1 == b2 && c1 < c2)
 }
 
 // assembleCompiled finishes either load path once the arrays exist.
@@ -496,20 +504,20 @@ type provRow struct {
 }
 
 // provRowsOf flattens c's provenance store — whichever backend it has —
-// into the shadowed single-row-per-prefix view, sorted by (addr, bits).
+// into one row per (prefix, class), sorted by (addr, bits, class). A
+// prefix present in both source classes yields two adjacent rows with
+// the primary first, so exact-prefix queries (which take the first hit)
+// keep the prefer-primary semantics while a warm start can reconstruct
+// the full per-class entry set — including secondary entries shadowed
+// by a same-prefix primary, which a single-row view would lose.
 func provRowsOf(c *Compiled) []provRow {
 	var rows []provRow
 	switch {
 	case c.inc != nil:
 		c.inc.mu.RLock()
-		seen := make(map[netutil.Prefix]struct{}, len(c.inc.prov[0]))
-		for p, pv := range c.inc.prov[0] {
-			seen[p] = struct{}{}
-			rows = append(rows, provRow{p, 0, pv.Kind, pv.OriginAS, pv.Sources})
-		}
-		for p, pv := range c.inc.prov[1] {
-			if _, shadowed := seen[p]; !shadowed {
-				rows = append(rows, provRow{p, 1, pv.Kind, pv.OriginAS, pv.Sources})
+		for class := byte(0); class <= 1; class++ {
+			for p, pv := range c.inc.prov[class] {
+				rows = append(rows, provRow{p, class, pv.Kind, pv.OriginAS, pv.Sources})
 			}
 		}
 		c.inc.mu.RUnlock()
@@ -536,8 +544,8 @@ func provRowsOf(c *Compiled) []provRow {
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool {
-		return provRowLess(uint32(rows[i].p.Addr()), byte(rows[i].p.Bits()),
-			uint32(rows[j].p.Addr()), byte(rows[j].p.Bits()))
+		return provRowOrdered(uint32(rows[i].p.Addr()), byte(rows[i].p.Bits()), rows[i].class,
+			uint32(rows[j].p.Addr()), byte(rows[j].p.Bits()), rows[j].class)
 	})
 	return rows
 }

@@ -1,0 +1,71 @@
+package bgp
+
+import (
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/radix"
+)
+
+// Warm start: rebuilding a *mutable* incremental compiler from an
+// *immutable* Compiled table — the inverse of publish(). This is what
+// lets a snapshot-booted clusterd rejoin the delta stream instead of
+// serving a frozen generation forever, and what lets a joining shard
+// node seed itself from a feed snapshot and then follow deltas.
+
+// NewIncrementalFromCompiled seeds an incremental compiler with the
+// contents of c, optionally restricted to the prefixes keep accepts
+// (keep == nil retains everything — the full-table warm start; a shard
+// node passes its range predicate).
+//
+// The rebuild runs off c's provenance rows — one row per (prefix,
+// class), the complete per-class membership — and re-inserts each the
+// way NewIncremental does, so the rebuilt compiler is behaviorally
+// identical to the one that produced c: lookups match, and so does
+// every future delta's effect, including a withdraw un-shadowing a
+// same-prefix secondary entry. Everything is copied, so c may alias a
+// memory-mapped snapshot file that the caller closes afterwards.
+func NewIncrementalFromCompiled(c *Compiled, keep func(netutil.Prefix) bool) *Incremental {
+	inc := &Incremental{dyn: radix.NewDynamic[compiledValue]()}
+	inc.prov[0] = make(map[netutil.Prefix]*Provenance)
+	inc.prov[1] = make(map[netutil.Prefix]*Provenance)
+	for _, r := range provRowsOf(c) {
+		if keep != nil && !keep(r.p) {
+			continue
+		}
+		inc.prov[r.class][r.p] = &Provenance{
+			Sources:  append([]string(nil), r.sources...),
+			Kind:     r.kind,
+			OriginAS: r.originAS,
+		}
+		if r.p.Bits() > 0 {
+			k := SourceBGP
+			if r.class == 1 {
+				k = SourceNetworkDump
+			}
+			inc.dyn.InsertRanked(r.p, compiledValue{kind: k}, rankFor(k, r.p.Bits()))
+		}
+	}
+	return inc
+}
+
+// UniverseOf extracts the primary-class (BGP) prefixes of c as a
+// snapshot — the churn universe a warm-started clusterd synthesizes
+// deltas over when it has a snapshot file but no upstream feed. The
+// registry (secondary) prefixes are excluded, matching the live-service
+// convention that network-dump entries stay static across a run.
+func UniverseOf(c *Compiled, name string) *Snapshot {
+	s := &Snapshot{Name: name, Kind: SourceBGP}
+	for _, r := range provRowsOf(c) {
+		if r.class != 0 || r.p.Bits() == 0 {
+			continue
+		}
+		s.Entries = append(s.Entries, Entry{Prefix: r.p, ASPath: asPathFor(r.originAS)})
+	}
+	return s
+}
+
+func asPathFor(origin uint32) []uint32 {
+	if origin == 0 {
+		return nil
+	}
+	return []uint32{origin}
+}

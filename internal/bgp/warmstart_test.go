@@ -1,0 +1,146 @@
+package bgp
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// warmProbes spans the test world: covered by BGP, covered only by the
+// dump, multiply covered, and uncovered addresses.
+var warmProbes = []string{
+	"12.65.147.94", "12.1.2.3", "10.1.2.3", "24.48.3.87", "24.99.1.1",
+	"99.99.99.99", "10.255.0.1", "12.65.159.255",
+}
+
+func warmSeed() *Incremental {
+	m := NewMerged()
+	m.Add(snap("ARIN", SourceNetworkDump, "12.0.0.0/8", "24.0.0.0/8", "10.1.0.0/16"))
+	m.Add(snap("AADS", SourceBGP, "12.65.128.0/19", "10.0.0.0/8"))
+	m.Add(snap("MAE", SourceBGP, "12.65.128.0/19", "24.48.2.0/23"))
+	return NewIncremental(m)
+}
+
+func sameLookups(t *testing.T, want, got *Compiled, label string) {
+	t.Helper()
+	for _, ip := range warmProbes {
+		a := netutil.MustParseAddr(ip)
+		wm, wok := want.Lookup(a)
+		gm, gok := got.Lookup(a)
+		if wok != gok || wm != gm {
+			t.Errorf("%s: Lookup(%s) = (%+v,%v), want (%+v,%v)", label, ip, gm, gok, wm, wok)
+		}
+	}
+}
+
+func TestWarmStartMatchesOriginal(t *testing.T) {
+	inc := warmSeed()
+	c := inc.Apply(Delta{Source: "feed", Ops: []Op{
+		{Kind: SourceBGP, Entry: Entry{Prefix: netutil.MustParsePrefix("10.255.0.0/16"), ASPath: []uint32{7018}}},
+		{Withdraw: true, Kind: SourceBGP, Entry: Entry{Prefix: netutil.MustParsePrefix("24.48.2.0/23")}},
+	}})
+
+	warm := NewIncrementalFromCompiled(c, nil)
+	sameLookups(t, c, warm.Compiled(), "rebuilt")
+	if warm.Compiled().Len() != c.Len() {
+		t.Fatalf("rebuilt Len = %d, want %d", warm.Compiled().Len(), c.Len())
+	}
+
+	// The rebuilt compiler must keep absorbing deltas exactly like the
+	// original — that is the whole point of a warm start.
+	d := Delta{Source: "feed", Ops: []Op{
+		{Kind: SourceBGP, Entry: Entry{Prefix: netutil.MustParsePrefix("99.0.0.0/10")}},
+		{Withdraw: true, Kind: SourceBGP, Entry: Entry{Prefix: netutil.MustParsePrefix("10.255.0.0/16")}},
+	}}
+	sameLookups(t, inc.Apply(d), warm.Apply(d), "after shared delta")
+}
+
+func TestWarmStartKeepsProvenance(t *testing.T) {
+	inc := warmSeed()
+	c := inc.Compiled()
+	warm := NewIncrementalFromCompiled(c, nil).Compiled()
+
+	p := netutil.MustParsePrefix("12.65.128.0/19")
+	orig, ok1 := c.Provenance(p)
+	got, ok2 := warm.Provenance(p)
+	if !ok1 || !ok2 {
+		t.Fatalf("provenance present: orig %v, warm %v", ok1, ok2)
+	}
+	if len(got.Sources) != len(orig.Sources) || got.OriginAS != orig.OriginAS || got.Kind != orig.Kind {
+		t.Fatalf("provenance = %+v, want %+v", got, orig)
+	}
+}
+
+func TestWarmStartFiltered(t *testing.T) {
+	inc := warmSeed()
+	c := inc.Compiled()
+	keep := func(p netutil.Prefix) bool {
+		return p.First() >= netutil.MustParseAddr("12.0.0.0") && p.First() <= netutil.MustParseAddr("12.255.255.255")
+	}
+	warm := NewIncrementalFromCompiled(c, keep).Compiled()
+
+	if m, ok := warm.Lookup(netutil.MustParseAddr("12.65.147.94")); !ok || m.Prefix.String() != "12.65.128.0/19" {
+		t.Fatalf("kept range lookup = %+v %v", m, ok)
+	}
+	if m, ok := warm.Lookup(netutil.MustParseAddr("10.1.2.3")); ok {
+		t.Fatalf("filtered range still matches: %+v", m)
+	}
+}
+
+func TestWarmStartFromSnapshotFile(t *testing.T) {
+	inc := warmSeed()
+	c := inc.Apply(Delta{Source: "feed", Ops: []Op{
+		{Kind: SourceBGP, Entry: Entry{Prefix: netutil.MustParsePrefix("99.128.0.0/9"), ASPath: []uint32{64512}}},
+	}})
+
+	path := filepath.Join(t.TempDir(), "warm.nct")
+	if err := SaveTable(path, c); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := OpenTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewIncrementalFromCompiled(tf.Table(), nil)
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The source mapping is closed: every access below must be a copy.
+	sameLookups(t, c, warm.Compiled(), "from closed snapshot")
+	next := warm.Apply(Delta{Ops: []Op{
+		{Withdraw: true, Kind: SourceBGP, Entry: Entry{Prefix: netutil.MustParsePrefix("99.128.0.0/9")}},
+	}})
+	if _, ok := next.Lookup(netutil.MustParseAddr("99.200.0.1")); ok {
+		t.Fatal("withdraw after warm start did not take")
+	}
+}
+
+func TestUniverseOf(t *testing.T) {
+	inc := warmSeed()
+	c := inc.Apply(Delta{Source: "feed", Ops: []Op{
+		{Kind: SourceBGP, Entry: Entry{Prefix: netutil.MustParsePrefix("10.255.0.0/16"), ASPath: []uint32{7018}}},
+	}})
+	u := UniverseOf(c, "test-universe")
+	if u.Kind != SourceBGP || u.Name != "test-universe" {
+		t.Fatalf("universe header = %q/%v", u.Name, u.Kind)
+	}
+	byPrefix := make(map[string]Entry)
+	for _, e := range u.Entries {
+		byPrefix[e.Prefix.String()] = e
+	}
+	// Only BGP-class prefixes belong in the churn universe.
+	for _, want := range []string{"12.65.128.0/19", "10.0.0.0/8", "24.48.2.0/23", "10.255.0.0/16"} {
+		if _, ok := byPrefix[want]; !ok {
+			t.Errorf("universe missing BGP prefix %s", want)
+		}
+	}
+	for _, dump := range []string{"12.0.0.0/8", "24.0.0.0/8", "10.1.0.0/16"} {
+		if _, ok := byPrefix[dump]; ok {
+			t.Errorf("universe includes dump-class prefix %s", dump)
+		}
+	}
+	if e := byPrefix["10.255.0.0/16"]; len(e.ASPath) != 1 || e.ASPath[0] != 7018 {
+		t.Errorf("origin AS not carried into universe: %+v", e)
+	}
+}

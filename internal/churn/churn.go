@@ -99,6 +99,37 @@ func NewStatic(c *bgp.Compiled) *Table {
 	return t
 }
 
+// NewFromCompiled warm-starts a churn table from an immutable compiled
+// table — one loaded from a snapshot file or received from a delta
+// feed's catch-up endpoint — publishing it as generation gen with a live
+// compiler behind it, so the table keeps absorbing deltas from wherever
+// the snapshot left off. keep optionally restricts the rebuild to the
+// prefixes a shard node owns (nil retains everything).
+func NewFromCompiled(c *bgp.Compiled, keep func(netutil.Prefix) bool, gen uint64) *Table {
+	t := &Table{inc: bgp.NewIncrementalFromCompiled(c, keep)}
+	t.cur.Store(t.inc.Compiled())
+	t.gen.Store(gen)
+	gaugeGeneration.Set(int64(gen))
+	return t
+}
+
+// Reseed replaces the table's entire contents and generation in one
+// publication — the delta-stream resync path, taken when a follower has
+// fallen further behind than the feed's retained log and must restart
+// from a fresh snapshot. Readers pinned to earlier generations finish
+// against them undisturbed, exactly as with Apply's swaps; the published
+// generation may move backward or jump forward, matching the snapshot's
+// position in the stream.
+func (t *Table) Reseed(c *bgp.Compiled, keep func(netutil.Prefix) bool, gen uint64) {
+	inc := bgp.NewIncrementalFromCompiled(c, keep)
+	t.mu.Lock()
+	t.inc = inc
+	t.cur.Store(inc.Compiled())
+	t.gen.Store(gen)
+	t.mu.Unlock()
+	gaugeGeneration.Set(int64(gen))
+}
+
 // Static reports whether the table was built by NewStatic and therefore
 // ignores Apply.
 func (t *Table) Static() bool { return t.inc == nil }

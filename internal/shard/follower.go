@@ -1,0 +1,226 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/churn"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/obsv"
+)
+
+var (
+	followerApplied  = obsv.C("shard.follower.applied")
+	followerFiltered = obsv.C("shard.follower.filtered_ops")
+	followerResyncs  = obsv.C("shard.follower.resyncs")
+	followerErrors   = obsv.C("shard.follower.errors")
+	followerLag      = obsv.G("shard.follower.lag")
+)
+
+// DefaultPollEvery is the follower's delta-fetch cadence when the
+// caller doesn't set one.
+const DefaultPollEvery = 200 * time.Millisecond
+
+// Follower tails a Feed over HTTP and keeps a local churn.Table in
+// lockstep: every published delta advances the local generation by
+// exactly one, filtered down to the shard's owned range when Keep is
+// set, so generation N here answers byte-identically (over owned
+// addresses) to generation N on the compiler node.
+type Follower struct {
+	Base   string                           // feed base URL, e.g. "http://127.0.0.1:9090"
+	Client *http.Client                     // nil = http.DefaultClient
+	Table  *churn.Table                     // local table; seeded by Join
+	Keep   func(netutil.Prefix) bool        // nil = keep everything
+	Logf   func(format string, args ...any) // nil = silent
+
+	PollEvery time.Duration // Run's fetch cadence; 0 = DefaultPollEvery
+	MaxFetch  int           // per-fetch delta cap; 0 = server default
+
+	seq uint64 // last applied sequence number
+}
+
+// Join seeds a follower from the feed's snapshot endpoint: it downloads
+// the catch-up snapshot, warm-starts a churn table at the snapshot's
+// stream position (filtered to keep's range), and returns a Follower
+// ready to Step.
+func Join(base string, client *http.Client, keep func(netutil.Prefix) bool) (*Follower, error) {
+	f := &Follower{Base: base, Client: client, Keep: keep}
+	if err := f.resync(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// RejoinFromSnapshot builds a follower warm-started from a saved table
+// snapshot instead of the feed's snapshot endpoint: c is the loaded
+// .nct table and meta its sidecar position. The follower resumes the
+// stream at meta.Seq; if that has already fallen off the feed's
+// retained log, the first Step resyncs from the live snapshot — so a
+// stale snapshot costs one extra download, never a wrong table.
+func RejoinFromSnapshot(base string, client *http.Client, c *bgp.Compiled, meta bgp.TableMeta, keep func(netutil.Prefix) bool) *Follower {
+	return &Follower{
+		Base:   base,
+		Client: client,
+		Keep:   keep,
+		Table:  churn.NewFromCompiled(c, keep, meta.Generation),
+		seq:    meta.Seq,
+	}
+}
+
+// Seq returns the last applied sequence number.
+func (f *Follower) Seq() uint64 { return f.seq }
+
+func (f *Follower) client() *http.Client {
+	if f.Client != nil {
+		return f.Client
+	}
+	return http.DefaultClient
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.Logf != nil {
+		f.Logf(format, args...)
+	}
+}
+
+// resync (re)seeds the local table from the feed snapshot — the join
+// path, and the recovery path when the follower has fallen off the
+// feed's retained log (410 Gone).
+func (f *Follower) resync() error {
+	resp, err := f.client().Get(f.Base + SnapshotPath)
+	if err != nil {
+		return fmt.Errorf("feed snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("feed snapshot: %s", resp.Status)
+	}
+	seq, err := strconv.ParseUint(resp.Header.Get(SeqHeader), 10, 64)
+	if err != nil {
+		return fmt.Errorf("feed snapshot: bad %s header: %w", SeqHeader, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("feed snapshot: %w", err)
+	}
+	c, err := bgp.ReadTable(data)
+	if err != nil {
+		return fmt.Errorf("feed snapshot: %w", err)
+	}
+	if f.Table == nil {
+		f.Table = churn.NewFromCompiled(c, f.Keep, seq)
+	} else {
+		f.Table.Reseed(c, f.Keep, seq)
+		followerResyncs.Inc()
+	}
+	f.seq = seq
+	f.logf("shard follower: seeded from snapshot at seq %d", seq)
+	return nil
+}
+
+// Step fetches and applies one round of deltas, returning how many it
+// applied. A 410 Gone (fallen off the retained log) triggers an
+// automatic snapshot resync; a sequence gap inside a response — which a
+// correct feed never produces — is treated the same way rather than
+// leaving the table silently diverged. Zero applied with nil error
+// means caught up.
+func (f *Follower) Step(ctx context.Context) (int, error) {
+	url := fmt.Sprintf("%s%s?from=%d", f.Base, DeltasPath, f.seq)
+	if f.MaxFetch > 0 {
+		url += fmt.Sprintf("&max=%d", f.MaxFetch)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		followerErrors.Inc()
+		return 0, fmt.Errorf("feed deltas: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, resp.Body)
+		f.logf("shard follower: seq %d fell off the feed log, resyncing", f.seq)
+		return 0, f.resync()
+	default:
+		followerErrors.Inc()
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("feed deltas: %s", resp.Status)
+	}
+	var dr DeltaResponse
+	if err := decodeJSONBody(resp.Body, &dr); err != nil {
+		followerErrors.Inc()
+		return 0, fmt.Errorf("feed deltas: %w", err)
+	}
+	applied := 0
+	for _, wd := range dr.Deltas {
+		if wd.Seq != f.seq+1 {
+			f.logf("shard follower: sequence gap (have %d, got %d), resyncing", f.seq, wd.Seq)
+			return applied, f.resync()
+		}
+		d, err := DecodeDelta(wd)
+		if err != nil {
+			followerErrors.Inc()
+			return applied, err
+		}
+		kept := d
+		if f.Keep != nil {
+			kept = FilterDelta(f.Keep, d)
+			followerFiltered.Add(uint64(len(d.Ops) - len(kept.Ops)))
+		}
+		st := f.Table.Apply(kept)
+		if st.Generation != wd.Seq {
+			// Lockstep broken locally (a table this follower doesn't own
+			// the write side of); resync rather than drift.
+			f.logf("shard follower: generation %d != seq %d, resyncing", st.Generation, wd.Seq)
+			return applied, f.resync()
+		}
+		f.seq = wd.Seq
+		applied++
+		followerApplied.Inc()
+	}
+	followerLag.Set(int64(dr.Head - f.seq))
+	return applied, nil
+}
+
+// Run polls the feed until ctx is done, resyncing through transient
+// errors. Fetch errors are logged and retried on the next tick —
+// partitions heal; a follower that exits on the first dropped
+// connection doesn't.
+func (f *Follower) Run(ctx context.Context) {
+	every := f.PollEvery
+	if every <= 0 {
+		every = DefaultPollEvery
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		// Drain until caught up so one slow tick doesn't leave a burst
+		// half-applied behind a caught-up generation label.
+		for {
+			n, err := f.Step(ctx)
+			if err != nil {
+				if ctx.Err() == nil {
+					f.logf("shard follower: %v", err)
+				}
+				break
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+}

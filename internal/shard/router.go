@@ -1,0 +1,280 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/obsv"
+)
+
+var (
+	routerBatches   = obsv.C("shard.router.batches")
+	routerAddrs     = obsv.C("shard.router.addrs")
+	routerShardErrs = obsv.C("shard.router.shard_errors")
+	routerDegraded  = obsv.C("shard.router.degraded_batches")
+	routerFanoutNS  = obsv.H("shard.router.fanout.ns")
+)
+
+// DefaultRouterTimeout bounds one shard's portion of a routed batch.
+const DefaultRouterTimeout = 5 * time.Second
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	Map      *Map          // validated shard map with Addr filled in
+	Client   *http.Client  // nil = http.DefaultClient
+	Timeout  time.Duration // per-shard request budget; 0 = DefaultRouterTimeout
+	MaxBatch int           // addresses per routed batch; 0 = DefaultMaxBatch
+}
+
+// Router fans batch clustering requests out across the shard map and
+// merges the answers back into input order. Failure is partial by
+// design: a dead shard costs only its own rows, which come back with an
+// Error annotation, and the batch as a whole reports the outage in the
+// Degradation map instead of failing. That inverts the single-node
+// contract — where any error failed the whole batch — because in a
+// cluster the common failure is one node, not all of them.
+type Router struct {
+	cfg RouterConfig
+}
+
+// NewRouter validates the map and returns a router over it.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("shard router: nil map")
+	}
+	if err := cfg.Map.Validate(); err != nil {
+		return nil, err
+	}
+	for _, s := range cfg.Map.Shards {
+		if s.Addr == "" {
+			return nil, fmt.Errorf("shard router: shard %d has no addr", s.ID)
+		}
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultRouterTimeout
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	return &Router{cfg: cfg}, nil
+}
+
+// Map returns the router's shard map.
+func (rt *Router) Map() *Map { return rt.cfg.Map }
+
+// Handler returns the router's mux: POST /cluster (fan-out batch),
+// GET /lookup (single-address proxy), GET /shardmap (the live map),
+// GET /healthz (fan-out probe).
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster", rt.handleBatch)
+	mux.HandleFunc("/lookup", rt.handleLookup)
+	mux.HandleFunc("/shardmap", rt.handleShardMap)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	return mux
+}
+
+// Batch routes one probe batch: group by shard, one concurrent POST
+// /cluster per non-empty shard, scatter the answers back into input
+// order. Always returns a response; per-shard failures are recorded in
+// it, never escalated.
+func (rt *Router) Batch(addrs []netutil.Addr) *RouterBatchResponse {
+	m := rt.cfg.Map
+	start := time.Now()
+	_, span := obsv.StartTraceSpan(context.Background(), "router.batch")
+
+	groups := m.Group(addrs)
+	resp := &RouterBatchResponse{
+		MapVersion: m.Version,
+		Results:    make([]RouterResult, len(addrs)),
+	}
+
+	var wg sync.WaitGroup
+	reports := make([]ShardReport, len(groups))
+	for sid, idxs := range groups {
+		reports[sid] = ShardReport{ID: sid, Addr: m.Shards[sid].Addr, Addrs: len(idxs)}
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sid int, idxs []int) {
+			defer wg.Done()
+			br, err := rt.shardBatch(m.Shards[sid].Addr, addrs, idxs)
+			if err != nil {
+				routerShardErrs.Inc()
+				reports[sid].Error = err.Error()
+				for _, i := range idxs {
+					resp.Results[i] = RouterResult{
+						LookupResult: LookupResult{Addr: addrs[i].String()},
+						Shard:        sid,
+						Error:        err.Error(),
+					}
+				}
+				return
+			}
+			reports[sid].Generation = br.Generation
+			for k, i := range idxs {
+				resp.Results[i] = RouterResult{LookupResult: br.Results[k], Shard: sid}
+			}
+		}(sid, idxs)
+	}
+	wg.Wait()
+
+	for _, rep := range reports {
+		if rep.Error != "" {
+			if resp.Degradation == nil {
+				resp.Degradation = make(map[string]string)
+			}
+			resp.Degradation[strconv.Itoa(rep.ID)] = rep.Error
+		} else if rep.Generation > resp.Generation {
+			resp.Generation = rep.Generation
+		}
+	}
+	resp.Shards = reports
+
+	routerBatches.Inc()
+	routerAddrs.Add(uint64(len(addrs)))
+	if len(resp.Degradation) > 0 {
+		routerDegraded.Inc()
+	}
+	routerFanoutNS.Observe(time.Since(start).Nanoseconds())
+	span.SetAttrInt("addrs", int64(len(addrs)))
+	span.SetAttrInt("degraded_shards", int64(len(resp.Degradation)))
+	span.End()
+	return resp
+}
+
+// shardBatch sends one shard its contiguous probe slice and validates
+// the response shape (one result per address, input order).
+func (rt *Router) shardBatch(base string, addrs []netutil.Addr, idxs []int) (*BatchResponse, error) {
+	var body bytes.Buffer
+	for _, i := range idxs {
+		body.WriteString(addrs[i].String())
+		body.WriteByte('\n')
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/cluster", &body)
+	if err != nil {
+		return nil, err
+	}
+	client := rt.cfg.Client
+	if rt.cfg.Timeout > 0 {
+		c := *client
+		c.Timeout = rt.cfg.Timeout
+		client = &c
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var br BatchResponse
+	if err := decodeJSONBody(resp.Body, &br); err != nil {
+		return nil, err
+	}
+	if len(br.Results) != len(idxs) {
+		return nil, fmt.Errorf("shard returned %d results for %d addresses", len(br.Results), len(idxs))
+	}
+	return &br, nil
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an address list", http.StatusMethodNotAllowed)
+		return
+	}
+	addrs, err := ParseAddrList(r.Body, rt.cfg.MaxBatch)
+	if err != nil {
+		status := http.StatusBadRequest
+		if err == errBatchTooLarge {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	resp := rt.Batch(addrs)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleLookup proxies a single-address lookup to its owning shard.
+func (rt *Router) handleLookup(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("addr")
+	addr, err := netutil.ParseAddr(q)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad addr %q: %v", q, err), http.StatusBadRequest)
+		return
+	}
+	sid := rt.cfg.Map.ShardFor(addr)
+	resp := rt.Batch([]netutil.Addr{addr})
+	res := resp.Results[0]
+	if res.Error != "" {
+		http.Error(w, fmt.Sprintf("shard %d: %s", sid, res.Error), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+func (rt *Router) handleShardMap(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rt.cfg.Map)
+}
+
+// handleHealthz probes every shard's /healthz; the router is healthy
+// when it is up, and reports which shards are not.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	m := rt.cfg.Map
+	type probe struct {
+		id  int
+		err error
+	}
+	ch := make(chan probe, len(m.Shards))
+	for _, s := range m.Shards {
+		go func(s Info) {
+			c := *rt.cfg.Client
+			c.Timeout = rt.cfg.Timeout
+			resp, err := c.Get(s.Addr + "/healthz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("%s", resp.Status)
+				}
+			}
+			ch <- probe{s.ID, err}
+		}(s)
+	}
+	var down []string
+	for range m.Shards {
+		p := <-ch
+		if p.err != nil {
+			down = append(down, fmt.Sprintf("shard %d: %v", p.id, p.err))
+		}
+	}
+	sort.Strings(down)
+	if len(down) > 0 {
+		w.WriteHeader(http.StatusOK) // router itself is healthy; degraded cluster
+		fmt.Fprintf(w, "degraded (%d/%d shards down)\n", len(down), len(m.Shards))
+		for _, d := range down {
+			fmt.Fprintln(w, d)
+		}
+		return
+	}
+	fmt.Fprintf(w, "ok shards=%d map_version=%d\n", len(m.Shards), m.Version)
+}

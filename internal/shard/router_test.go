@@ -1,0 +1,225 @@
+package shard
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netaware/netcluster/internal/bgp"
+	"github.com/netaware/netcluster/internal/churn"
+	"github.com/netaware/netcluster/internal/faultnet"
+	"github.com/netaware/netcluster/internal/netutil"
+)
+
+// routerFixture stands up a 3-shard router over hand-built single-shard
+// tables: shard 0 owns 10/8, shard 1 owns 100/8, shard 2 owns 200/8
+// (NewMap(3): blocks 0-84 / 85-169 / 170-255).
+type routerFixture struct {
+	m      *Map
+	router *Router
+	srvs   []*httptest.Server
+}
+
+func newRouterFixture(t *testing.T, client *http.Client, timeout time.Duration) *routerFixture {
+	t.Helper()
+	fx := &routerFixture{m: NewMap(3)}
+	for i, pfx := range []string{"10.0.0.0/8", "100.0.0.0/8", "200.0.0.0/8"} {
+		mg := bgp.NewMerged()
+		mg.Add(&bgp.Snapshot{Name: "AADS", Kind: bgp.SourceBGP, Entries: []bgp.Entry{
+			{Prefix: netutil.MustParsePrefix(pfx)},
+		}})
+		srv := httptest.NewServer((&NodeServer{Table: churn.New(mg)}).Handler())
+		t.Cleanup(srv.Close)
+		fx.srvs = append(fx.srvs, srv)
+		fx.m.Shards[i].Addr = srv.URL
+	}
+	rt, err := NewRouter(RouterConfig{Map: fx.m, Client: client, Timeout: timeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.router = rt
+	return fx
+}
+
+func postBatch(t *testing.T, client *http.Client, base string, addrs []string) *RouterBatchResponse {
+	t.Helper()
+	resp, err := client.Post(base+"/cluster", "text/plain", strings.NewReader(strings.Join(addrs, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /cluster = %s", resp.Status)
+	}
+	var out RouterBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+func TestRouterMergesInInputOrder(t *testing.T) {
+	fx := newRouterFixture(t, nil, 0)
+	srv := httptest.NewServer(fx.router.Handler())
+	defer srv.Close()
+
+	// Interleave shards so any grouping bug scrambles the order.
+	addrs := []string{
+		"200.1.1.1", "10.1.1.1", "100.1.1.1", "200.2.2.2", "10.2.2.2", "99.99.99.99",
+	}
+	out := postBatch(t, srv.Client(), srv.URL, addrs)
+	if len(out.Results) != len(addrs) {
+		t.Fatalf("%d results for %d addrs", len(out.Results), len(addrs))
+	}
+	if len(out.Degradation) != 0 {
+		t.Fatalf("healthy cluster degraded: %v", out.Degradation)
+	}
+	wantShard := []int{2, 0, 1, 2, 0, 1}
+	wantClustered := []bool{true, true, true, true, true, false}
+	for i, r := range out.Results {
+		if r.Addr != addrs[i] {
+			t.Fatalf("result %d is %s, want %s (order scrambled)", i, r.Addr, addrs[i])
+		}
+		if r.Shard != wantShard[i] || r.Clustered != wantClustered[i] || r.Error != "" {
+			t.Fatalf("result %d = %+v, want shard %d clustered=%v", i, r, wantShard[i], wantClustered[i])
+		}
+	}
+	// 99.99.99.99 is in shard 1's range but matches nothing there.
+	if out.Results[5].Prefix != "" {
+		t.Fatalf("unclustered row carries prefix %q", out.Results[5].Prefix)
+	}
+}
+
+func TestRouterPartialDegradation(t *testing.T) {
+	fx := newRouterFixture(t, nil, time.Second)
+	// Shard 1 dies mid-deployment.
+	fx.srvs[1].Close()
+	srv := httptest.NewServer(fx.router.Handler())
+	defer srv.Close()
+
+	addrs := []string{"10.1.1.1", "100.1.1.1", "200.1.1.1", "100.2.2.2"}
+	out := postBatch(t, srv.Client(), srv.URL, addrs)
+
+	// The dead shard is reported explicitly, the batch itself succeeds.
+	if len(out.Degradation) != 1 || out.Degradation["1"] == "" {
+		t.Fatalf("Degradation = %v, want exactly shard 1", out.Degradation)
+	}
+	for i, r := range out.Results {
+		owned := r.Shard == 1
+		if owned && (r.Error == "" || r.Clustered) {
+			t.Fatalf("dead-shard row %d = %+v, want error + zero answer", i, r)
+		}
+		if !owned && (r.Error != "" || !r.Clustered) {
+			t.Fatalf("live-shard row %d = %+v, want clean answer", i, r)
+		}
+	}
+	// Generation comes from live shards only.
+	if out.Generation != 0 || out.MapVersion != 1 {
+		t.Fatalf("generation %d, map version %d", out.Generation, out.MapVersion)
+	}
+	for _, rep := range out.Shards {
+		if (rep.ID == 1) != (rep.Error != "") {
+			t.Fatalf("shard report %+v", rep)
+		}
+	}
+}
+
+// faultTransport injects faults only on requests to one target host, so
+// the router sees a partitioned shard while the rest of the cluster
+// stays healthy — the faultnet-backed version of the one-shard-down
+// contract.
+type faultTransport struct {
+	host    string
+	faulty  http.RoundTripper
+	healthy http.RoundTripper
+}
+
+func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Host == ft.host {
+		return ft.faulty.RoundTrip(req)
+	}
+	return ft.healthy.RoundTrip(req)
+}
+
+func TestRouterDegradationUnderFaultnet(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		fault faultnet.Faults
+	}{
+		{"drop", faultnet.Faults{Drop: 1}},
+		{"reset", faultnet.Faults{Reset: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fx := newRouterFixture(t, nil, 0)
+			inj := faultnet.New(faultnet.Profile{Seed: 1, Outbound: tc.fault})
+			client := &http.Client{Transport: &faultTransport{
+				host:    strings.TrimPrefix(fx.srvs[2].URL, "http://"),
+				faulty:  inj.RoundTripper(nil),
+				healthy: http.DefaultTransport,
+			}}
+			rt, err := NewRouter(RouterConfig{Map: fx.m, Client: client, Timeout: time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			out := rt.Batch([]netutil.Addr{
+				netutil.MustParseAddr("10.1.1.1"),
+				netutil.MustParseAddr("200.1.1.1"),
+				netutil.MustParseAddr("100.1.1.1"),
+			})
+			if len(out.Degradation) != 1 || out.Degradation["2"] == "" {
+				t.Fatalf("Degradation = %v, want exactly shard 2", out.Degradation)
+			}
+			if r := out.Results[1]; r.Error == "" || r.Clustered {
+				t.Fatalf("partitioned-shard row = %+v", r)
+			}
+			for _, i := range []int{0, 2} {
+				if r := out.Results[i]; r.Error != "" || !r.Clustered {
+					t.Fatalf("live row %d = %+v", i, r)
+				}
+			}
+			if st := inj.Stats(); st.Ops == 0 {
+				t.Fatal("injector never saw the partitioned shard's traffic")
+			}
+		})
+	}
+}
+
+func TestRouterLookupProxyAndShardMap(t *testing.T) {
+	fx := newRouterFixture(t, nil, 0)
+	srv := httptest.NewServer(fx.router.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/lookup?addr=200.1.2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res RouterResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !res.Clustered || res.Shard != 2 || res.Prefix != "200.0.0.0/8" {
+		t.Fatalf("proxied lookup = %+v", res)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/shardmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := json.NewDecoder(resp.Body)
+	var m Map
+	if err := data.Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("/shardmap served an invalid map: %v", err)
+	}
+	if m.NumShards() != 3 || m.Shards[0].Addr == "" {
+		t.Fatalf("/shardmap = %+v", m)
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"github.com/netaware/netcluster/internal/obsv/sink"
 	"github.com/netaware/netcluster/internal/placement"
 	"github.com/netaware/netcluster/internal/selfcorrect"
+	"github.com/netaware/netcluster/internal/shard"
 	"github.com/netaware/netcluster/internal/tracesim"
 	"github.com/netaware/netcluster/internal/validate"
 	"github.com/netaware/netcluster/internal/weblog"
@@ -171,6 +172,66 @@ func DefaultChurnConfig() ChurnConfig { return bgpsim.DefaultChurnConfig() }
 
 // NewChurnGen builds a churn generator over base's prefix universe.
 func NewChurnGen(base *Snapshot, cfg ChurnConfig) *ChurnGen { return bgpsim.NewChurnGen(base, cfg) }
+
+// Sharded cluster: the multi-node deployment of the churn table. A
+// compiler node sequences every delta onto an HTTP feed, follower nodes
+// keep their shard's slice of the table in generation lockstep, and a
+// router fans batch clustering out across the shard map and merges the
+// answers back into input order — degrading per-shard, never answering
+// wrong. See cmd/clusterd (-feed-serve, -feed, -shard-index) and
+// cmd/clusterrouter for the deployable form.
+type (
+	// ShardMap tiles the 256 /8 blocks across a cluster's nodes.
+	ShardMap = shard.Map
+	// ShardInfo is one node's contiguous block range and base URL.
+	ShardInfo = shard.Info
+	// DeltaFeed sequences and serves a table's deltas over HTTP, with a
+	// catch-up snapshot for joiners that outrun the retained log.
+	DeltaFeed = shard.Feed
+	// DeltaFollower tails a DeltaFeed, keeping a local ChurnTable in
+	// lockstep (optionally filtered to a shard's prefix range).
+	DeltaFollower = shard.Follower
+	// ShardRouter fans batches across the map and merges input-order.
+	ShardRouter = shard.Router
+	// ShardRouterConfig configures a ShardRouter over a ShardMap.
+	ShardRouterConfig = shard.RouterConfig
+	// TableMeta is the snapshot sidecar recording a table's generation
+	// and delta-stream position, enabling warm starts.
+	TableMeta = bgp.TableMeta
+)
+
+// NewShardMap tiles the /8 blocks evenly across n shards (version 1).
+func NewShardMap(n int) *ShardMap { return shard.NewMap(n) }
+
+// NewDeltaFeed wraps a churn table as the cluster's sequenced delta
+// source; maxLog bounds the retained catch-up log (0: default).
+func NewDeltaFeed(t *ChurnTable, maxLog int) *DeltaFeed { return shard.NewFeed(t, maxLog) }
+
+// JoinDeltaFeed seeds a follower from a feed's snapshot endpoint and
+// returns it ready to poll; keep (optional) restricts the local table
+// to a shard's range.
+func JoinDeltaFeed(base string, client *http.Client, keep func(Prefix) bool) (*DeltaFollower, error) {
+	return shard.Join(base, client, keep)
+}
+
+// NewShardRouter validates the map (every shard needs an Addr) and
+// returns the fan-out router over it.
+func NewShardRouter(cfg ShardRouterConfig) (*ShardRouter, error) { return shard.NewRouter(cfg) }
+
+// WarmStartChurnTable rebuilds a live churn table around a snapshot-
+// loaded CompiledTable at generation gen — the boot path that lets a
+// restarted service rejoin the delta stream instead of serving a
+// frozen table. keep (optional) restricts it to a shard's range.
+func WarmStartChurnTable(c *CompiledTable, keep func(Prefix) bool, gen uint64) *ChurnTable {
+	return churn.NewFromCompiled(c, keep, gen)
+}
+
+// SaveTableMeta writes path's .meta sidecar (atomic rename).
+func SaveTableMeta(path string, m TableMeta) error { return bgp.SaveTableMeta(path, m) }
+
+// LoadTableMeta reads path's .meta sidecar; ok=false means no sidecar
+// (a pre-sidecar snapshot), which is not an error.
+func LoadTableMeta(path string) (m TableMeta, ok bool, err error) { return bgp.LoadTableMeta(path) }
 
 // ReadSnapshot parses a snapshot dump (see internal/bgp for the format;
 // prefix fields accept CIDR, dotted-netmask, and classful notations).
