@@ -10,7 +10,7 @@ GO ?= go
 # Benchmarks of the compiled lookup table, batch lookup kernel, snapshot
 # loader, parallel clustering engines and CLF fast path; bench-json
 # freezes their numbers into BENCH_clustering.json.
-PERF_BENCH = LongestPrefixMatch|LookupBatch|SnapshotLoad|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF|Churn|RouterFanout|RouterSingleShard|DeltaBroadcast
+PERF_BENCH = LongestPrefixMatch|LookupBatch|SnapshotLoad|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF|Churn|RouterFanout|RouterSingleShard|DeltaBroadcast|TraceHeader
 
 # Every fuzz target in the tree, as pkg-dir:FuzzName pairs. fuzz-smoke
 # runs each for FUZZTIME so corpus-breaking regressions (and fresh
@@ -28,7 +28,7 @@ FUZZTIME ?= 20s
 # Advisory statement-coverage floor for the cover target.
 COVER_MIN ?= 70
 
-.PHONY: all build test test-short race vet fmt fmt-check chaos chaos-smoke cluster-smoke bench-json bench-gate bench-smoke snapshot-smoke trace-smoke fuzz-smoke cover check clean
+.PHONY: all build test test-short race vet fmt fmt-check chaos chaos-smoke cluster-smoke cluster-obsv-smoke bench-json bench-gate bench-smoke snapshot-smoke trace-smoke fuzz-smoke cover check clean
 
 all: build
 
@@ -79,6 +79,20 @@ cluster-smoke:
 	@mkdir -p bin/cluster-artifacts
 	CLUSTER_SMOKE_ARTIFACTS=$(CURDIR)/bin/cluster-artifacts \
 		$(GO) test -count=1 -race -run 'TestCluster' -v ./internal/shard
+
+# The cluster observability acceptance lane on real binaries: a compiler
+# clusterd, two shard clusterds and a clusterrouter must produce (a) one
+# TraceID spanning the router fan-out and every shard's server spans
+# (tracecheck -merge -require-shared-trace over the three /debug/trace
+# dumps), (b) a parseable federated /metrics/cluster page with per-shard
+# labels and nonzero cluster quantiles, and (c) a slow shard's feed-lag
+# gauge rising under churn and settling to zero once churn pauses. The
+# per-process dumps, the merged trace and the federated page land in
+# bin/cluster-obsv-artifacts (CLUSTER_OBSV_ARTIFACTS) for CI to upload.
+cluster-obsv-smoke:
+	@mkdir -p bin/cluster-obsv-artifacts
+	CLUSTER_OBSV_ARTIFACTS=$(CURDIR)/bin/cluster-obsv-artifacts \
+		$(GO) test -count=1 -race -run 'TestClusterObservability' -v .
 
 # Record lookup/cluster/parse benchmark results machine-readably. The
 # bench run and the JSON conversion are separate steps on an intermediate
@@ -153,7 +167,7 @@ trace-smoke:
 	./bin/experiments -scale 0.02 -trace-out bin/trace.json perf
 	./bin/tracecheck bin/trace.json
 
-check: vet fmt-check race chaos-smoke cluster-smoke bench-smoke
+check: vet fmt-check race chaos-smoke cluster-smoke cluster-obsv-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

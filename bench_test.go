@@ -2,9 +2,11 @@ package netcluster_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"sort"
 	"sync"
 	"testing"
@@ -17,6 +19,7 @@ import (
 	"github.com/netaware/netcluster/internal/cluster"
 	"github.com/netaware/netcluster/internal/detect"
 	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/radix"
 	"github.com/netaware/netcluster/internal/shard"
 	"github.com/netaware/netcluster/internal/stats"
@@ -770,6 +773,33 @@ func BenchmarkRouterSingleShard(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/addr")
+}
+
+// BenchmarkTraceHeaderInject prices stamping the X-Netcluster-Trace
+// header onto an outbound fan-out request — the per-shard cost the
+// router pays on every traced batch, gated by benchdiff.
+func BenchmarkTraceHeaderInject(b *testing.B) {
+	ctx, span := obsv.StartTraceSpan(context.Background(), "bench.inject")
+	defer span.End()
+	h := make(http.Header, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obsv.HTTPInject(ctx, h)
+	}
+}
+
+// BenchmarkTraceHeaderExtract prices parsing an inbound trace header
+// into a span context — what every shard node pays per traced request.
+func BenchmarkTraceHeaderExtract(b *testing.B) {
+	ctx, span := obsv.StartTraceSpan(context.Background(), "bench.extract")
+	span.End()
+	h := make(http.Header, 4)
+	obsv.HTTPInject(ctx, h)
+	base := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obsv.HTTPExtract(base, h)
+	}
 }
 
 // BenchmarkDeltaBroadcast measures one full delta distribution round:

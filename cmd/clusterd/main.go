@@ -14,12 +14,21 @@
 //	GET  /healthz                    liveness + table generation
 //	GET  /readyz                     readiness (false while draining,
 //	                                 while the config file is invalid, or
-//	                                 while export backlogs run high)
+//	                                 while export backlogs run high);
+//	                                 follower nodes also report their
+//	                                 feed lag in generations
 //	GET  /debug/config               live config generation + sink status
-//	GET  /metrics, /debug/...        obsv debug surface (Prometheus
-//	                                 text, expvar, pprof, flight trace)
+//	GET  /metrics, /metrics.json, /debug/...
+//	                                 obsv debug surface (Prometheus text,
+//	                                 JSON snapshot — what a clusterrouter
+//	                                 aggregator scrapes — expvar, pprof,
+//	                                 flight trace)
 //	GET  /feed/deltas, /feed/snapshot, /feed/status
 //	                                 delta distribution (with -feed-serve)
+//
+// Requests carrying an X-Netcluster-Trace header join the caller's
+// trace: lookup and batch spans inherit the router's TraceID so
+// per-process /debug/trace dumps merge into one cluster-wide trace.
 //
 // The batch endpoint is admission-controlled: at most max-inflight
 // batches run concurrently; beyond that clusterd answers 503 with
@@ -113,12 +122,16 @@ type server struct {
 	draining atomic.Bool
 	watcher  *appconf.Watcher[fileConfig] // nil without -config
 	sinks    *sink.Manager
+	follower *shard.Follower // non-nil in follower mode; feeds readiness lag
 }
 
 func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	_, span := obsv.StartTraceSpan(obsv.HTTPExtract(r.Context(), r.Header), "clusterd.lookup")
+	defer span.End()
 	q := r.URL.Query().Get("addr")
 	addr, err := netutil.ParseAddr(q)
 	if err != nil {
+		span.Fail(err)
 		http.Error(w, fmt.Sprintf("bad addr %q: %v", q, err), http.StatusBadRequest)
 		return
 	}
@@ -138,6 +151,11 @@ func (s *server) handleLookup(w http.ResponseWriter, r *http.Request) {
 // generation is pinned, so a limits reload cannot change the rules on a
 // request it already admitted.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// The span context arrives on the X-Netcluster-Trace header when a
+	// clusterrouter fanned this batch out; extracting it makes this
+	// node's spans part of the router's trace.
+	ctx, span := obsv.StartTraceSpan(obsv.HTTPExtract(r.Context(), r.Header), "clusterd.batch")
+	defer span.End()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST an address list", http.StatusMethodNotAllowed)
 		return
@@ -187,7 +205,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	span.SetAttrInt("addrs", int64(len(addrs)))
+	_, lspan := obsv.StartTraceSpan(ctx, "clusterd.batch.lookup")
 	matches := table.LookupBatch(addrs, nil)
+	lspan.End()
 	resp := shard.BatchResponse{Generation: gen, Results: make([]shard.LookupResult, len(addrs))}
 	for i, addr := range addrs {
 		resp.Results[i] = shard.ResolveMatch(addr, matches[i], gen)
@@ -231,11 +252,21 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !ready {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	json.NewEncoder(w).Encode(struct {
+	body := struct {
 		Ready      bool     `json:"ready"`
 		Reasons    []string `json:"reasons,omitempty"`
 		Generation uint64   `json:"generation"`
-	}{ready, reasons, s.table.Generation()})
+		FeedLag    *uint64  `json:"feed_lag_generations,omitempty"`
+	}{Ready: ready, Reasons: reasons, Generation: s.table.Generation()}
+	if s.follower != nil {
+		// Follower nodes report their generation distance behind the feed
+		// head, as last measured by the lag monitor or a delta fetch. Lag
+		// is an SLO signal, not a readiness gate: a lagging shard still
+		// answers (with an older generation label), so it keeps traffic.
+		lag := uint64(obsv.TakeSnapshot().Gauges["shard.feed.lag.generations"])
+		body.FeedLag = &lag
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 // handleDebugConfig shows the effective runtime configuration: the
@@ -293,6 +324,11 @@ func main() {
 	sinkDir := flag.String("sink-dir", "", "directory for push-sink WALs (default: <tmp>/clusterd-sinks)")
 	sinkHighWater := flag.Int("sink-high-water", 0, "export backlog depth that flips readiness false (0: queue capacity)")
 	flag.Parse()
+
+	// Distinct processes must mint distinct trace/span IDs or merged
+	// cluster traces alias; the PID salt keeps each binary's sequences in
+	// a disjoint range.
+	obsv.SetTraceIDSalt(uint64(os.Getpid()) << 40)
 
 	// Flags the operator set explicitly — the set a config-file key
 	// shadows loudly rather than silently.
@@ -418,9 +454,10 @@ func main() {
 		DrainTimeout: appconf.Duration(*drainTimeout),
 	}
 	s := &server{
-		table:   table,
-		sem:     newDynamicSemaphore(flagTun.MaxInflight),
-		started: time.Now(),
+		table:    table,
+		sem:      newDynamicSemaphore(flagTun.MaxInflight),
+		started:  time.Now(),
+		follower: follower,
 	}
 	s.tun.Store(&flagTun)
 
@@ -468,6 +505,17 @@ func main() {
 		// until drain, resyncing through partitions and log-retention gaps.
 		follower.PollEvery = *feedPoll
 		follower.Logf = logf
+		// The lag monitor probes /feed/status faster than the delta poll,
+		// so the feed-lag gauge rises between (or during stalled) fetches
+		// instead of only moving when a fetch succeeds.
+		monitor := *feedPoll / 4
+		if monitor < 50*time.Millisecond {
+			monitor = 50 * time.Millisecond
+		}
+		if monitor > time.Second {
+			monitor = time.Second
+		}
+		follower.MonitorEvery = monitor
 		go func() {
 			defer close(churnDone)
 			follower.Run(churnCtx)
@@ -533,6 +581,7 @@ func main() {
 	}
 	debug := obsv.DebugHandler()
 	mux.Handle("/metrics", debug)
+	mux.Handle("/metrics.json", debug)
 	mux.Handle("/debug/", debug)
 
 	ln, err := net.Listen("tcp", *addr)

@@ -15,7 +15,17 @@
 //	GET  /lookup     single-address proxy to the owning shard
 //	GET  /shardmap   the live shard map (version, block ranges, addrs)
 //	GET  /healthz    fan-out probe; 200 with a degraded report
-//	GET  /metrics, /debug/...  obsv debug surface
+//	GET  /readyz     readiness: 503 while draining or with no live
+//	                 shard; reports live-shard count + scrape staleness
+//	GET  /metrics/cluster  federated Prometheus page: every shard's
+//	                 series labeled {shard="i"} plus cluster-wide
+//	                 quantiles merged from the shards' histograms
+//	GET  /metrics, /metrics.json, /debug/...  obsv debug surface
+//
+// Requests carrying an X-Netcluster-Trace header join the caller's
+// trace; the router's fan-out spans and every shard's server-side spans
+// share that TraceID, so the per-process /debug/trace dumps merge into
+// one cluster-wide trace (tracecheck -merge).
 //
 // Failure is partial by design: a dead shard costs only its own rows,
 // which come back with an Error annotation and a zero answer, and the
@@ -46,7 +56,14 @@ func main() {
 	maxBatch := flag.Int("max-batch", shard.DefaultMaxBatch, "addresses per routed /cluster batch")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight fan-outs on shutdown")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on shutdown")
+	federateEvery := flag.Duration("federate-every", shard.DefaultFederateEvery,
+		"staleness bound on the /metrics/cluster aggregator's pulled shard snapshots")
 	flag.Parse()
+
+	// Distinct processes must mint distinct trace/span IDs or merged
+	// cluster traces alias; the PID salt keeps each binary's sequences in
+	// a disjoint range.
+	obsv.SetTraceIDSalt(uint64(os.Getpid()) << 40)
 
 	var urls []string
 	for _, u := range strings.Split(*shards, ",") {
@@ -66,9 +83,10 @@ func main() {
 		m.Shards[i].Addr = urls[i]
 	}
 	rt, err := shard.NewRouter(shard.RouterConfig{
-		Map:      m,
-		Timeout:  *timeout,
-		MaxBatch: *maxBatch,
+		Map:           m,
+		Timeout:       *timeout,
+		MaxBatch:      *maxBatch,
+		FederateEvery: *federateEvery,
 	})
 	if err != nil {
 		fatal(err)
@@ -84,8 +102,11 @@ func main() {
 	mux.Handle("/lookup", rh)
 	mux.Handle("/shardmap", rh)
 	mux.Handle("/healthz", rh)
+	mux.Handle("/readyz", rh)
+	mux.Handle("/metrics/cluster", rh)
 	debug := obsv.DebugHandler()
 	mux.Handle("/metrics", debug)
+	mux.Handle("/metrics.json", debug)
 	mux.Handle("/debug/", debug)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -107,6 +128,7 @@ func main() {
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "clusterrouter: %v, draining\n", sig)
 	}
+	rt.SetDraining(true) // /readyz flips 503 while the drain runs
 
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

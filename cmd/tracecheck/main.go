@@ -8,21 +8,47 @@
 // properly nested or disjoint — what chrome://tracing assumes when it
 // draws stacks), then prints the event count. Any invalid file makes the
 // exit status nonzero, which is what the CI trace-smoke step keys off.
+//
+// Merge mode stitches per-process dumps from a cluster into one trace:
+//
+//	tracecheck -merge merged.json -require-shared-trace \
+//	    router.json shard0.json shard1.json
+//
+// Each input becomes its own process lane group (pid = input order,
+// named after the file), the merged output is validated like any other
+// trace, and -require-shared-trace additionally demands at least one
+// TraceID present in every input — the cross-process propagation proof
+// the cluster-obsv-smoke CI lane keys off.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"github.com/netaware/netcluster/internal/obsv"
 )
 
 func main() {
+	mergeOut := flag.String("merge", "", "merge the input traces into one multi-process trace at this path (one pid lane group per input), then validate the result")
+	requireShared := flag.Bool("require-shared-trace", false, "with -merge: fail unless at least one TraceID appears in every input (proves cross-process propagation)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>...")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-merge out.json [-require-shared-trace]] <trace.json>...")
 		os.Exit(2)
+	}
+	if *requireShared && *mergeOut == "" {
+		fmt.Fprintln(os.Stderr, "tracecheck: -require-shared-trace needs -merge")
+		os.Exit(2)
+	}
+	if *mergeOut != "" {
+		if err := merge(*mergeOut, flag.Args(), *requireShared); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	bad := false
 	for _, path := range flag.Args() {
@@ -43,4 +69,43 @@ func main() {
 	if bad {
 		os.Exit(1)
 	}
+}
+
+func merge(out string, paths []string, requireShared bool) error {
+	names := make([]string, len(paths))
+	files := make([][]byte, len(paths))
+	for i, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if _, err := obsv.ValidateChromeTrace(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		names[i] = strings.TrimSuffix(filepath.Base(path), ".json")
+		files[i] = data
+	}
+	merged, err := obsv.MergeChromeTraces(names, files)
+	if err != nil {
+		return err
+	}
+	n, err := obsv.ValidateChromeTrace(merged)
+	if err != nil {
+		return fmt.Errorf("merged trace invalid: %w", err)
+	}
+	if requireShared {
+		shared, err := obsv.SharedChromeTraceIDs(files)
+		if err != nil {
+			return err
+		}
+		if len(shared) == 0 {
+			return fmt.Errorf("no TraceID spans all %d inputs — trace propagation broken", len(paths))
+		}
+		fmt.Printf("%d trace id(s) span all %d inputs\n", len(shared), len(paths))
+	}
+	if err := os.WriteFile(out, merged, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: ok, %d events merged from %d files\n", out, n, len(paths))
+	return nil
 }

@@ -1,0 +1,133 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Multi-process trace merging. Each binary dumps its own flight recorder
+// as a single-process Chrome trace (pid 1); a routed request's spans are
+// therefore scattered over N+1 files. MergeChromeTraces rebuilds them
+// into one document with a distinct pid — and so one named lane group in
+// chrome://tracing / Perfetto — per input process. Lane (tid) numbering
+// stays per-file, which keeps the nesting invariant ValidateChromeTrace
+// checks intact even when two processes minted colliding span IDs.
+// Cross-process causality is carried by the "trace" arg every span
+// event already has: SharedChromeTraceIDs reports the TraceIDs present
+// in every input, which is how tracecheck -require-shared-trace proves a
+// propagated request really did span all the processes.
+
+// decodeChromeEvents parses a Chrome trace document (object or
+// bare-array form) into its events.
+func decodeChromeEvents(data []byte) ([]chromeEvent, error) {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || doc.TraceEvents == nil {
+		if aerr := json.Unmarshal(data, &doc.TraceEvents); aerr != nil {
+			if err == nil {
+				err = aerr
+			}
+			return nil, fmt.Errorf("obsv: not a chrome trace: %w", err)
+		}
+	}
+	return doc.TraceEvents, nil
+}
+
+// MergeChromeTraces combines per-process trace files into one document,
+// assigning file i pid i+1 and a process_name metadata event carrying
+// names[i] so each process renders as its own labeled lane group.
+// Original per-file process_name events are replaced; all other events
+// (spans and thread_name metadata) keep their tid, so in-file nesting is
+// preserved verbatim. Timestamps are left as-is: each file is already
+// rebased to its own earliest span, and cross-process clock alignment is
+// not something trace dumps can promise.
+func MergeChromeTraces(names []string, files [][]byte) ([]byte, error) {
+	if len(names) != len(files) {
+		return nil, fmt.Errorf("obsv: %d names for %d trace files", len(names), len(files))
+	}
+	var merged []chromeEvent
+	for i, data := range files {
+		events, err := decodeChromeEvents(data)
+		if err != nil {
+			return nil, fmt.Errorf("obsv: trace file %q: %w", names[i], err)
+		}
+		pid := i + 1
+		merged = append(merged, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": names[i]},
+		})
+		for _, e := range events {
+			if e.Ph == "M" && e.Name == "process_name" {
+				continue
+			}
+			e.Pid = pid
+			merged = append(merged, e)
+		}
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: merged, DisplayUnit: "ms"}
+	return json.Marshal(doc)
+}
+
+// ChromeTraceIDs returns the distinct TraceIDs present in a trace
+// document's span events (the "trace" arg WriteChromeTrace emits),
+// sorted ascending. Span events without the arg — foreign traces — are
+// skipped.
+func ChromeTraceIDs(data []byte) ([]uint64, error) {
+	events, err := decodeChromeEvents(data)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[uint64]bool)
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		s, ok := e.Args["trace"].(string)
+		if !ok {
+			continue
+		}
+		id, err := strconv.ParseUint(s, 10, 64)
+		if err != nil || id == 0 {
+			continue
+		}
+		seen[id] = true
+	}
+	ids := make([]uint64, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// SharedChromeTraceIDs returns the TraceIDs present in every one of the
+// trace files — the propagated traces. Empty input shares nothing.
+func SharedChromeTraceIDs(files [][]byte) ([]uint64, error) {
+	if len(files) == 0 {
+		return nil, nil
+	}
+	count := make(map[uint64]int)
+	for i, data := range files {
+		ids, err := ChromeTraceIDs(data)
+		if err != nil {
+			return nil, fmt.Errorf("obsv: trace file %d: %w", i, err)
+		}
+		for _, id := range ids {
+			count[id]++
+		}
+	}
+	var shared []uint64
+	for id, n := range count {
+		if n == len(files) {
+			shared = append(shared, id)
+		}
+	}
+	sort.Slice(shared, func(i, j int) bool { return shared[i] < shared[j] })
+	return shared, nil
+}

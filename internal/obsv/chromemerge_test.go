@@ -1,0 +1,110 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeTraceFile renders a single-process Chrome trace whose spans carry
+// the given trace IDs (one root span each, plus a child on the first).
+func fakeTraceFile(t *testing.T, traceIDs ...uint64) []byte {
+	t.Helper()
+	base := time.Unix(1000, 0)
+	var recs []SpanRecord
+	for i, id := range traceIDs {
+		recs = append(recs, SpanRecord{
+			TraceID: id, SpanID: id*100 + 1, Name: "root",
+			Start: base.Add(time.Duration(i) * time.Millisecond), Duration: time.Millisecond,
+		})
+		if i == 0 {
+			recs = append(recs, SpanRecord{
+				TraceID: id, SpanID: id*100 + 2, ParentID: id*100 + 1, Name: "child",
+				Start: base.Add(100 * time.Microsecond), Duration: 200 * time.Microsecond,
+			})
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestMergeChromeTraces(t *testing.T) {
+	router := fakeTraceFile(t, 7, 9)
+	shard0 := fakeTraceFile(t, 7)
+	merged, err := MergeChromeTraces([]string{"router", "shard0"}, [][]byte{router, shard0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The merged document is still a valid trace with every span intact.
+	n, err := ValidateChromeTrace(merged)
+	if err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("merged trace has %d span events, want 5", n)
+	}
+
+	// Each input renders under its own pid with its own process name.
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(merged, &doc); err != nil {
+		t.Fatal(err)
+	}
+	procNames := make(map[int]string)
+	spanPids := make(map[int]int)
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			procNames[e.Pid], _ = e.Args["name"].(string)
+		case e.Ph == "X":
+			spanPids[e.Pid]++
+		}
+	}
+	if procNames[1] != "router" || procNames[2] != "shard0" {
+		t.Fatalf("process names %v, want router/shard0 on pids 1/2", procNames)
+	}
+	if spanPids[1] != 3 || spanPids[2] != 2 {
+		t.Fatalf("span counts by pid %v, want 3 on pid 1 and 2 on pid 2", spanPids)
+	}
+}
+
+func TestMergeChromeTracesArityMismatch(t *testing.T) {
+	if _, err := MergeChromeTraces([]string{"a"}, nil); err == nil {
+		t.Fatal("mismatched names/files accepted")
+	}
+	if _, err := MergeChromeTraces([]string{"a"}, [][]byte{[]byte("not json")}); err == nil {
+		t.Fatal("garbage trace file accepted")
+	}
+}
+
+func TestSharedChromeTraceIDs(t *testing.T) {
+	a := fakeTraceFile(t, 1, 2)
+	b := fakeTraceFile(t, 2, 3)
+	c := fakeTraceFile(t, 2, 1)
+
+	ids, err := ChromeTraceIDs(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("trace IDs of a = %v, want [1 2]", ids)
+	}
+
+	shared, err := SharedChromeTraceIDs([][]byte{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != 1 || shared[0] != 2 {
+		t.Fatalf("shared = %v, want [2]", shared)
+	}
+
+	if shared, _ = SharedChromeTraceIDs(nil); shared != nil {
+		t.Fatalf("empty input shares %v", shared)
+	}
+}

@@ -24,7 +24,9 @@ func init() {
 // DebugHandler returns the debug mux an operational listener serves:
 // /debug/vars (expvar JSON, including the "netcluster" snapshot),
 // /metrics (Prometheus text exposition of the same registry, with
-// histogram buckets and derived quantiles), /debug/trace (the flight
+// histogram buckets and derived quantiles), /metrics.json (the raw
+// snapshot for machine consumers such as the cluster metrics
+// aggregator), /debug/trace (the flight
 // recorder as Chrome trace_event JSON), and the /debug/pprof endpoints.
 // cmd/pcvproxy mounts it on -metrics-addr; any embedder can mount it on
 // a private listener.
@@ -32,6 +34,7 @@ func DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/metrics.json", SnapshotHandler())
 	mux.Handle("/debug/trace", TraceHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -52,6 +55,21 @@ func MetricsHandler() http.Handler {
 			return
 		}
 		w.Write(buf.Bytes())
+	})
+}
+
+// SnapshotHandler serves the Default registry snapshot as JSON — the
+// machine-readable twin of /metrics, and the endpoint a cluster
+// metrics aggregator (shard.Aggregator) pulls from each node.
+func SnapshotHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := TakeSnapshot().MarshalIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n'))
 	})
 }
 

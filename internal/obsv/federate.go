@@ -1,0 +1,176 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Metrics federation: the router-side aggregate view of N shard
+// registries. Each member contributes a full Snapshot (pulled from its
+// /metrics.json endpoint); the renderer exposes every series under a
+// per-member `shard` label so skew is visible, and — because labeled
+// per-shard quantiles cannot be averaged — re-derives cluster-wide
+// p50/p95/p99 by merging the raw log2 bucket counts first. Log2 buckets
+// make that merge exact: two histograms with identical bucket bounds sum
+// bucket-wise, and the interpolated quantile of the sum is as good as
+// the one a single process would have produced.
+
+// MemberSnapshot is one member's contribution to a federated page: its
+// registry snapshot plus the `shard` label value identifying it.
+type MemberSnapshot struct {
+	Label string   `json:"label"`
+	Snap  Snapshot `json:"snap"`
+}
+
+// MergeHistogramSnapshots sums the members' log2 bucket counts and
+// re-derives count/sum/mean/max and the interpolated quantiles from the
+// merged distribution. Merging is exact because every histogram shares
+// the same fixed bucket bounds.
+func MergeHistogramSnapshots(parts ...HistogramSnapshot) HistogramSnapshot {
+	var counts [numBuckets]uint64
+	var out HistogramSnapshot
+	for _, p := range parts {
+		out.Sum += p.Sum
+		for _, b := range p.Buckets {
+			// Recover the bucket index from its upper bound: bucket i
+			// holds values of bit length i, so High = 2^i - 1 has bit
+			// length i (and bucket 0's High is 0).
+			counts[bits.Len64(b.High)] += b.Count
+		}
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		out.Count += c
+		out.Max = BucketHigh(i)
+		out.Buckets = append(out.Buckets, HistogramBucket{Low: BucketLow(i), High: BucketHigh(i), Count: c})
+	}
+	if out.Count > 0 {
+		out.Mean = float64(out.Sum) / float64(out.Count)
+		out.P50 = quantile(&counts, out.Count, 0.50)
+		out.P95 = quantile(&counts, out.Count, 0.95)
+		out.P99 = quantile(&counts, out.Count, 0.99)
+	}
+	return out
+}
+
+// promLabel escapes a label value for the text exposition format.
+func promLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WriteFederatedPrometheus renders the members' snapshots as one
+// Prometheus text page. Every counter, gauge and histogram series
+// carries a `shard` label naming its member (so per-shard skew is one
+// PromQL expression away), and each histogram family additionally emits
+// unlabeled *_cluster_p50/p95/p99 gauges derived from the merged bucket
+// counts — the cluster-wide quantiles no per-shard series can express.
+// Members are rendered in the order given; families are emitted in
+// sorted name order per kind, so identical inputs produce byte-identical
+// pages with no duplicate series.
+func WriteFederatedPrometheus(w io.Writer, members []MemberSnapshot) error {
+	union := func(pick func(Snapshot) []string) []string {
+		seen := make(map[string]bool)
+		var names []string
+		for _, m := range members {
+			for _, name := range pick(m.Snap) {
+				if !seen[name] {
+					seen[name] = true
+					names = append(names, name)
+				}
+			}
+		}
+		sort.Strings(names)
+		return names
+	}
+
+	for _, name := range union(func(s Snapshot) []string { return keys(s.Counters) }) {
+		fam := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s netcluster counter %q by shard\n# TYPE %s counter\n", fam, name, fam); err != nil {
+			return err
+		}
+		for _, m := range members {
+			v, ok := m.Snap.Counters[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{shard=%q} %d\n", fam, promLabel(m.Label), v); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, name := range union(func(s Snapshot) []string { return keys(s.Gauges) }) {
+		fam := promName(name)
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s netcluster gauge %q by shard\n# TYPE %s gauge\n", fam, name, fam); err != nil {
+			return err
+		}
+		for _, m := range members {
+			v, ok := m.Snap.Gauges[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{shard=%q} %d\n", fam, promLabel(m.Label), v); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, name := range union(func(s Snapshot) []string { return keys(s.Histograms) }) {
+		fam := promName(name)
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s netcluster histogram %q (log2 buckets) by shard\n# TYPE %s histogram\n",
+			fam, name, fam); err != nil {
+			return err
+		}
+		var parts []HistogramSnapshot
+		for _, m := range members {
+			h, ok := m.Snap.Histograms[name]
+			if !ok {
+				continue
+			}
+			parts = append(parts, h)
+			label := promLabel(m.Label)
+			cum := uint64(0)
+			for _, b := range h.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket{shard=%q,le=\"%d\"} %d\n", fam, label, b.High, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{shard=%q,le=\"+Inf\"} %d\n%s_sum{shard=%q} %d\n%s_count{shard=%q} %d\n",
+				fam, label, h.Count, fam, label, h.Sum, fam, label, h.Count); err != nil {
+				return err
+			}
+		}
+		merged := MergeHistogramSnapshots(parts...)
+		for _, q := range []struct {
+			suffix string
+			v      float64
+		}{{"_cluster_p50", merged.P50}, {"_cluster_p95", merged.P95}, {"_cluster_p99", merged.P99}} {
+			qfam := fam + q.suffix
+			if _, err := fmt.Fprintf(w,
+				"# HELP %s netcluster histogram %q cluster-wide quantile (merged buckets)\n# TYPE %s gauge\n%s %s\n",
+				qfam, name, qfam, qfam, promFloat(q.v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func keys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	return names
+}

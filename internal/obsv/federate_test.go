@@ -1,0 +1,153 @@
+package obsv
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestMergeHistogramSnapshots: merging N snapshots is equivalent to one
+// histogram that observed all the values.
+func TestMergeHistogramSnapshots(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var a, b, whole Histogram
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 20))
+		if i%3 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		whole.Observe(v)
+	}
+	got := MergeHistogramSnapshots(a.Snapshot(), b.Snapshot())
+	want := whole.Snapshot()
+	if got.Count != want.Count || got.Sum != want.Sum || got.Max != want.Max {
+		t.Fatalf("merged count/sum/max %d/%d/%d, want %d/%d/%d",
+			got.Count, got.Sum, got.Max, want.Count, want.Sum, want.Max)
+	}
+	if got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 {
+		t.Fatalf("merged quantiles %v/%v/%v, want %v/%v/%v",
+			got.P50, got.P95, got.P99, want.P50, want.P95, want.P99)
+	}
+	if len(got.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged %d buckets, want %d", len(got.Buckets), len(want.Buckets))
+	}
+	for i := range got.Buckets {
+		if got.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: %+v != %+v", i, got.Buckets[i], want.Buckets[i])
+		}
+	}
+}
+
+func TestMergeHistogramSnapshotsEmpty(t *testing.T) {
+	if got := MergeHistogramSnapshots(); got.Count != 0 || got.P99 != 0 {
+		t.Fatalf("empty merge = %+v", got)
+	}
+}
+
+func federatedMembers() []MemberSnapshot {
+	mk := func(batches uint64, lag int64, latencies ...int64) Snapshot {
+		r := NewRegistry()
+		r.Counter("node.batches").Add(batches)
+		r.Gauge("feed.lag").Set(lag)
+		h := r.Histogram("batch.ns")
+		for _, v := range latencies {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	return []MemberSnapshot{
+		{Label: "0", Snap: mk(100, 0, 1000, 2000, 4000, 800000)},
+		{Label: "1", Snap: mk(350, 3, 1500, 3000, 900000, 950000)},
+	}
+}
+
+func TestWriteFederatedPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFederatedPrometheus(&buf, federatedMembers()); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+
+	for _, want := range []string{
+		`netcluster_node_batches_total{shard="0"} 100`,
+		`netcluster_node_batches_total{shard="1"} 350`,
+		`netcluster_feed_lag{shard="0"} 0`,
+		`netcluster_feed_lag{shard="1"} 3`,
+		`netcluster_batch_ns_bucket{shard="0",le="+Inf"} 4`,
+		`netcluster_batch_ns_count{shard="1"} 4`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q:\n%s", want, page)
+		}
+	}
+
+	// Cluster-wide quantiles exist, are unlabeled, and reflect the merged
+	// distribution (the p99 must land in the slow shard's range even
+	// though shard 0 alone would put it far lower).
+	var p99 string
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, "netcluster_batch_ns_cluster_p99 ") {
+			p99 = strings.Fields(line)[1]
+		}
+	}
+	if p99 == "" {
+		t.Fatalf("no cluster p99 in page:\n%s", page)
+	}
+	members := federatedMembers()
+	merged := MergeHistogramSnapshots(
+		members[0].Snap.Histograms["batch.ns"], members[1].Snap.Histograms["batch.ns"])
+	if merged.P99 < 524288 {
+		t.Fatalf("merged p99 %v does not reflect the slow shard", merged.P99)
+	}
+	if p99 != promFloat(merged.P99) {
+		t.Fatalf("page p99 %s != merged %s", p99, promFloat(merged.P99))
+	}
+
+	// No duplicate series: every non-comment line's identity
+	// (family + label set) appears exactly once.
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(page, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id := line[:strings.LastIndex(line, " ")]
+		if seen[id] {
+			t.Fatalf("duplicate series %q", id)
+		}
+		seen[id] = true
+	}
+
+	// Deterministic: a second render is byte-identical.
+	var again bytes.Buffer
+	if err := WriteFederatedPrometheus(&again, federatedMembers()); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != page {
+		t.Fatal("federated page not deterministic")
+	}
+}
+
+// TestWriteFederatedPrometheusPartial: a series missing from one member
+// renders only the members that have it — no zero-filled fabrications.
+func TestWriteFederatedPrometheusPartial(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("only.here").Inc()
+	members := []MemberSnapshot{
+		{Label: "a", Snap: r.Snapshot()},
+		{Label: "b", Snap: NewRegistry().Snapshot()},
+	}
+	var buf bytes.Buffer
+	if err := WriteFederatedPrometheus(&buf, members); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	if !strings.Contains(page, `netcluster_only_here_total{shard="a"} 1`) {
+		t.Fatalf("missing shard a series:\n%s", page)
+	}
+	if strings.Contains(page, `{shard="b"}`) {
+		t.Fatalf("fabricated series for empty member:\n%s", page)
+	}
+}

@@ -38,6 +38,12 @@ type Config struct {
 	Breaker *retry.Breaker
 	// Registry is the metric source (nil = obsv.Default).
 	Registry *obsv.Registry
+	// Snapshot overrides the collection source: when set, each tick
+	// diffs this function's result instead of Registry.Snapshot().
+	// Wiring a shard.Aggregator's FederatedSnapshot here exports the
+	// cluster-wide federated view through the same durable sink path a
+	// single process uses.
+	Snapshot func() obsv.Snapshot
 	// Now is the batch timestamp clock, overridable in tests.
 	Now func() time.Time
 	// Logf receives operational warnings (nil = discarded).
@@ -266,10 +272,15 @@ func (e *Exporter) CollectNow() {
 	e.collect()
 }
 
-// collect diffs the registry and appends the resulting batch to the WAL
-// and the in-memory queue. Requires opMu.
+// collect diffs the snapshot source (Config.Snapshot, default the
+// registry) and appends the resulting batch to the WAL and the
+// in-memory queue. Requires opMu.
 func (e *Exporter) collect() {
-	samples := e.delta.Collect(e.cfg.Registry.Snapshot())
+	snap := e.cfg.Registry.Snapshot
+	if e.cfg.Snapshot != nil {
+		snap = e.cfg.Snapshot
+	}
+	samples := e.delta.Collect(snap())
 	if len(samples) == 0 {
 		return
 	}

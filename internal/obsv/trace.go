@@ -73,6 +73,11 @@ type SpanRecord struct {
 var (
 	traceIDSeq atomic.Uint64
 	spanIDSeq  atomic.Uint64
+
+	// idSalt is ORed into every minted ID (see SetTraceIDSalt). Zero by
+	// default so single-process runs and tests keep the small,
+	// reproducible IDs the doc comment above promises.
+	idSalt atomic.Uint64
 )
 
 // TSpan is an open trace span. The zero value and nil are inert: every
@@ -99,9 +104,9 @@ func (r *Registry) StartTraceSpan(ctx context.Context, name string) (context.Con
 		s.sc.TraceID = parent.TraceID
 		s.parent = parent.SpanID
 	} else {
-		s.sc.TraceID = traceIDSeq.Add(1)
+		s.sc.TraceID = idSalt.Load() | traceIDSeq.Add(1)
 	}
-	s.sc.SpanID = spanIDSeq.Add(1)
+	s.sc.SpanID = idSalt.Load() | spanIDSeq.Add(1)
 	return ContextWithSpan(ctx, s.sc), s
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/netaware/netcluster/internal/bgp"
@@ -20,6 +21,13 @@ var (
 	followerResyncs  = obsv.C("shard.follower.resyncs")
 	followerErrors   = obsv.C("shard.follower.errors")
 	followerLag      = obsv.G("shard.follower.lag")
+
+	// feedLagGens is the SLO form of follower lag: generations between
+	// the feed's head and this follower's table, as measured against
+	// /feed/status. Unlike shard.follower.lag (updated only when a delta
+	// fetch succeeds), the Lag probe keeps this gauge honest while the
+	// follower is stuck, which is exactly when an operator needs it.
+	feedLagGens = obsv.G("shard.feed.lag.generations")
 )
 
 // DefaultPollEvery is the follower's delta-fetch cadence when the
@@ -41,7 +49,13 @@ type Follower struct {
 	PollEvery time.Duration // Run's fetch cadence; 0 = DefaultPollEvery
 	MaxFetch  int           // per-fetch delta cap; 0 = server default
 
-	seq uint64 // last applied sequence number
+	// MonitorEvery is Run's lag-probe cadence: how often a background
+	// Lag call measures this follower against the feed's /feed/status
+	// head. 0 disables the monitor (Step still updates the gauges on
+	// every successful fetch).
+	MonitorEvery time.Duration
+
+	seq atomic.Uint64 // last applied sequence number
 }
 
 // Join seeds a follower from the feed's snapshot endpoint: it downloads
@@ -63,17 +77,18 @@ func Join(base string, client *http.Client, keep func(netutil.Prefix) bool) (*Fo
 // retained log, the first Step resyncs from the live snapshot — so a
 // stale snapshot costs one extra download, never a wrong table.
 func RejoinFromSnapshot(base string, client *http.Client, c *bgp.Compiled, meta bgp.TableMeta, keep func(netutil.Prefix) bool) *Follower {
-	return &Follower{
+	f := &Follower{
 		Base:   base,
 		Client: client,
 		Keep:   keep,
 		Table:  churn.NewFromCompiled(c, keep, meta.Generation),
-		seq:    meta.Seq,
 	}
+	f.seq.Store(meta.Seq)
+	return f
 }
 
 // Seq returns the last applied sequence number.
-func (f *Follower) Seq() uint64 { return f.seq }
+func (f *Follower) Seq() uint64 { return f.seq.Load() }
 
 func (f *Follower) client() *http.Client {
 	if f.Client != nil {
@@ -118,7 +133,11 @@ func (f *Follower) resync() error {
 		f.Table.Reseed(c, f.Keep, seq)
 		followerResyncs.Inc()
 	}
-	f.seq = seq
+	f.seq.Store(seq)
+	// The snapshot is the stream head (or close to it); report caught up
+	// until the next fetch or probe measures the real distance.
+	followerLag.Set(0)
+	feedLagGens.Set(0)
 	f.logf("shard follower: seeded from snapshot at seq %d", seq)
 	return nil
 }
@@ -130,7 +149,7 @@ func (f *Follower) resync() error {
 // leaving the table silently diverged. Zero applied with nil error
 // means caught up.
 func (f *Follower) Step(ctx context.Context) (int, error) {
-	url := fmt.Sprintf("%s%s?from=%d", f.Base, DeltasPath, f.seq)
+	url := fmt.Sprintf("%s%s?from=%d", f.Base, DeltasPath, f.seq.Load())
 	if f.MaxFetch > 0 {
 		url += fmt.Sprintf("&max=%d", f.MaxFetch)
 	}
@@ -148,7 +167,7 @@ func (f *Follower) Step(ctx context.Context) (int, error) {
 	case http.StatusOK:
 	case http.StatusGone:
 		io.Copy(io.Discard, resp.Body)
-		f.logf("shard follower: seq %d fell off the feed log, resyncing", f.seq)
+		f.logf("shard follower: seq %d fell off the feed log, resyncing", f.seq.Load())
 		return 0, f.resync()
 	default:
 		followerErrors.Inc()
@@ -162,8 +181,8 @@ func (f *Follower) Step(ctx context.Context) (int, error) {
 	}
 	applied := 0
 	for _, wd := range dr.Deltas {
-		if wd.Seq != f.seq+1 {
-			f.logf("shard follower: sequence gap (have %d, got %d), resyncing", f.seq, wd.Seq)
+		if wd.Seq != f.seq.Load()+1 {
+			f.logf("shard follower: sequence gap (have %d, got %d), resyncing", f.seq.Load(), wd.Seq)
 			return applied, f.resync()
 		}
 		d, err := DecodeDelta(wd)
@@ -183,22 +202,76 @@ func (f *Follower) Step(ctx context.Context) (int, error) {
 			f.logf("shard follower: generation %d != seq %d, resyncing", st.Generation, wd.Seq)
 			return applied, f.resync()
 		}
-		f.seq = wd.Seq
+		f.seq.Store(wd.Seq)
 		applied++
 		followerApplied.Inc()
 	}
-	followerLag.Set(int64(dr.Head - f.seq))
+	lag := int64(dr.Head - f.seq.Load())
+	followerLag.Set(lag)
+	feedLagGens.Set(lag)
 	return applied, nil
+}
+
+// Lag measures this follower's generation lag against the feed's
+// /feed/status head without fetching or applying anything, and updates
+// the lag gauges. It is safe to call concurrently with Step/Run — this
+// is the probe Run's lag monitor drives, so a follower wedged behind a
+// paused or partitioned feed still reports its true, growing distance.
+func (f *Follower) Lag(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.Base+StatusPath, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("feed status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("feed status: %s", resp.Status)
+	}
+	var st struct {
+		Head uint64 `json:"head"`
+	}
+	if err := decodeJSONBody(resp.Body, &st); err != nil {
+		return 0, fmt.Errorf("feed status: %w", err)
+	}
+	var lag uint64
+	if seq := f.seq.Load(); st.Head > seq {
+		lag = st.Head - seq
+	}
+	followerLag.Set(int64(lag))
+	feedLagGens.Set(int64(lag))
+	return lag, nil
 }
 
 // Run polls the feed until ctx is done, resyncing through transient
 // errors. Fetch errors are logged and retried on the next tick —
 // partitions heal; a follower that exits on the first dropped
-// connection doesn't.
+// connection doesn't. When MonitorEvery is set, a background probe
+// additionally measures lag against /feed/status on that cadence, so
+// the lag gauges keep moving even while delta fetches stall.
 func (f *Follower) Run(ctx context.Context) {
 	every := f.PollEvery
 	if every <= 0 {
 		every = DefaultPollEvery
+	}
+	if f.MonitorEvery > 0 {
+		go func() {
+			tick := time.NewTicker(f.MonitorEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				if _, err := f.Lag(ctx); err != nil && ctx.Err() == nil {
+					f.logf("shard follower: lag probe: %v", err)
+				}
+			}
+		}()
 	}
 	tick := time.NewTicker(every)
 	defer tick.Stop()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"time"
 
 	"github.com/netaware/netcluster/internal/bgp"
 	"github.com/netaware/netcluster/internal/bgpsim"
@@ -21,6 +22,11 @@ type ClusterConfig struct {
 	Burstiness float64 // churn burst probability
 	MaxLog     int     // feed retention; 0 = DefaultMaxLog
 	Logf       func(format string, args ...any)
+
+	// FederateEvery is the router aggregator's staleness bound
+	// (RouterConfig.FederateEvery); tests set it tiny so every
+	// /metrics/cluster scrape pulls fresh shard snapshots.
+	FederateEvery time.Duration
 }
 
 // Cluster is a whole sharded deployment in one process: a compiler node
@@ -136,7 +142,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		f.Logf = logf
 		c.Followers = append(c.Followers, f)
-		sh, err := startServer((&NodeServer{Table: f.Table}).Handler())
+		sh, err := startServer((&NodeServer{Table: f.Table, ShardID: i}).Handler())
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -145,7 +151,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.Map.Shards[i].Addr = sh.base
 	}
 
-	c.Router, err = NewRouter(RouterConfig{Map: c.Map})
+	c.Router, err = NewRouter(RouterConfig{Map: c.Map, FederateEvery: cfg.FederateEvery})
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -220,7 +226,7 @@ func (c *Cluster) ReviveNode(i int) error {
 	if !c.dead[i] {
 		return nil
 	}
-	sh, err := startServer((&NodeServer{Table: c.Followers[i].Table}).Handler())
+	sh, err := startServer((&NodeServer{Table: c.Followers[i].Table, ShardID: i}).Handler())
 	if err != nil {
 		return err
 	}

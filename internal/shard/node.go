@@ -31,6 +31,7 @@ const DefaultMaxBatch = 100000
 type NodeServer struct {
 	Table    TableSource
 	MaxBatch int // 0 = DefaultMaxBatch
+	ShardID  int // annotates this node's trace spans with its shard index
 }
 
 // TableSource is the read surface a node serves from — *churn.Table
@@ -41,19 +42,25 @@ type TableSource interface {
 	Generation() uint64
 }
 
-// Handler returns the node's mux.
+// Handler returns the node's mux. /metrics.json serves the process
+// registry snapshot — what a router-side Aggregator federates.
 func (n *NodeServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/lookup", n.handleLookup)
 	mux.HandleFunc("/cluster", n.handleBatch)
 	mux.HandleFunc("/healthz", n.handleHealthz)
+	mux.Handle(MetricsSnapshotPath, obsv.SnapshotHandler())
 	return mux
 }
 
 func (n *NodeServer) handleLookup(w http.ResponseWriter, r *http.Request) {
+	_, span := obsv.StartTraceSpan(obsv.HTTPExtract(r.Context(), r.Header), "node.lookup")
+	span.SetAttrInt("shard", int64(n.ShardID))
+	defer span.End()
 	q := r.URL.Query().Get("addr")
 	addr, err := netutil.ParseAddr(q)
 	if err != nil {
+		span.Fail(err)
 		http.Error(w, fmt.Sprintf("bad addr %q: %v", q, err), http.StatusBadRequest)
 		return
 	}
@@ -64,6 +71,9 @@ func (n *NodeServer) handleLookup(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *NodeServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ctx, span := obsv.StartTraceSpan(obsv.HTTPExtract(r.Context(), r.Header), "node.batch")
+	span.SetAttrInt("shard", int64(n.ShardID))
+	defer span.End()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST an address list", http.StatusMethodNotAllowed)
 		return
@@ -74,6 +84,7 @@ func (n *NodeServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	addrs, err := ParseAddrList(r.Body, maxBatch)
 	if err != nil {
+		span.Fail(err)
 		status := http.StatusBadRequest
 		if err == errBatchTooLarge {
 			status = http.StatusRequestEntityTooLarge
@@ -81,7 +92,10 @@ func (n *NodeServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
+	span.SetAttrInt("addrs", int64(len(addrs)))
+	_, lspan := obsv.StartTraceSpan(ctx, "node.table")
 	matches, gen := n.Table.LookupBatch(addrs, nil)
+	lspan.End()
 	resp := BatchResponse{Generation: gen, Results: make([]LookupResult, len(addrs))}
 	for i, a := range addrs {
 		resp.Results[i] = ResolveMatch(a, matches[i], gen)

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/netaware/netcluster/internal/netutil"
@@ -33,6 +34,11 @@ type RouterConfig struct {
 	Client   *http.Client  // nil = http.DefaultClient
 	Timeout  time.Duration // per-shard request budget; 0 = DefaultRouterTimeout
 	MaxBatch int           // addresses per routed batch; 0 = DefaultMaxBatch
+
+	// FederateEvery bounds how stale the metrics aggregator behind
+	// /metrics/cluster and /readyz may get before a request triggers a
+	// fresh pull of the shards' snapshots; 0 = DefaultFederateEvery.
+	FederateEvery time.Duration
 }
 
 // Router fans batch clustering requests out across the shard map and
@@ -43,7 +49,31 @@ type RouterConfig struct {
 // contract — where any error failed the whole batch — because in a
 // cluster the common failure is one node, not all of them.
 type Router struct {
-	cfg RouterConfig
+	cfg      RouterConfig
+	agg      *Aggregator
+	stats    []shardStat
+	draining atomic.Bool
+}
+
+// shardStat is one shard's router-side SLO accounting: its slice of
+// every fan-out timed into a histogram, requests/errors counted, and
+// the running error rate as a basis-point gauge — the per-shard view
+// that tells a flapping node from a slow one.
+type shardStat struct {
+	ns       *obsv.Histogram
+	requests *obsv.Counter
+	errors   *obsv.Counter
+	errorBP  *obsv.Gauge // errors per 10,000 requests
+}
+
+func (st *shardStat) record(d time.Duration, failed bool) {
+	st.ns.Observe(d.Nanoseconds())
+	n := st.requests.Add(1)
+	e := st.errors.Value()
+	if failed {
+		e = st.errors.Add(1)
+	}
+	st.errorBP.Set(int64(e * 10000 / n))
 }
 
 // NewRouter validates the map and returns a router over it.
@@ -68,32 +98,82 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
-	return &Router{cfg: cfg}, nil
+	rt := &Router{cfg: cfg, stats: make([]shardStat, len(cfg.Map.Shards))}
+	for i := range rt.stats {
+		prefix := "shard.router.s" + strconv.Itoa(i) + "."
+		rt.stats[i] = shardStat{
+			ns:       obsv.H(prefix + "ns"),
+			requests: obsv.C(prefix + "requests"),
+			errors:   obsv.C(prefix + "errors"),
+			errorBP:  obsv.G(prefix + "error_bp"),
+		}
+	}
+	agg, err := NewAggregator(AggregatorConfig{
+		Members: func() []Member {
+			members := make([]Member, len(cfg.Map.Shards))
+			for i, s := range cfg.Map.Shards {
+				members[i] = Member{Label: strconv.Itoa(s.ID), Base: s.Addr}
+			}
+			return members
+		},
+		Client:  cfg.Client,
+		Timeout: cfg.Timeout,
+		MaxAge:  cfg.FederateEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.agg = agg
+	return rt, nil
 }
+
+// Aggregator returns the router's metrics federation point (the engine
+// behind /metrics/cluster and /readyz), for embedders that want to wire
+// its FederatedSnapshot into a sink exporter.
+func (rt *Router) Aggregator() *Aggregator { return rt.agg }
+
+// SetDraining flips the router's readiness: a draining router answers
+// /readyz 503 so load balancers stop sending new work, while in-flight
+// and even new batches still succeed during the drain window.
+func (rt *Router) SetDraining(v bool) { rt.draining.Store(v) }
 
 // Map returns the router's shard map.
 func (rt *Router) Map() *Map { return rt.cfg.Map }
 
 // Handler returns the router's mux: POST /cluster (fan-out batch),
 // GET /lookup (single-address proxy), GET /shardmap (the live map),
-// GET /healthz (fan-out probe).
+// GET /healthz (fan-out probe), GET /readyz (readiness: draining state,
+// live-shard count and aggregator staleness), GET /metrics/cluster (the
+// federated cluster metrics page).
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cluster", rt.handleBatch)
 	mux.HandleFunc("/lookup", rt.handleLookup)
 	mux.HandleFunc("/shardmap", rt.handleShardMap)
 	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/readyz", rt.handleReadyz)
+	mux.Handle("/metrics/cluster", rt.agg.Handler())
 	return mux
 }
 
-// Batch routes one probe batch: group by shard, one concurrent POST
+// Batch routes one probe batch with no inbound context: a fresh trace
+// root. Kept for compatibility; request paths should call BatchCtx so
+// the fan-out parents into the caller's trace.
+func (rt *Router) Batch(addrs []netutil.Addr) *RouterBatchResponse {
+	return rt.BatchCtx(context.Background(), addrs)
+}
+
+// BatchCtx routes one probe batch: group by shard, one concurrent POST
 // /cluster per non-empty shard, scatter the answers back into input
 // order. Always returns a response; per-shard failures are recorded in
-// it, never escalated.
-func (rt *Router) Batch(addrs []netutil.Addr) *RouterBatchResponse {
+// it, never escalated. The trace span tree roots in ctx — an inbound
+// request whose header carried a span context makes the whole fan-out,
+// including every shard's server-side spans, part of the caller's
+// trace.
+func (rt *Router) BatchCtx(ctx context.Context, addrs []netutil.Addr) *RouterBatchResponse {
 	m := rt.cfg.Map
 	start := time.Now()
-	_, span := obsv.StartTraceSpan(context.Background(), "router.batch")
+	ctx, span := obsv.StartTraceSpan(ctx, "router.batch")
 
 	groups := m.Group(addrs)
 	resp := &RouterBatchResponse{
@@ -111,9 +191,16 @@ func (rt *Router) Batch(addrs []netutil.Addr) *RouterBatchResponse {
 		wg.Add(1)
 		go func(sid int, idxs []int) {
 			defer wg.Done()
-			br, err := rt.shardBatch(m.Shards[sid].Addr, addrs, idxs)
+			sctx, sspan := obsv.StartTraceSpan(ctx, "router.shard")
+			sspan.SetAttrInt("shard", int64(sid))
+			sspan.SetAttrInt("addrs", int64(len(idxs)))
+			shardStart := time.Now()
+			br, err := rt.shardBatch(sctx, m.Shards[sid].Addr, addrs, idxs)
+			rt.stats[sid].record(time.Since(shardStart), err != nil)
 			if err != nil {
 				routerShardErrs.Inc()
+				sspan.Fail(err)
+				sspan.End()
 				reports[sid].Error = err.Error()
 				for _, i := range idxs {
 					resp.Results[i] = RouterResult{
@@ -124,6 +211,7 @@ func (rt *Router) Batch(addrs []netutil.Addr) *RouterBatchResponse {
 				}
 				return
 			}
+			sspan.End()
 			reports[sid].Generation = br.Generation
 			for k, i := range idxs {
 				resp.Results[i] = RouterResult{LookupResult: br.Results[k], Shard: sid}
@@ -157,17 +245,20 @@ func (rt *Router) Batch(addrs []netutil.Addr) *RouterBatchResponse {
 }
 
 // shardBatch sends one shard its contiguous probe slice and validates
-// the response shape (one result per address, input order).
-func (rt *Router) shardBatch(base string, addrs []netutil.Addr, idxs []int) (*BatchResponse, error) {
+// the response shape (one result per address, input order). The span
+// context carried by ctx rides the request as an X-Netcluster-Trace
+// header, so the shard's server-side spans join this trace.
+func (rt *Router) shardBatch(ctx context.Context, base string, addrs []netutil.Addr, idxs []int) (*BatchResponse, error) {
 	var body bytes.Buffer
 	for _, i := range idxs {
 		body.WriteString(addrs[i].String())
 		body.WriteByte('\n')
 	}
-	req, err := http.NewRequest(http.MethodPost, base+"/cluster", &body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/cluster", &body)
 	if err != nil {
 		return nil, err
 	}
+	obsv.HTTPInject(ctx, req.Header)
 	client := rt.cfg.Client
 	if rt.cfg.Timeout > 0 {
 		c := *client
@@ -207,7 +298,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	resp := rt.Batch(addrs)
+	resp := rt.BatchCtx(obsv.HTTPExtract(r.Context(), r.Header), addrs)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
@@ -221,7 +312,7 @@ func (rt *Router) handleLookup(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sid := rt.cfg.Map.ShardFor(addr)
-	resp := rt.Batch([]netutil.Addr{addr})
+	resp := rt.BatchCtx(obsv.HTTPExtract(r.Context(), r.Header), []netutil.Addr{addr})
 	res := resp.Results[0]
 	if res.Error != "" {
 		http.Error(w, fmt.Sprintf("shard %d: %s", sid, res.Error), http.StatusBadGateway)
@@ -277,4 +368,31 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintf(w, "ok shards=%d map_version=%d\n", len(m.Shards), m.Version)
+}
+
+// handleReadyz mirrors clusterd's readiness semantics at the router: a
+// draining router or one that can reach no shard at all answers 503 so
+// load balancers rotate it out; a partially-degraded cluster stays
+// ready (partial answers are the router's contract) but the body says
+// so. The live-shard count and staleness come from the metrics
+// aggregator, refreshed when older than FederateEvery.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	rt.agg.refreshIfStale(r.Context())
+	live, total := rt.agg.LiveShards(), len(rt.cfg.Map.Shards)
+	staleMS := rt.agg.Staleness().Milliseconds()
+	if live == 0 {
+		http.Error(w, fmt.Sprintf("no live shards (0/%d)", total), http.StatusServiceUnavailable)
+		return
+	}
+	if live < total {
+		fmt.Fprintf(w, "ready (degraded %d/%d shards live) staleness_ms=%d map_version=%d\n",
+			live, total, staleMS, rt.cfg.Map.Version)
+		return
+	}
+	fmt.Fprintf(w, "ready shards=%d/%d staleness_ms=%d map_version=%d\n",
+		live, total, staleMS, rt.cfg.Map.Version)
 }

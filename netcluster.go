@@ -32,6 +32,7 @@
 package netcluster
 
 import (
+	"context"
 	"io"
 	"net/http"
 
@@ -195,6 +196,10 @@ type (
 	ShardRouter = shard.Router
 	// ShardRouterConfig configures a ShardRouter over a ShardMap.
 	ShardRouterConfig = shard.RouterConfig
+	// MetricsAggregator federates the shard nodes' metric registries
+	// behind a router: per-shard labeled series plus cluster-wide
+	// quantiles merged exactly from the shards' log2 buckets.
+	MetricsAggregator = shard.Aggregator
 	// TableMeta is the snapshot sidecar recording a table's generation
 	// and delta-stream position, enabling warm starts.
 	TableMeta = bgp.TableMeta
@@ -476,6 +481,33 @@ func TraceHandler() http.Handler { return obsv.TraceHandler() }
 // Chrome trace_event JSON (what clusterctl and experiments emit for
 // -trace-out).
 func WriteTrace(path string) error { return obsv.WriteTraceFile(path) }
+
+// TraceHeader is the HTTP header that carries a span context across
+// process boundaries (traceparent-shaped:
+// "00-<32 hex trace id>-<16 hex span id>-<2 hex flags>"). The shard
+// router stamps it on fan-out requests and clusterd extracts it, so one
+// TraceID spans a whole cluster's flight recorders; embedders can join
+// their own callers' traces with InjectTrace/ExtractTrace.
+const TraceHeader = obsv.TraceHeader
+
+// InjectTrace stamps ctx's span context (if any) onto h as the
+// TraceHeader, making an outbound request part of the current trace.
+func InjectTrace(ctx context.Context, h http.Header) { obsv.HTTPInject(ctx, h) }
+
+// ExtractTrace returns ctx carrying the span context from h's
+// TraceHeader, or ctx unchanged if the header is absent or malformed —
+// a bad caller costs itself its trace, never the request.
+func ExtractTrace(ctx context.Context, h http.Header) context.Context {
+	return obsv.HTTPExtract(ctx, h)
+}
+
+// MergeTraces stitches per-process flight-recorder dumps (Chrome
+// trace_event JSON, e.g. each node's /debug/trace) into one trace with
+// a named process lane group per input — what `tracecheck -merge`
+// writes and chrome://tracing renders as one cluster-wide timeline.
+func MergeTraces(names []string, dumps [][]byte) ([]byte, error) {
+	return obsv.MergeChromeTraces(names, dumps)
+}
 
 // Push export: the durable counterpart to the pull surfaces above. A
 // SinkManager ships metric deltas to declared backends (HTTP push, a

@@ -28,6 +28,7 @@ package netcluster_test
 
 import (
 	"context"
+	"net/http"
 	"testing"
 
 	"github.com/netaware/netcluster/internal/benchfmt"
@@ -80,8 +81,20 @@ func TestInstrumentationOverheadBudget(t *testing.T) {
 			sp.End()
 		}
 	})
-	t.Logf("unit costs: atomic add %.1f ns, observe %.1f ns, span %.0f ns, trace span %.0f ns",
-		atomicNs, observeNs, spanNs, tspanNs)
+	// One cross-process propagation hop: formatting the trace header onto
+	// an outbound request plus parsing it back on the receiving side.
+	headerNs := perOpNs(func(n int) {
+		hctx, sp := reg.StartTraceSpan(context.Background(), "overhead.probe")
+		defer sp.End()
+		h := make(http.Header, 4)
+		base := context.Background()
+		for i := 0; i < n; i++ {
+			obsv.HTTPInject(hctx, h)
+			obsv.HTTPExtract(base, h)
+		}
+	})
+	t.Logf("unit costs: atomic add %.1f ns, observe %.1f ns, span %.0f ns, trace span %.0f ns, header hop %.0f ns",
+		atomicNs, observeNs, spanNs, tspanNs, headerNs)
 
 	// Client populations behind the per-client amortized counters.
 	f := perfSetup(t)
@@ -94,27 +107,35 @@ func TestInstrumentationOverheadBudget(t *testing.T) {
 		obs     float64 // histogram observes per benchmark op
 		spans   float64 // ASpan start/end pairs per benchmark op
 		tspans  float64 // trace spans (start/attr/End + ring record) per op
+		headers float64 // trace-header inject+extract hops per op
 	}{
 		// Compiled.Lookup itself: instrumented nowhere, on purpose.
-		{"BenchmarkLongestPrefixMatchCompiled", 0, 0, 0, 0},
+		{"BenchmarkLongestPrefixMatchCompiled", 0, 0, 0, 0, 0},
 		// The batch lookup kernel: like the single-probe walk it carries
 		// zero instrumentation ops — counting and 1-in-64 depth sampling
 		// are replayed by the memoized cluster layer (ClusterBatch), never
 		// inside the kernel, so batching cannot tax the per-address cost.
-		{"BenchmarkLookupBatch", 0, 0, 0, 0},
+		{"BenchmarkLookupBatch", 0, 0, 0, 0, 0},
 		// StreamCLF: one parseTally flush (fast+strict+bytes counters)
 		// and one "weblog.stream" trace span wrapping the whole pass.
-		{"BenchmarkCLFParseStream", 3, 0, 0, 1},
+		{"BenchmarkCLFParseStream", 3, 0, 0, 1, 0},
 		// Sequential ClusterLog, plain table: one lookup counter per
 		// distinct client plus at most one no-match counter, then the
 		// three result flushes. One "cluster.log" trace span wraps the
 		// run.
-		{"BenchmarkClusterLogNetworkAware", 2*naganoClients + 3, 0, 0, 1},
+		{"BenchmarkClusterLogNetworkAware", 2*naganoClients + 3, 0, 0, 1, 0},
 		// workers-1 falls back to the sequential path with the compiled
 		// engine: per distinct client one lookup counter, at most one
 		// no-match, and a 1-in-64 sampled depth observe; three flushes
 		// and the sequential trace span per run.
-		{"BenchmarkClusterLogParallel/workers-1", 2*apacheClients + 3, apacheClients / 64, 0, 1},
+		{"BenchmarkClusterLogParallel/workers-1", 2*apacheClients + 3, apacheClients / 64, 0, 1, 0},
+		// The traced routed batch across 3 shards: one router.batch span,
+		// per shard a router.shard span + header inject, and on each node
+		// an extract plus node.batch/node.table spans — 10 trace spans and
+		// 3 full header hops. Per-shard SLO stats cost a latency observe
+		// and three counter/gauge ops, the node side two counters; the
+		// router's own batch/addr counters round the atomics up to 17.
+		{"BenchmarkRouterFanout", 17, 3, 0, 10, 3},
 	}
 
 	const budget = 0.01
@@ -124,7 +145,8 @@ func TestInstrumentationOverheadBudget(t *testing.T) {
 			t.Errorf("committed recording lacks %s; rerun `make bench-json`", row.name)
 			continue
 		}
-		overhead := row.atomics*atomicNs + row.obs*observeNs + row.spans*spanNs + row.tspans*tspanNs
+		overhead := row.atomics*atomicNs + row.obs*observeNs + row.spans*spanNs +
+			row.tspans*tspanNs + row.headers*headerNs
 		frac := overhead / committed.NsPerOp
 		t.Logf("%-42s modeled %8.0f ns of %12.0f ns/op = %.3f%%",
 			row.name, overhead, committed.NsPerOp, 100*frac)
