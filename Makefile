@@ -10,7 +10,7 @@ GO ?= go
 # Benchmarks of the compiled lookup table, batch lookup kernel, snapshot
 # loader, parallel clustering engines and CLF fast path; bench-json
 # freezes their numbers into BENCH_clustering.json.
-PERF_BENCH = LongestPrefixMatch|LookupBatch|SnapshotLoad|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF|Churn|RouterFanout|RouterSingleShard|DeltaBroadcast|TraceHeader
+PERF_BENCH = LongestPrefixMatch|LookupBatch|SnapshotLoad|TableCompile|ClusterLog|ClusterStreamParallel|CLFParseStream|WriteCLF|Churn|RouterFanout|RouterSingleShard|DeltaBroadcast|TraceHeader|SketchUpdate|BoundedStream
 
 # Every fuzz target in the tree, as pkg-dir:FuzzName pairs. fuzz-smoke
 # runs each for FUZZTIME so corpus-breaking regressions (and fresh
@@ -22,13 +22,14 @@ FUZZ_TARGETS = \
 	internal/bgp:FuzzParsePrefixEntry \
 	internal/bgp:FuzzReadSnapshot \
 	internal/bgp:FuzzReadTable \
-	internal/dnswire:FuzzDecode
+	internal/dnswire:FuzzDecode \
+	internal/sketch:FuzzSketchMerge
 FUZZTIME ?= 20s
 
 # Advisory statement-coverage floor for the cover target.
 COVER_MIN ?= 70
 
-.PHONY: all build test test-short race vet fmt fmt-check chaos chaos-smoke cluster-smoke cluster-obsv-smoke bench-json bench-gate bench-smoke snapshot-smoke trace-smoke fuzz-smoke cover check clean
+.PHONY: all build test test-short race vet fmt fmt-check chaos chaos-smoke cluster-smoke cluster-obsv-smoke firehose-smoke bench-json bench-gate bench-smoke snapshot-smoke trace-smoke fuzz-smoke cover check clean
 
 all: build
 
@@ -120,6 +121,26 @@ bench-gate:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(PERF_BENCH)' -benchtime 10x . > /dev/null
 
+# The firehose acceptance lane: the sketch property tests and the
+# differential soak (bounded accumulator vs exact counts over the four
+# paper profiles plus an adversarial Zipf stream) under -race, then the
+# RSS-ceiling run — a FIREHOSE_REQUESTS-address replay through the
+# bounded path that must stay under a hard heap ceiling while its top-K
+# exactly matches an unbounded second pass. On failure the RSS trace
+# and the flight-recorder tail land in bin/firehose-artifacts
+# (FIREHOSE_ARTIFACTS) for CI to upload. The default 100M-address
+# ceiling run takes ~2 minutes; set FIREHOSE_REQUESTS smaller for a
+# quick local pass.
+FIREHOSE_REQUESTS ?= 100000000
+firehose-smoke:
+	@mkdir -p bin/firehose-artifacts
+	FIREHOSE_ARTIFACTS=$(CURDIR)/bin/firehose-artifacts \
+		$(GO) test -count=1 -race -v ./internal/sketch
+	FIREHOSE_ARTIFACTS=$(CURDIR)/bin/firehose-artifacts \
+		$(GO) test -count=1 -race -run 'TestBounded|TestClusterStreamBounded|TestFirehoseDifferential' -v ./internal/cluster
+	FIREHOSE_ARTIFACTS=$(CURDIR)/bin/firehose-artifacts FIREHOSE_REQUESTS=$(FIREHOSE_REQUESTS) \
+		$(GO) test -count=1 -timeout 20m -run 'TestFirehoseRSSCeiling' -v ./internal/cluster
+
 # Short differential-fuzz pass over every target. Each run still replays
 # the checked-in corpus first, so this also acts as a regression gate for
 # past crashers (e.g. the weblog empty-timestamp seed).
@@ -167,7 +188,7 @@ trace-smoke:
 	./bin/experiments -scale 0.02 -trace-out bin/trace.json perf
 	./bin/tracecheck bin/trace.json
 
-check: vet fmt-check race chaos-smoke cluster-smoke cluster-obsv-smoke bench-smoke
+check: vet fmt-check race chaos-smoke cluster-smoke cluster-obsv-smoke firehose-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -22,6 +22,7 @@ import (
 	"github.com/netaware/netcluster/internal/obsv"
 	"github.com/netaware/netcluster/internal/radix"
 	"github.com/netaware/netcluster/internal/shard"
+	"github.com/netaware/netcluster/internal/sketch"
 	"github.com/netaware/netcluster/internal/stats"
 	"github.com/netaware/netcluster/internal/tracesim"
 	"github.com/netaware/netcluster/internal/validate"
@@ -702,6 +703,73 @@ func BenchmarkChurnLookup(b *testing.B) {
 			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 			b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
 		})
+	}
+}
+
+// ---- Firehose: bounded busy-cluster accounting (BENCH_clustering.json) -----
+
+// A Zipf-distributed /24 population far larger than the summary
+// capacity, so the bounded path exercises its steady state: heavy
+// hitters monitored, the tail spilling to the sketch on every
+// eviction. Shared by both firehose benchmarks.
+var (
+	firehoseOnce     sync.Once
+	firehoseKeys     []uint64
+	firehosePrefixes []netutil.Prefix
+)
+
+func firehoseBenchSetup() {
+	firehoseOnce.Do(func() {
+		rng := rand.New(rand.NewSource(11))
+		zipf := rand.NewZipf(rng, 1.07, 1, 1<<20-1)
+		firehoseKeys = make([]uint64, 1<<16)
+		firehosePrefixes = make([]netutil.Prefix, 1<<16)
+		for i := range firehoseKeys {
+			rank := zipf.Uint64()
+			firehoseKeys[i] = rank
+			// Injective rank -> /24 spread over the address space.
+			base := netutil.Addr((rank * 2654435761 & 0xFFFFFF) << 8)
+			firehosePrefixes[i] = netutil.PrefixFrom(base, 24)
+		}
+	})
+}
+
+// BenchmarkSketchUpdate prices one conservative count-min update at the
+// accumulator's default dimensions — the per-eviction cost of the spill
+// path. Gated in cmd/benchdiff with allocs/op == 0: the whole point of
+// the sketch is that the hot path never touches the allocator.
+func BenchmarkSketchUpdate(b *testing.B) {
+	firehoseBenchSetup()
+	cm, err := sketch.NewCountMinError(1e-4, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.AddConservative(firehoseKeys[i%len(firehoseKeys)], 1)
+	}
+}
+
+// BenchmarkBoundedStream prices one address through the bounded
+// accumulator in eviction steady state (1M-cluster universe, 4096
+// monitored counters): summary hit or evict-and-spill, whichever the
+// Zipf draw lands on. Also benchdiff-gated at allocs/op == 0 — a
+// firehose consumer must not generate garbage per request.
+func BenchmarkBoundedStream(b *testing.B) {
+	firehoseBenchSetup()
+	acc, err := cluster.NewBoundedAccumulator(cluster.BoundedConfig{
+		K: 32, Capacity: 4096, Epsilon: 1e-3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-fill past capacity so evictions happen from iteration one.
+	for _, p := range firehosePrefixes {
+		acc.Observe(p, 200)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Observe(firehosePrefixes[i%len(firehosePrefixes)], 200)
 	}
 }
 

@@ -9,6 +9,10 @@
 // the snapshot loader — the hot paths the observability layer must not
 // tax) additionally enforce -threshold: a gated row whose ns/op or
 // allocs/op grew by more than the threshold fraction exits nonzero.
+// Rows matching -zero-alloc (default: the sketch update and bounded
+// accumulator firehose paths) must additionally report exactly zero
+// allocs/op in the fresh recording — an absolute contract, not a
+// delta, so it binds even before a baseline row exists.
 // When the fresh recording carries both the single-probe compiled bench
 // and the batch kernel bench, -min-batch-speedup additionally enforces
 // the kernel's raison d'être: per-address batch cost at least that many
@@ -34,8 +38,10 @@ func main() {
 	oldPath := flag.String("old", "BENCH_clustering.json", "baseline recording")
 	newPath := flag.String("new", "", "fresh recording to compare (required)")
 	threshold := flag.Float64("threshold", 0.25, "max allowed fractional regression on gated rows")
-	gate := flag.String("gate", "^Benchmark(LongestPrefixMatchCompiled|CLFParseStream|LookupBatch|SnapshotLoad|RouterFanout|DeltaBroadcast|TraceHeaderInject|TraceHeaderExtract)$",
+	gate := flag.String("gate", "^Benchmark(LongestPrefixMatchCompiled|CLFParseStream|LookupBatch|SnapshotLoad|RouterFanout|DeltaBroadcast|TraceHeaderInject|TraceHeaderExtract|SketchUpdate|BoundedStream)$",
 		"regexp of benchmark names whose regressions fail the gate")
+	zeroAlloc := flag.String("zero-alloc", "^Benchmark(SketchUpdate|BoundedStream)$",
+		"regexp of benchmark names whose fresh allocs/op must be exactly 0 — the firehose hot paths are garbage-free by contract, and unlike the fractional gate this holds even when the baseline lacks the row (empty disables)")
 	minBatchSpeedup := flag.Float64("min-batch-speedup", 3,
 		"minimum single-probe-ns / batch-ns-per-address ratio in the fresh recording (0 disables)")
 	minShardScaling := flag.Float64("min-shard-scaling", 0.3,
@@ -50,6 +56,12 @@ func main() {
 	gateRe, err := regexp.Compile(*gate)
 	if err != nil {
 		fatal(fmt.Errorf("bad -gate pattern: %w", err))
+	}
+	var zeroRe *regexp.Regexp
+	if *zeroAlloc != "" {
+		if zeroRe, err = regexp.Compile(*zeroAlloc); err != nil {
+			fatal(fmt.Errorf("bad -zero-alloc pattern: %w", err))
+		}
 	}
 	oldRec, err := benchfmt.ReadFile(*oldPath)
 	if err != nil {
@@ -94,6 +106,22 @@ func main() {
 	}
 	if compared == 0 {
 		fatal(fmt.Errorf("no benchmarks in common between %s and %s", *oldPath, *newPath))
+	}
+	if zeroRe != nil {
+		for _, nb := range newRec.Benchmarks {
+			if !zeroRe.MatchString(nb.Name) {
+				continue
+			}
+			switch {
+			case nb.AllocsPerOp == nil:
+				failed++
+				fmt.Printf("\nFAIL: %s recorded without allocs/op; run the fresh benchmarks with -benchmem\n", nb.Name)
+			case *nb.AllocsPerOp != 0:
+				failed++
+				fmt.Printf("\nFAIL: %s allocates (%g allocs/op); the firehose hot path must be garbage-free\n",
+					nb.Name, *nb.AllocsPerOp)
+			}
+		}
 	}
 	if *minBatchSpeedup > 0 {
 		single, ok1 := newRec.Find("BenchmarkLongestPrefixMatchCompiled")

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"github.com/netaware/netcluster/internal/appconf"
+	"github.com/netaware/netcluster/internal/cluster"
 	"github.com/netaware/netcluster/internal/obsv/sink"
 )
 
@@ -49,6 +50,11 @@ type fileConfig struct {
 	ChurnEvery     *appconf.Duration `json:"churn_every,omitempty"`
 	DrainTimeout   *appconf.Duration `json:"drain_timeout,omitempty"`
 	QueueHighWater *int              `json:"queue_high_water,omitempty"`
+	BusyK          *int              `json:"busy_k,omitempty"`
+	BusyCapacity   *int              `json:"busy_capacity,omitempty"`
+	SketchEpsilon  *float64          `json:"sketch_epsilon,omitempty"`
+	SketchDelta    *float64          `json:"sketch_delta,omitempty"`
+	SketchSpill    *string           `json:"sketch_spill,omitempty"`
 	Sinks          []sinkSpec        `json:"sinks,omitempty"`
 }
 
@@ -80,6 +86,34 @@ func parseFileConfig(data []byte) (fileConfig, error) {
 	if c.QueueHighWater != nil && *c.QueueHighWater < 1 {
 		return c, fmt.Errorf("queue_high_water %d: must be >= 1", *c.QueueHighWater)
 	}
+	if c.BusyK != nil && *c.BusyK < 1 {
+		return c, fmt.Errorf("busy_k %d: must be >= 1", *c.BusyK)
+	}
+	if c.BusyCapacity != nil && *c.BusyCapacity < 1 {
+		return c, fmt.Errorf("busy_capacity %d: must be >= 1", *c.BusyCapacity)
+	}
+	// The sketch keys validate as one unit through the accumulator's own
+	// rules, with absent keys at their defaults — exactly the shape a
+	// reload will hand the busy tracker.
+	bc := cluster.BoundedConfig{}
+	if c.BusyK != nil {
+		bc.K = *c.BusyK
+	}
+	if c.BusyCapacity != nil {
+		bc.Capacity = *c.BusyCapacity
+	}
+	if c.SketchEpsilon != nil {
+		bc.Epsilon = *c.SketchEpsilon
+	}
+	if c.SketchDelta != nil {
+		bc.Delta = *c.SketchDelta
+	}
+	if c.SketchSpill != nil {
+		bc.Spill = cluster.SpillPolicy(*c.SketchSpill)
+	}
+	if err := bc.Validate(); err != nil {
+		return c, err
+	}
 	if err := sink.ValidateSpecs(toSinkSpecs(c.Sinks)); err != nil {
 		return c, err
 	}
@@ -96,6 +130,11 @@ type tunables struct {
 	ChurnEvery     appconf.Duration `json:"churn_every"`
 	DrainTimeout   appconf.Duration `json:"drain_timeout"`
 	QueueHighWater int              `json:"queue_high_water"`
+	BusyK          int              `json:"busy_k"`
+	BusyCapacity   int              `json:"busy_capacity"`
+	SketchEpsilon  float64          `json:"sketch_epsilon"`
+	SketchDelta    float64          `json:"sketch_delta"`
+	SketchSpill    string           `json:"sketch_spill"`
 }
 
 // merge overlays the file config onto the flag-seeded base. For each
@@ -132,6 +171,26 @@ func merge(base tunables, fc fileConfig, explicit map[string]bool, logf func(str
 	}
 	if fc.QueueHighWater != nil {
 		out.QueueHighWater = *fc.QueueHighWater
+	}
+	if fc.BusyK != nil {
+		shadow("busy_k", "busy-k", base.BusyK, *fc.BusyK)
+		out.BusyK = *fc.BusyK
+	}
+	if fc.BusyCapacity != nil {
+		shadow("busy_capacity", "busy-capacity", base.BusyCapacity, *fc.BusyCapacity)
+		out.BusyCapacity = *fc.BusyCapacity
+	}
+	if fc.SketchEpsilon != nil {
+		shadow("sketch_epsilon", "sketch-epsilon", base.SketchEpsilon, *fc.SketchEpsilon)
+		out.SketchEpsilon = *fc.SketchEpsilon
+	}
+	if fc.SketchDelta != nil {
+		shadow("sketch_delta", "sketch-delta", base.SketchDelta, *fc.SketchDelta)
+		out.SketchDelta = *fc.SketchDelta
+	}
+	if fc.SketchSpill != nil {
+		shadow("sketch_spill", "sketch-spill", base.SketchSpill, *fc.SketchSpill)
+		out.SketchSpill = *fc.SketchSpill
 	}
 	return out
 }

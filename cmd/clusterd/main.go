@@ -11,6 +11,9 @@
 //
 //	GET  /lookup?addr=12.65.147.94   one address → cluster prefix JSON
 //	POST /cluster                    newline-separated addresses → JSON
+//	GET  /busy?k=20                  current top-K busy clusters, from
+//	                                 the bounded accumulator every batch
+//	                                 feeds (-busy-k, -sketch-epsilon)
 //	GET  /healthz                    liveness + table generation
 //	GET  /readyz                     readiness (false while draining,
 //	                                 while the config file is invalid, or
@@ -117,6 +120,7 @@ type server struct {
 	table   *churn.Table
 	sem     *dynamicSemaphore
 	tun     atomic.Pointer[tunables]
+	busy    *busyTracker
 	started time.Time
 
 	draining atomic.Bool
@@ -209,6 +213,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	_, lspan := obsv.StartTraceSpan(ctx, "clusterd.batch.lookup")
 	matches := table.LookupBatch(addrs, nil)
 	lspan.End()
+	// Fold the resolved batch into the busy-cluster accumulator: one
+	// lock per batch, fixed memory regardless of how many distinct
+	// clusters the firehose touches.
+	s.busy.observeMatches(matches)
 	resp := shard.BatchResponse{Generation: gen, Results: make([]shard.LookupResult, len(addrs))}
 	for i, addr := range addrs {
 		resp.Results[i] = shard.ResolveMatch(addr, matches[i], gen)
@@ -319,6 +327,11 @@ func main() {
 	feedPoll := flag.Duration("feed-poll", shard.DefaultPollEvery, "delta-fetch cadence when following a feed")
 	shardIndex := flag.Int("shard-index", 0, "this node's shard id in the cluster map (with -shard-count)")
 	shardCount := flag.Int("shard-count", 0, "total shards in the cluster map; restricts the local table to this node's /8 range (0: keep the full table)")
+	busyK := flag.Int("busy-k", 100, "how many busy clusters /busy reports with exact counts")
+	busyCapacity := flag.Int("busy-capacity", 0, "monitored-counter budget for busy-cluster accounting (0: 8x busy-k)")
+	sketchEpsilon := flag.Float64("sketch-epsilon", 1e-4, "tail sketch error bound: unmonitored cluster estimates overshoot by at most epsilon x total requests")
+	sketchDelta := flag.Float64("sketch-delta", 0.01, "tail sketch failure probability for the epsilon bound")
+	sketchSpill := flag.String("sketch-spill", "sketch", "what happens to evicted clusters: 'sketch' keeps them queryable within the error bound, 'drop' halves the footprint")
 	configPath := flag.String("config", "", "watched JSON config file; its keys override flags and hot-reload")
 	configPoll := flag.Duration("config-poll", 2*time.Second, "poll interval for -config changes")
 	sinkDir := flag.String("sink-dir", "", "directory for push-sink WALs (default: <tmp>/clusterd-sinks)")
@@ -447,15 +460,25 @@ func main() {
 	}
 
 	flagTun := tunables{
-		MaxInflight:  *maxInflight,
-		MaxBatch:     *maxBatch,
-		MaxBodyBytes: *maxBody,
-		ChurnEvery:   appconf.Duration(*churnEvery),
-		DrainTimeout: appconf.Duration(*drainTimeout),
+		MaxInflight:   *maxInflight,
+		MaxBatch:      *maxBatch,
+		MaxBodyBytes:  *maxBody,
+		ChurnEvery:    appconf.Duration(*churnEvery),
+		DrainTimeout:  appconf.Duration(*drainTimeout),
+		BusyK:         *busyK,
+		BusyCapacity:  *busyCapacity,
+		SketchEpsilon: *sketchEpsilon,
+		SketchDelta:   *sketchDelta,
+		SketchSpill:   *sketchSpill,
+	}
+	busy, err := newBusyTracker(flagTun.boundedConfig())
+	if err != nil {
+		fatal(err)
 	}
 	s := &server{
 		table:    table,
 		sem:      newDynamicSemaphore(flagTun.MaxInflight),
+		busy:     busy,
 		started:  time.Now(),
 		follower: follower,
 	}
@@ -476,6 +499,7 @@ func main() {
 		t := merge(flagTun, cur.Config, explicit, logf)
 		s.tun.Store(&t)
 		s.sem.SetCap(t.MaxInflight)
+		s.busy.reconfigure(t.boundedConfig(), logf)
 		if err := s.sinks.Apply(toSinkSpecs(cur.Config.Sinks)); err != nil {
 			// Specs were validated at parse; this is an environment
 			// failure (WAL dir unwritable). The previous sink set serves.
@@ -570,6 +594,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/lookup", s.handleLookup)
 	mux.HandleFunc("/cluster", s.handleBatch)
+	mux.HandleFunc("/busy", s.busy.handleBusy)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/config", s.handleDebugConfig)

@@ -1,0 +1,222 @@
+// Command loadgen replays web-client request streams against a
+// clusterd batch endpoint at a configured open-loop arrival rate — the
+// firehose side of the repo: where clusterd proves it can absorb a
+// request flood in fixed memory, loadgen proves someone is honestly
+// producing the flood and honestly measuring the latency.
+//
+//	loadgen -target http://127.0.0.1:8349 -rate 20000 -requests 1000000
+//	loadgen -clf access.log -rate 50000
+//	loadgen -profile nagano -scale 0.05 -seed 7 -duration 30s
+//
+// Two address sources:
+//
+//   - -clf FILE: replay the client column of a Common Log Format log in
+//     order ("-" reads stdin).
+//   - synthetic (default): a seeded streaming generator over a synthetic
+//     Internet (internal/weblog.StreamGen) with the paper's workload
+//     profiles — same seed, same address sequence, every run.
+//
+// The generator is open-loop and coordinated-omission safe: batches
+// have intended send times fixed by -rate alone, and the reported
+// "intended" latencies run from those times, so server stalls surface
+// as the tail latencies a real arrival process would have seen instead
+// of silently slowing the generator. "service" latencies (send →
+// response) are reported alongside; the gap is server queueing. The
+// max-drift line reports how far dispatch fell behind schedule — if it
+// is large, raise -concurrency or lower -rate: the generator itself
+// was the bottleneck and even intended latencies undercount.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/netaware/netcluster/internal/inet"
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/report"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+// synthSource adapts weblog.StreamGen to the runner's AddrSource.
+type synthSource struct{ g *weblog.StreamGen }
+
+func (s synthSource) Next() (netutil.Addr, bool) { return s.g.Next().Client, true }
+
+// clfSource streams client addresses out of a CLF log via a parser
+// goroutine; the bounded channel keeps memory flat however large the
+// log is.
+type clfSource struct {
+	ch   chan netutil.Addr
+	errc chan error
+}
+
+func newCLFSource(r io.Reader) *clfSource {
+	s := &clfSource{ch: make(chan netutil.Addr, 4096), errc: make(chan error, 1)}
+	go func() {
+		defer close(s.ch)
+		_, err := weblog.StreamCLF(r, func(rec weblog.StreamRecord) bool {
+			s.ch <- rec.Request.Client
+			return true
+		})
+		s.errc <- err
+	}()
+	return s
+}
+
+func (s *clfSource) Next() (netutil.Addr, bool) {
+	a, ok := <-s.ch
+	return a, ok
+}
+
+func (s *clfSource) Err() error {
+	select {
+	case err := <-s.errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+func profileConfig(name string, scale float64, seed int64) (weblog.GenConfig, error) {
+	for _, cfg := range weblog.Profiles(scale) {
+		if strings.EqualFold(cfg.Name, name) {
+			cfg.Seed = seed
+			return cfg, nil
+		}
+	}
+	return weblog.GenConfig{}, fmt.Errorf("unknown profile %q (want apache, ew3, nagano or sun)", name)
+}
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8349", "clusterd base URL")
+	rate := flag.Float64("rate", 5000, "offered load in addresses per second (open loop)")
+	batch := flag.Int("batch", 256, "addresses per POST /cluster")
+	requests := flag.Int("requests", 100000, "total addresses to send (0: drain the source; synthetic sources never drain)")
+	duration := flag.Duration("duration", 0, "alternative stop condition: run this long at -rate (overrides -requests)")
+	concurrency := flag.Int("concurrency", 16, "max in-flight batches")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-batch HTTP timeout")
+	clf := flag.String("clf", "", "replay this CLF log's client addresses ('-': stdin) instead of synthesizing")
+	profile := flag.String("profile", "nagano", "synthetic workload profile: apache, ew3, nagano or sun")
+	scale := flag.Float64("scale", 0.01, "synthetic profile scale factor")
+	seed := flag.Int64("seed", 1, "synthetic generator seed (same seed, same address sequence)")
+	ases := flag.Int("ases", 300, "synthetic world size; match the target's -ases so addresses cluster")
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON on stdout")
+	flag.Parse()
+
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+
+	n := *requests
+	if *duration > 0 {
+		n = int(duration.Seconds() * *rate)
+		if n < 1 {
+			n = 1
+		}
+	}
+
+	var (
+		src AddrSource
+		cs  *clfSource
+	)
+	if *clf != "" {
+		var r io.Reader = os.Stdin
+		if *clf != "-" {
+			f, err := os.Open(*clf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		cs = newCLFSource(bufio.NewReaderSize(r, 1<<20))
+		src = cs
+	} else {
+		wcfg := inet.DefaultConfig()
+		wcfg.NumASes = *ases
+		wcfg.Seed = *seed
+		world, err := inet.Generate(wcfg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err := profileConfig(*profile, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := weblog.NewStreamGen(world, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if n <= 0 {
+			fatal(fmt.Errorf("synthetic source is endless; set -requests or -duration"))
+		}
+		logf("loadgen: profile %s seed %d: %s clients over a %d-AS world",
+			cfg.Name, *seed, report.FmtInt(g.NumClients()), *ases)
+		src = synthSource{g}
+	}
+
+	runner := NewRunner(RunnerOptions{
+		Target:      strings.TrimRight(*target, "/"),
+		Rate:        *rate,
+		Batch:       *batch,
+		MaxRequests: n,
+		Concurrency: *concurrency,
+		Timeout:     *timeout,
+		Logf:        logf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logf("loadgen: offering %s addrs/sec to %s in batches of %d (%s total)",
+		report.FmtInt(int(*rate)), *target, *batch, report.FmtInt(n))
+	sum, err := runner.Run(ctx, src)
+	if err != nil {
+		fatal(err)
+	}
+	if cs != nil {
+		if err := cs.Err(); err != nil {
+			fatal(fmt.Errorf("reading %s: %w", *clf, err))
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fatal(err)
+		}
+	} else {
+		printSummary(os.Stdout, sum)
+	}
+	if sum.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func printSummary(w io.Writer, s *Summary) {
+	fmt.Fprintf(w, "sent      %s addrs in %d batches over %v (offered %s/s, achieved %s/s)\n",
+		report.FmtInt(s.Sent), s.Batches, s.Elapsed.Round(time.Millisecond),
+		report.FmtInt(int(s.OfferedRate)), report.FmtInt(int(s.AchievedRate)))
+	fmt.Fprintf(w, "answers   %s clustered, %s unclustered, %d rejected (503), %d failed\n",
+		report.FmtInt(s.Clustered), report.FmtInt(s.Unclustered), s.Rejected, s.Failed)
+	fmt.Fprintf(w, "latency   intended p50 %v  p99 %v  max %v  (coordinated-omission safe)\n",
+		s.IntendedP50.Round(time.Microsecond), s.IntendedP99.Round(time.Microsecond), s.IntendedMax.Round(time.Microsecond))
+	fmt.Fprintf(w, "          service  p50 %v  p99 %v  max %v\n",
+		s.ServiceP50.Round(time.Microsecond), s.ServiceP99.Round(time.Microsecond), s.ServiceMax.Round(time.Microsecond))
+	fmt.Fprintf(w, "schedule  max drift %v\n", s.MaxDrift.Round(time.Microsecond))
+	if s.MaxGeneration > 0 {
+		fmt.Fprintf(w, "table     generations %d..%d\n", s.MinGeneration, s.MaxGeneration)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,368 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/shard"
+)
+
+// The open-loop replay engine. The defining property is
+// coordinated-omission safety: every batch has an *intended* send time
+// fixed by the configured arrival rate alone, and client-perceived
+// latency is measured from that intended time to the response — not
+// from whenever the client finally got around to sending. A server
+// that stalls therefore cannot hide behind its own backpressure: the
+// batches queued behind the stall record the whole wait, exactly what
+// a real user arriving at the intended moment would have experienced.
+// The service histogram (send → response) is kept alongside, so the
+// gap between the two is the queueing the server inflicted.
+
+// AddrSource yields client addresses to replay; ok is false when the
+// stream ends.
+type AddrSource interface {
+	Next() (netutil.Addr, bool)
+}
+
+// RunnerOptions configures one replay run.
+type RunnerOptions struct {
+	Target      string        // clusterd base URL
+	Rate        float64       // addresses per second (open-loop arrival rate)
+	Batch       int           // addresses per POST /cluster
+	MaxRequests int           // stop after this many addresses (0: drain the source)
+	Concurrency int           // max in-flight batches
+	Timeout     time.Duration // per-request HTTP timeout
+	Client      *http.Client  // optional; built from Timeout when nil
+	Logf        func(format string, args ...any)
+}
+
+func (o RunnerOptions) withDefaults() RunnerOptions {
+	if o.Rate <= 0 {
+		o.Rate = 5000
+	}
+	if o.Batch <= 0 {
+		o.Batch = 256
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 16
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// latencyHist is a fixed log2-bucketed nanosecond histogram with an
+// exact max — the same shape as obsv's, kept local so concurrent runs
+// (and tests) never share state through a process-global registry.
+type latencyHist struct {
+	buckets [64]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	v := d.Nanoseconds()
+	if v < 0 {
+		v = 0
+	}
+	i := 0
+	for b := v; b > 0; b >>= 1 {
+		i++
+	}
+	if i > 63 {
+		i = 63
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// quantile interpolates within the log2 bucket holding the rank.
+func (h *latencyHist) quantile(q float64) time.Duration {
+	var counts [64]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank >= float64(total) {
+		rank = float64(total) - 0.5
+	}
+	var seen float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if rank < float64(seen)+float64(c) {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << (i - 1))
+			hi := float64(uint64(1)<<i - 1)
+			return time.Duration(lo + (rank-seen)/float64(c)*(hi-lo))
+		}
+		seen += float64(c)
+	}
+	return time.Duration(h.max.Load())
+}
+
+func (h *latencyHist) mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(c))
+}
+
+// Summary is one run's outcome.
+type Summary struct {
+	Sent         int           `json:"sent"`        // addresses dispatched
+	Clustered    int           `json:"clustered"`   // addresses the server clustered
+	Unclustered  int           `json:"unclustered"` // addresses no prefix covered
+	Batches      int           `json:"batches"`
+	Rejected     int           `json:"rejected"` // 503 backpressure answers
+	Failed       int           `json:"failed"`   // transport errors / non-2xx
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	OfferedRate  float64       `json:"offered_rate"`  // configured addresses/sec
+	AchievedRate float64       `json:"achieved_rate"` // sent / elapsed
+
+	// MaxDrift is how far dispatch fell behind the intended schedule at
+	// its worst — the honesty metric of an open-loop generator: a large
+	// drift means the *generator* (not the server) became the bottleneck
+	// and even intended-time latencies are an undercount.
+	MaxDrift time.Duration `json:"max_drift_ns"`
+
+	// Intended latencies run from the schedule's intended send time to
+	// the response (coordinated-omission safe); Service latencies from
+	// the actual send. The gap between them is server-inflicted queueing.
+	IntendedP50  time.Duration `json:"intended_p50_ns"`
+	IntendedP99  time.Duration `json:"intended_p99_ns"`
+	IntendedMax  time.Duration `json:"intended_max_ns"`
+	IntendedMean time.Duration `json:"intended_mean_ns"`
+	ServiceP50   time.Duration `json:"service_p50_ns"`
+	ServiceP99   time.Duration `json:"service_p99_ns"`
+	ServiceMax   time.Duration `json:"service_max_ns"`
+	ServiceMean  time.Duration `json:"service_mean_ns"`
+
+	// Generations spans the table generations observed across responses;
+	// a run across a churn swap sees more than one.
+	MinGeneration uint64 `json:"min_generation"`
+	MaxGeneration uint64 `json:"max_generation"`
+}
+
+// Runner replays an address stream against a clusterd batch endpoint.
+type Runner struct {
+	opts     RunnerOptions
+	client   *http.Client
+	intended latencyHist
+	service  latencyHist
+
+	mu          sync.Mutex
+	clustered   int
+	unclustered int
+	rejected    int
+	failed      int
+	minGen      uint64
+	maxGen      uint64
+}
+
+func NewRunner(opts RunnerOptions) *Runner {
+	opts = opts.withDefaults()
+	c := opts.Client
+	if c == nil {
+		c = &http.Client{Timeout: opts.Timeout}
+	}
+	return &Runner{opts: opts, client: c}
+}
+
+// Run replays src until it drains or MaxRequests is reached. The
+// dispatcher sleeps to each batch's intended time and then acquires an
+// in-flight slot; when the server is slow that acquisition blocks
+// past the intended time, and the delay is charged to the batch (its
+// latency clock started at the intended time regardless).
+func (r *Runner) Run(ctx context.Context, src AddrSource) (*Summary, error) {
+	o := r.opts
+	interval := time.Duration(float64(o.Batch) / o.Rate * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	sem := make(chan struct{}, o.Concurrency)
+	var wg sync.WaitGroup
+	var maxDrift atomic.Int64
+
+	start := time.Now()
+	sent, batches := 0, 0
+	var runErr error
+loop:
+	for i := 0; ; i++ {
+		limit := o.Batch
+		if o.MaxRequests > 0 && o.MaxRequests-sent < limit {
+			limit = o.MaxRequests - sent
+		}
+		if limit == 0 {
+			break
+		}
+		var body strings.Builder
+		n := 0
+		for n < limit {
+			addr, ok := src.Next()
+			if !ok {
+				break
+			}
+			body.WriteString(addr.String())
+			body.WriteByte('\n')
+			n++
+		}
+		if n == 0 {
+			break
+		}
+		intended := start.Add(time.Duration(i) * interval)
+		if d := time.Until(intended); d > 0 {
+			select {
+			case <-ctx.Done():
+				runErr = ctx.Err()
+				break loop
+			case <-time.After(d):
+			}
+		}
+		if drift := time.Since(intended); drift > time.Duration(maxDrift.Load()) {
+			maxDrift.Store(int64(drift))
+		}
+		select {
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			break loop
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(intended time.Time, body string, n int) {
+			defer func() { <-sem; wg.Done() }()
+			r.post(ctx, intended, body, n)
+		}(intended, body.String(), n)
+		sent += n
+		batches++
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	elapsed := time.Since(start)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Summary{
+		Sent:          sent,
+		Clustered:     r.clustered,
+		Unclustered:   r.unclustered,
+		Batches:       batches,
+		Rejected:      r.rejected,
+		Failed:        r.failed,
+		Elapsed:       elapsed,
+		OfferedRate:   o.Rate,
+		MaxDrift:      time.Duration(maxDrift.Load()),
+		IntendedP50:   r.intended.quantile(0.50),
+		IntendedP99:   r.intended.quantile(0.99),
+		IntendedMax:   time.Duration(r.intended.max.Load()),
+		IntendedMean:  r.intended.mean(),
+		ServiceP50:    r.service.quantile(0.50),
+		ServiceP99:    r.service.quantile(0.99),
+		ServiceMax:    time.Duration(r.service.max.Load()),
+		ServiceMean:   r.service.mean(),
+		MinGeneration: r.minGen,
+		MaxGeneration: r.maxGen,
+	}
+	if elapsed > 0 {
+		s.AchievedRate = float64(sent) / elapsed.Seconds()
+	}
+	return s, nil
+}
+
+// post sends one batch and records both latency views. Rejections
+// (503) and failures are counted, not retried: an open-loop generator
+// measures the system as offered, it does not negotiate.
+func (r *Runner) post(ctx context.Context, intended time.Time, body string, n int) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.opts.Target+"/cluster", strings.NewReader(body))
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	sendStart := time.Now()
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		r.mu.Lock()
+		r.rejected++
+		r.mu.Unlock()
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		r.fail(fmt.Errorf("batch answered %s", resp.Status))
+		return
+	}
+	var br shard.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		r.fail(fmt.Errorf("decoding batch response: %w", err))
+		return
+	}
+	done := time.Now()
+	r.intended.observe(done.Sub(intended))
+	r.service.observe(done.Sub(sendStart))
+
+	clustered := 0
+	for _, res := range br.Results {
+		if res.Clustered {
+			clustered++
+		}
+	}
+	r.mu.Lock()
+	r.clustered += clustered
+	r.unclustered += len(br.Results) - clustered
+	if r.minGen == 0 || br.Generation < r.minGen {
+		r.minGen = br.Generation
+	}
+	if br.Generation > r.maxGen {
+		r.maxGen = br.Generation
+	}
+	r.mu.Unlock()
+	if len(br.Results) != n {
+		r.fail(fmt.Errorf("batch of %d answered with %d results", n, len(br.Results)))
+	}
+}
+
+func (r *Runner) fail(err error) {
+	r.mu.Lock()
+	r.failed++
+	r.mu.Unlock()
+	r.opts.Logf("loadgen: %v", err)
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/shard"
+)
+
+// fakeServer answers /cluster like clusterd: one result per address
+// line. stallFirst makes the first batch hang, modeling a server
+// pause; status overrides the answer code for every batch.
+type fakeServer struct {
+	stallFirst time.Duration
+	status     func(batch int) int // nil: always 200
+	gen        uint64
+
+	batches atomic.Int64
+	addrs   atomic.Int64
+}
+
+func (f *fakeServer) handler(w http.ResponseWriter, r *http.Request) {
+	batch := int(f.batches.Add(1))
+	var results []shard.LookupResult
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		addr, err := netutil.ParseAddr(sc.Text())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.addrs.Add(1)
+		res := shard.LookupResult{Addr: addr.String(), Generation: f.gen}
+		// Even last octet → clustered into its /24; odd → unclusterable.
+		if addr%2 == 0 {
+			res.Clustered = true
+			res.Prefix = netutil.PrefixFrom(addr, 24).String()
+		}
+		results = append(results, res)
+	}
+	if batch == 1 && f.stallFirst > 0 {
+		time.Sleep(f.stallFirst)
+	}
+	if f.status != nil {
+		if code := f.status(batch); code != http.StatusOK {
+			http.Error(w, "nope", code)
+			return
+		}
+	}
+	json.NewEncoder(w).Encode(shard.BatchResponse{Generation: f.gen, Results: results})
+}
+
+// seqSource yields sequential addresses forever.
+type seqSource struct{ next uint32 }
+
+func (s *seqSource) Next() (netutil.Addr, bool) {
+	s.next++
+	return netutil.Addr(0x0A000000 + s.next), true
+}
+
+func TestRunnerCountsAndAccounting(t *testing.T) {
+	fs := &fakeServer{gen: 7}
+	srv := httptest.NewServer(http.HandlerFunc(fs.handler))
+	defer srv.Close()
+
+	r := NewRunner(RunnerOptions{
+		Target:      srv.URL,
+		Rate:        1e9, // no pacing: this test is about accounting
+		Batch:       64,
+		MaxRequests: 1000,
+		Concurrency: 4,
+		Logf:        t.Logf,
+	})
+	sum, err := r.Run(context.Background(), &seqSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sent != 1000 || sum.Batches != 16 {
+		t.Fatalf("sent %d in %d batches, want 1000 in 16", sum.Sent, sum.Batches)
+	}
+	if got := fs.addrs.Load(); got != 1000 {
+		t.Fatalf("server saw %d addrs", got)
+	}
+	if sum.Clustered+sum.Unclustered != 1000 || sum.Clustered != 500 {
+		t.Fatalf("clustered %d + unclustered %d, want 500 + 500", sum.Clustered, sum.Unclustered)
+	}
+	if sum.Failed != 0 || sum.Rejected != 0 {
+		t.Fatalf("failed %d rejected %d, want 0", sum.Failed, sum.Rejected)
+	}
+	if sum.MinGeneration != 7 || sum.MaxGeneration != 7 {
+		t.Fatalf("generations %d..%d, want 7..7", sum.MinGeneration, sum.MaxGeneration)
+	}
+	if sum.ServiceP50 <= 0 || sum.IntendedP50 <= 0 {
+		t.Fatalf("latency histograms empty: intended p50 %v, service p50 %v", sum.IntendedP50, sum.ServiceP50)
+	}
+}
+
+func TestRunnerBackpressureAndFailures(t *testing.T) {
+	fs := &fakeServer{status: func(batch int) int {
+		switch batch % 3 {
+		case 0:
+			return http.StatusServiceUnavailable
+		case 1:
+			return http.StatusInternalServerError
+		default:
+			return http.StatusOK
+		}
+	}}
+	srv := httptest.NewServer(http.HandlerFunc(fs.handler))
+	defer srv.Close()
+
+	r := NewRunner(RunnerOptions{
+		Target: srv.URL, Rate: 1e9, Batch: 10, MaxRequests: 90, Concurrency: 1, Logf: t.Logf,
+	})
+	sum, err := r.Run(context.Background(), &seqSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Rejected != 3 || sum.Failed != 3 {
+		t.Fatalf("rejected %d failed %d, want 3 and 3 out of 9 batches", sum.Rejected, sum.Failed)
+	}
+	if sum.Clustered+sum.Unclustered != 30 {
+		t.Fatalf("accounted %d addrs, want 30 (3 OK batches)", sum.Clustered+sum.Unclustered)
+	}
+}
+
+// TestRunnerCoordinatedOmission is satellite 4's regression: a server
+// that stalls once must show the stall in the intended-time (arrival
+// clock) latency tail, even though every batch after the first is
+// served fast. A generator that timed requests from the actual send —
+// the coordinated-omission bug — would report a uniformly fast p99
+// here and hide the outage.
+func TestRunnerCoordinatedOmission(t *testing.T) {
+	const stall = 400 * time.Millisecond
+	fs := &fakeServer{stallFirst: stall}
+	srv := httptest.NewServer(http.HandlerFunc(fs.handler))
+	defer srv.Close()
+
+	// concurrency 1: every batch intended during the stall queues behind
+	// it. 30 batches at 25ms spacing: over half the run's arrivals land
+	// inside the 400ms stall window.
+	r := NewRunner(RunnerOptions{
+		Target:      srv.URL,
+		Rate:        2000,
+		Batch:       50,
+		MaxRequests: 1500,
+		Concurrency: 1,
+		Logf:        t.Logf,
+	})
+	sum, err := r.Run(context.Background(), &seqSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("%d batches failed", sum.Failed)
+	}
+	if sum.IntendedMax < stall {
+		t.Fatalf("intended max %v < the %v stall: the arrival clock lost the outage", sum.IntendedMax, stall)
+	}
+	if sum.IntendedP99 < stall/2 {
+		t.Fatalf("intended p99 %v does not show the %v stall", sum.IntendedP99, stall)
+	}
+	// The service clock must stay fast for the median — that contrast is
+	// exactly what coordinated omission would erase.
+	if sum.ServiceP50 > stall/4 {
+		t.Fatalf("service p50 %v: the queued batches were not served fast, test premise broken", sum.ServiceP50)
+	}
+	if sum.IntendedP99 < 4*sum.ServiceP50 {
+		t.Fatalf("intended p99 %v vs service p50 %v: queueing not attributed to arrival latency", sum.IntendedP99, sum.ServiceP50)
+	}
+	// And the generator must admit it fell behind schedule.
+	if sum.MaxDrift < stall/2 {
+		t.Fatalf("max drift %v hides a %v dispatch stall", sum.MaxDrift, stall)
+	}
+}
+
+func TestRunnerContextCancel(t *testing.T) {
+	fs := &fakeServer{}
+	srv := httptest.NewServer(http.HandlerFunc(fs.handler))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(RunnerOptions{Target: srv.URL, Rate: 10, Batch: 10, MaxRequests: 1000, Logf: t.Logf})
+	if _, err := r.Run(ctx, &seqSource{}); err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+}

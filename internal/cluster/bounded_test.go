@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/netaware/netcluster/internal/netutil"
+	"github.com/netaware/netcluster/internal/weblog"
+)
+
+func TestBoundedConfigValidate(t *testing.T) {
+	if err := (BoundedConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config (all defaults) rejected: %v", err)
+	}
+	for _, bad := range []BoundedConfig{
+		{K: 100, Capacity: 10},
+		{Epsilon: 2},
+		{Delta: -1},
+		{Spill: "teleport"},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+	if _, err := NewBoundedAccumulator(BoundedConfig{Spill: "nope"}); err == nil {
+		t.Fatal("constructor accepted invalid config")
+	}
+}
+
+func TestPrefixKeyRoundTrip(t *testing.T) {
+	for _, p := range []netutil.Prefix{
+		mustPrefix(t, "0.0.0.0/0"),
+		mustPrefix(t, "12.0.0.0/8"),
+		mustPrefix(t, "192.168.4.0/22"),
+		mustPrefix(t, "255.255.255.255/32"),
+	} {
+		if got := keyPrefix(prefixKey(p)); got != p {
+			t.Fatalf("%v round-tripped to %v", p, got)
+		}
+	}
+}
+
+func mustPrefix(t *testing.T, s string) netutil.Prefix {
+	t.Helper()
+	p, err := netutil.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBoundedExactWhileUnderCapacity: with fewer distinct clusters
+// than capacity the accumulator IS the exact accumulator — every
+// count and byte total exact, zero evictions, guaranteed top-K.
+func TestBoundedExactWhileUnderCapacity(t *testing.T) {
+	acc, err := NewBoundedAccumulator(BoundedConfig{K: 4, Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixes := []netutil.Prefix{
+		mustPrefix(t, "10.0.0.0/8"),
+		mustPrefix(t, "12.64.0.0/12"),
+		mustPrefix(t, "192.168.0.0/16"),
+	}
+	for i := 0; i < 300; i++ {
+		p := prefixes[i%3]
+		acc.Observe(p, int64(100+i%3))
+	}
+	acc.ObserveUnclustered()
+	if acc.Requests() != 301 || acc.Unclustered() != 1 {
+		t.Fatalf("totals: %d requests, %d unclustered", acc.Requests(), acc.Unclustered())
+	}
+	if acc.Evictions() != 0 || acc.Occupancy() != 3 {
+		t.Fatalf("evictions %d occupancy %d", acc.Evictions(), acc.Occupancy())
+	}
+	for _, p := range prefixes {
+		est, exact := acc.EstimateRequests(p)
+		if !exact || est != 100 {
+			t.Fatalf("%v: estimate %d exact=%v, want 100 exact", p, est, exact)
+		}
+	}
+	if !acc.GuaranteedTopK(3) {
+		t.Fatal("under-capacity top-K not guaranteed")
+	}
+	busy := acc.Busy(4)
+	if len(busy) != 3 {
+		t.Fatalf("busy(4) returned %d clusters", len(busy))
+	}
+	for _, b := range busy {
+		if !b.Exact || b.RequestsErr != 0 || b.BytesErr != 0 {
+			t.Fatalf("under-capacity entry not exact: %+v", b)
+		}
+	}
+}
+
+// TestBoundedSpillPolicies: under SpillSketch an evicted cluster stays
+// queryable within ε·N; under SpillDrop the estimate degrades to the
+// eviction threshold, and the two policies refuse to merge.
+func TestBoundedSpillPolicies(t *testing.T) {
+	sk, err := NewBoundedAccumulator(BoundedConfig{K: 2, Capacity: 2, Epsilon: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := NewBoundedAccumulator(BoundedConfig{K: 2, Capacity: 2, Spill: SpillDrop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := mustPrefix(t, "10.0.0.0/8"), mustPrefix(t, "11.0.0.0/8"), mustPrefix(t, "12.0.0.0/8")
+	for _, acc := range []*BoundedAccumulator{sk, dr} {
+		for i := 0; i < 50; i++ {
+			acc.Observe(a, 10)
+			acc.Observe(b, 10)
+		}
+		acc.Observe(c, 10) // evicts one of the two monitored entries
+		if acc.Evictions() == 0 {
+			t.Fatal("full summary did not evict")
+		}
+	}
+	if est, _ := sk.EstimateRequests(b); est < 50 || est > 50+sk.ErrorBound()+1 {
+		t.Fatalf("sketch-spill estimate %d outside [50, 50+εN=%d]", est, 50+sk.ErrorBound())
+	}
+	if dr.ErrorBound() != 0 {
+		t.Fatal("drop policy reports a sketch error bound")
+	}
+	if err := sk.Merge(dr); err == nil {
+		t.Fatal("cross-policy merge accepted")
+	}
+}
+
+// TestBoundedMerge: sharded accumulators merge into one whose busy set
+// covers the union, with totals summed exactly.
+func TestBoundedMerge(t *testing.T) {
+	cfg := BoundedConfig{K: 8, Capacity: 128}
+	a, _ := NewBoundedAccumulator(cfg)
+	b, _ := NewBoundedAccumulator(cfg)
+	p1, p2 := mustPrefix(t, "10.0.0.0/8"), mustPrefix(t, "20.0.0.0/8")
+	for i := 0; i < 40; i++ {
+		a.Observe(p1, 100)
+		b.Observe(p2, 50)
+	}
+	b.Observe(p1, 100)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Requests() != 81 || a.Bytes() != 40*100+40*50+100 {
+		t.Fatalf("merged totals: %d requests, %d bytes", a.Requests(), a.Bytes())
+	}
+	if est, exact := a.EstimateRequests(p1); !exact || est != 41 {
+		t.Fatalf("merged p1 estimate %d exact=%v, want 41 exact", est, exact)
+	}
+	if est, exact := a.EstimateRequests(p2); !exact || est != 40 {
+		t.Fatalf("merged p2 estimate %d exact=%v, want 40 exact", est, exact)
+	}
+}
+
+// TestClusterStreamBoundedMatchesExact: on a real (small) CLF stream
+// the bounded pass and the exact streaming pass agree on the busy
+// clusters' request and byte totals — the in-memory analogue of the
+// firehose acceptance, runnable on every `go test`.
+func TestClusterStreamBoundedMatchesExact(t *testing.T) {
+	world, c := fhSetup(t)
+	l, err := weblog.Generate(world, weblog.Nagano(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := weblog.WriteCLF(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	clf := buf.Bytes()
+
+	exact, err := ClusterStream(bytes.NewReader(clf), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const K = 10
+	res, err := ClusterStreamBounded(bytes.NewReader(clf), c, BoundedConfig{K: K, Capacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRequests != exact.TotalRequests {
+		t.Fatalf("record totals diverge: bounded %d, exact %d", res.TotalRequests, exact.TotalRequests)
+	}
+	if !res.Acc.GuaranteedTopK(K) {
+		t.Fatalf("top-%d not guaranteed with %dx capacity headroom", K, 1024/K)
+	}
+	for i, b := range res.Busy {
+		ec, ok := exact.Clusters[b.Prefix]
+		if !ok {
+			t.Fatalf("busy[%d] %v unknown to the exact pass", i, b.Prefix)
+		}
+		if uint64(ec.Requests) != b.Requests || uint64(ec.Bytes) != b.Bytes {
+			t.Fatalf("busy[%d] %v: bounded (%d req, %d B) vs exact (%d req, %d B)",
+				i, b.Prefix, b.Requests, b.Bytes, ec.Requests, ec.Bytes)
+		}
+		if !b.Exact {
+			t.Fatalf("busy[%d] %v not flagged exact", i, b.Prefix)
+		}
+	}
+}

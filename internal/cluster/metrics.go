@@ -28,6 +28,16 @@ var (
 	streamRecords    = obsv.C("cluster.stream.records")
 	streamBatches    = obsv.C("cluster.stream.batches")
 	streamParRecords = obsv.C("cluster.stream.parallel.records")
+
+	// Bounded (sketch-backed) accounting: occupancy and error bounds
+	// are point-in-time gauges, eviction churn a monotone counter,
+	// flushed by BoundedAccumulator.PublishMetrics once per batch or
+	// stream.
+	boundedRecords    = obsv.C("cluster.bounded.records")
+	boundedOccupancy  = obsv.G("cluster.bounded.occupancy")
+	boundedEvictions  = obsv.C("cluster.bounded.evictions")
+	boundedErrorBound = obsv.G("cluster.bounded.error_bound")
+	boundedFootprint  = obsv.G("cluster.bounded.footprint_bytes")
 )
 
 // depthSampleMask samples every 64th lookup into the depth histogram: a

@@ -66,6 +66,23 @@ func (p Prefix) String() string {
 	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
 }
 
+// MarshalText renders p in CIDR notation, so Prefix values survive JSON
+// (both as struct fields and as map keys) and other text codecs. Without
+// it the unexported fields would marshal as an empty object.
+func (p Prefix) MarshalText() ([]byte, error) {
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText parses CIDR notation, the inverse of MarshalText.
+func (p *Prefix) UnmarshalText(text []byte) error {
+	q, err := ParsePrefix(string(text))
+	if err != nil {
+		return err
+	}
+	*p = q
+	return nil
+}
+
 // StringNetmask renders p in the dotted prefix/netmask notation that several
 // 1999-era routing-table dumps use ("12.65.128.0/255.255.224.0").
 func (p Prefix) StringNetmask() string {

@@ -1,6 +1,7 @@
 package netutil
 
 import (
+	"encoding/json"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -308,5 +309,37 @@ func TestOverlapsMatchesBruteForce(t *testing.T) {
 		if p.Overlaps(q) != q.Overlaps(p) {
 			t.Fatalf("Overlaps not symmetric for %v, %v", p, q)
 		}
+	}
+}
+
+func TestPrefixTextRoundTrip(t *testing.T) {
+	// JSON must carry prefixes as CIDR strings, both as struct fields and
+	// as map keys.
+	p := MustParsePrefix("10.20.32.0/19")
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"10.20.32.0/19"` {
+		t.Fatalf("marshal: %s", b)
+	}
+	var q Prefix
+	if err := json.Unmarshal(b, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("round trip: %v != %v", q, p)
+	}
+	m := map[Prefix]int{p: 3}
+	mb, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("map key marshal: %v", err)
+	}
+	var m2 map[Prefix]int
+	if err := json.Unmarshal(mb, &m2); err != nil || m2[p] != 3 {
+		t.Fatalf("map key round trip: %v %v", m2, err)
+	}
+	if err := q.UnmarshalText([]byte("not-a-prefix")); err == nil {
+		t.Fatal("garbage must not parse")
 	}
 }

@@ -1,0 +1,41 @@
+package obsv
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Process-memory probes for the firehose acceptance lane: the bounded
+// clustering mode promises fixed RSS over unbounded streams, and the
+// promise is only checkable if the test can read the process's actual
+// resident set, not just Go's heap accounting.
+
+// HeapAllocBytes returns the live Go heap — portable, and the right
+// signal for "did the accumulator grow", since mmap'd tables and OS
+// page caching never inflate it.
+func HeapAllocBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// RSSBytes returns the process resident set from /proc/self/statm.
+// ok is false where procfs is unavailable (non-Linux); callers fall
+// back to HeapAllocBytes.
+func RSSBytes() (uint64, bool) {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0, false
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0, false
+	}
+	pages, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return pages * uint64(os.Getpagesize()), true
+}

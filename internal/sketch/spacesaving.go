@@ -1,0 +1,255 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one monitored heavy hitter. Count is an upper bound on the
+// item's true count and Count-Err a lower bound; an entry that was
+// never evicted has Err == 0 and its Count (and Bytes) are exact.
+// Bytes carries a second accumulated weight — per-cluster byte volume
+// in the clustering pipeline — with the same upper-bound/slack
+// bracketing (Bytes-ByteErr ≤ true ≤ Bytes).
+type Entry struct {
+	Key     uint64
+	Count   uint64
+	Err     uint64
+	Bytes   uint64
+	ByteErr uint64
+}
+
+// SpaceSaving is the Metwally-style stream summary: a fixed set of
+// counters over the busiest keys. When a new key arrives at capacity,
+// the minimum counter is evicted and the newcomer inherits its count
+// as slack (Err) — so any key whose true count exceeds Total/Capacity
+// is guaranteed monitored, and the summary never grows. Not safe for
+// concurrent use.
+type SpaceSaving struct {
+	capacity  int
+	total     uint64
+	evictions uint64
+	heap      []Entry        // min-heap on Count
+	pos       map[uint64]int // key -> heap index
+}
+
+// NewSpaceSaving builds a summary with the given counter capacity.
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpaceSaving{
+		capacity: capacity,
+		heap:     make([]Entry, 0, capacity),
+		pos:      make(map[uint64]int, capacity),
+	}
+}
+
+// Capacity returns the fixed counter budget.
+func (s *SpaceSaving) Capacity() int { return s.capacity }
+
+// Len returns how many keys are currently monitored (≤ Capacity).
+func (s *SpaceSaving) Len() int { return len(s.heap) }
+
+// Total returns N, the sum of every count weight added.
+func (s *SpaceSaving) Total() uint64 { return s.total }
+
+// Evictions returns how many takeovers have happened — the
+// heavy-hitter churn signal the obsv gauges publish.
+func (s *SpaceSaving) Evictions() uint64 { return s.evictions }
+
+// MinCount returns the smallest monitored count — the eviction
+// threshold an unmonitored key must beat, and the upper bound on any
+// unmonitored key's true count once the summary is full.
+func (s *SpaceSaving) MinCount() uint64 {
+	if len(s.heap) < s.capacity {
+		return 0
+	}
+	return s.heap[0].Count
+}
+
+// Add records count weight w (and byte weight b) for key.
+func (s *SpaceSaving) Add(key, w, b uint64) {
+	s.total += w
+	if i, ok := s.pos[key]; ok {
+		s.heap[i].Count += w
+		s.heap[i].Bytes += b
+		s.siftDown(i)
+		return
+	}
+	if len(s.heap) < s.capacity {
+		s.heap = append(s.heap, Entry{Key: key, Count: w, Bytes: b})
+		s.pos[key] = len(s.heap) - 1
+		s.siftUp(len(s.heap) - 1)
+		return
+	}
+	// Takeover: the newcomer replaces the minimum counter, inheriting
+	// its count (and bytes) as both ballast and declared slack.
+	s.evictions++
+	root := &s.heap[0]
+	delete(s.pos, root.Key)
+	s.pos[key] = 0
+	*root = Entry{
+		Key:     key,
+		Count:   root.Count + w,
+		Err:     root.Count,
+		Bytes:   root.Bytes + b,
+		ByteErr: root.Bytes,
+	}
+	s.siftDown(0)
+}
+
+// Get returns the monitored entry for key, if present.
+func (s *SpaceSaving) Get(key uint64) (Entry, bool) {
+	if i, ok := s.pos[key]; ok {
+		return s.heap[i], true
+	}
+	return Entry{}, false
+}
+
+// Entries returns every monitored entry in unspecified order.
+func (s *SpaceSaving) Entries() []Entry {
+	return append([]Entry(nil), s.heap...)
+}
+
+// Top returns the k largest entries by Count (descending), ties broken
+// by ascending key so the order is total and stable.
+func (s *SpaceSaving) Top(k int) []Entry {
+	out := append([]Entry(nil), s.heap...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Merge folds o into s. Both summaries must have equal capacity —
+// merging across mismatched budgets would weaken the N/C guarantee of
+// the smaller side silently, so it is rejected loudly instead. Matched
+// keys sum their counts and slacks; a key monitored on only one side
+// additionally inherits the other side's MinCount as slack (its count
+// there is unknown but bounded by that minimum). The result keeps the
+// top Capacity entries, preserving the merged guarantee: any key with
+// true combined count > (Na+Nb)/Capacity stays monitored.
+func (s *SpaceSaving) Merge(o *SpaceSaving) error {
+	if o == nil {
+		return fmt.Errorf("sketch: merge with nil space-saving summary")
+	}
+	if s.capacity != o.capacity {
+		return fmt.Errorf("sketch: merge capacity mismatch: %d vs %d", s.capacity, o.capacity)
+	}
+	sMin, oMin := s.MinCount(), o.MinCount()
+	merged := make(map[uint64]Entry, len(s.heap)+len(o.heap))
+	for _, e := range s.heap {
+		merged[e.Key] = e
+	}
+	for _, e := range o.heap {
+		if m, ok := merged[e.Key]; ok {
+			m.Count += e.Count
+			m.Err += e.Err
+			m.Bytes += e.Bytes
+			m.ByteErr += e.ByteErr
+			merged[e.Key] = m
+		} else {
+			// Monitored only in o: its count in s's stream is at most
+			// s's minimum counter.
+			e.Count += sMin
+			e.Err += sMin
+			merged[e.Key] = e
+		}
+	}
+	for key := range merged {
+		if _, inO := o.pos[key]; !inO {
+			m := merged[key]
+			m.Count += oMin
+			m.Err += oMin
+			merged[key] = m
+		}
+	}
+	all := make([]Entry, 0, len(merged))
+	for _, e := range merged {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > s.capacity {
+		s.evictions += uint64(len(all) - s.capacity)
+		all = all[:s.capacity]
+	}
+	s.heap = s.heap[:0]
+	s.pos = make(map[uint64]int, s.capacity)
+	for _, e := range all {
+		s.heap = append(s.heap, e)
+		s.pos[e.Key] = len(s.heap) - 1
+		s.siftUp(len(s.heap) - 1)
+	}
+	s.total += o.total
+	s.evictions += o.evictions
+	return nil
+}
+
+// Clone returns an independent deep copy.
+func (s *SpaceSaving) Clone() *SpaceSaving {
+	out := &SpaceSaving{
+		capacity:  s.capacity,
+		total:     s.total,
+		evictions: s.evictions,
+		heap:      append(make([]Entry, 0, s.capacity), s.heap...),
+		pos:       make(map[uint64]int, s.capacity),
+	}
+	for k, v := range s.pos {
+		out.pos[k] = v
+	}
+	return out
+}
+
+// FootprintBytes returns the fixed memory the summary holds.
+func (s *SpaceSaving) FootprintBytes() int {
+	const entrySize = 40   // 5 × uint64
+	const mapOverhead = 48 // bucket + key/value amortized per entry
+	return s.capacity*(entrySize+mapOverhead) + 64
+}
+
+func (s *SpaceSaving) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].Count <= s.heap[i].Count {
+			return
+		}
+		s.swap(parent, i)
+		i = parent
+	}
+}
+
+func (s *SpaceSaving) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && s.heap[l].Count < s.heap[least].Count {
+			least = l
+		}
+		if r := 2*i + 2; r < n && s.heap[r].Count < s.heap[least].Count {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		s.swap(least, i)
+		i = least
+	}
+}
+
+func (s *SpaceSaving) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i].Key] = i
+	s.pos[s.heap[j].Key] = j
+}

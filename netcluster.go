@@ -319,6 +319,45 @@ func ClusterStreamParallel(r io.Reader, c Clusterer, opts ParallelOptions) (*Str
 	return cluster.ClusterStreamParallel(r, c, opts)
 }
 
+// Bounded-memory (firehose) clustering: the Section 4.1.3 busy-cluster
+// view computed in O(K + sketch) space however many clusters the
+// stream touches — K exact heavy hitters via a space-saving summary,
+// the tail answerable within ε·N via a conservative count-min sketch.
+type (
+	// BoundedConfig sizes a bounded accumulator (K, capacity, ε, δ, spill).
+	BoundedConfig = cluster.BoundedConfig
+	// BoundedAccumulator is the fixed-memory cluster accumulator itself.
+	BoundedAccumulator = cluster.BoundedAccumulator
+	// BusyCluster is one entry of a bounded accumulator's top-K report.
+	BusyCluster = cluster.BusyCluster
+	// SpillPolicy selects what happens to evicted clusters.
+	SpillPolicy = cluster.SpillPolicy
+	// BoundedStreamResult is one bounded pass's outcome over a CLF stream.
+	BoundedStreamResult = cluster.BoundedStreamResult
+)
+
+// Spill policies for BoundedConfig.
+const (
+	SpillSketch = cluster.SpillSketch
+	SpillDrop   = cluster.SpillDrop
+)
+
+// NewBoundedAccumulator builds an empty bounded accumulator; the zero
+// BoundedConfig gets serviceable defaults.
+func NewBoundedAccumulator(cfg BoundedConfig) (*BoundedAccumulator, error) {
+	return cluster.NewBoundedAccumulator(cfg)
+}
+
+// ClusterStreamBounded clusters a Common Log Format stream in one pass
+// and *fixed* memory — unlike ClusterStream, whose per-cluster map
+// grows with the number of distinct clusters, this holds only the
+// configured summary however long the stream runs. The price is
+// exactness outside the top K: evicted clusters answer within the
+// sketch error bound instead of precisely.
+func ClusterStreamBounded(r io.Reader, c Clusterer, cfg BoundedConfig) (*BoundedStreamResult, error) {
+	return cluster.ClusterStreamBounded(r, c, cfg)
+}
+
 // Validation.
 type (
 	// ValidationReport aggregates sampled validation verdicts (Table 3).
@@ -592,6 +631,14 @@ func CollectAndMerge(s *BGPSim) *Table { return bgpsim.Merge(s.Collect()) }
 
 // GenerateLog synthesizes a server log over a world.
 func GenerateLog(w *World, cfg LogConfig) (*Log, error) { return weblog.Generate(w, cfg) }
+
+// StreamGen is the endless record-at-a-time form of GenerateLog: same
+// profiles, same determinism under a fixed seed, O(clients) memory
+// however many records are drawn. It is what cmd/loadgen replays from.
+type StreamGen = weblog.StreamGen
+
+// NewStreamGen builds a streaming generator over a world.
+func NewStreamGen(w *World, cfg LogConfig) (*StreamGen, error) { return weblog.NewStreamGen(w, cfg) }
 
 // NaganoProfile returns the paper's primary trace shape at the given
 // scale (1.0 = the paper's published counts). ApacheProfile, EW3Profile
